@@ -1,0 +1,108 @@
+"""Ablation: where the array/R-tree crossover would fall.
+
+The paper finds the R-tree useless because "the size of the cache
+description is small so that a linear search and a tree search have
+similar main memory performance".  That is a statement about *scale*:
+with a few hundred cached queries a linear scan is fine.  This ablation
+sweeps the description size by an order of magnitude beyond the paper's
+regime and measures real probe time for both structures, locating the
+crossover the paper predicts but never reaches.
+
+Synthetic entries are used (regions on a grid), so the sweep isolates
+the description structures from trace replay.
+"""
+
+import pytest
+
+from repro.core.cache import CacheEntry
+from repro.core.description import ArrayDescription, RTreeDescription
+from repro.core.store import MemoryResultStore
+from repro.geometry.regions import HyperSphere
+from repro.harness.render import render_table
+
+SIZES = (100, 1_000, 10_000)
+
+
+def synthetic_entries(count: int):
+    """Entries with sphere regions scattered on a plane grid."""
+    store = MemoryResultStore()
+    entries = []
+    side = int(count**0.5) + 1
+    for i in range(count):
+        x, y = (i % side) * 0.1, (i // side) * 0.1
+        entries.append(
+            CacheEntry(
+                entry_id=i + 1,
+                template_id="synthetic",
+                cache_key=("synthetic", i),
+                region=HyperSphere((x, y, 0.0), 0.03),
+                signature="",
+                truncated=False,
+                byte_size=100,
+                row_count=10,
+                store=store,
+            )
+        )
+    return entries
+
+
+def build(description, entries):
+    for entry in entries:
+        description.add(entry)
+    return description
+
+
+@pytest.fixture(scope="module")
+def crossover_table(record_result):
+    import time
+
+    rows = []
+    for count in SIZES:
+        entries = synthetic_entries(count)
+        probe = entries[count // 2].region
+        timings = {}
+        for label, description in (
+            ("array", build(ArrayDescription(), entries)),
+            ("rtree", build(RTreeDescription(), entries)),
+        ):
+            start = time.perf_counter()
+            repetitions = 50
+            for _ in range(repetitions):
+                description.candidates("synthetic", probe)
+            timings[label] = (
+                (time.perf_counter() - start) / repetitions * 1e6
+            )
+        rows.append(
+            [count, timings["array"], timings["rtree"],
+             timings["array"] / timings["rtree"]]
+        )
+    text = render_table(
+        "Ablation: real probe time vs description size (the paper's "
+        "regime is the first row; the R-tree pays off only beyond it)",
+        ["entries", "array probe us", "rtree probe us", "array/rtree"],
+        rows,
+    )
+    record_result("ablation_scalability", text)
+    return {row[0]: (row[1], row[2]) for row in rows}
+
+
+def test_crossover_exists(crossover_table):
+    # In the paper's regime (hundreds of entries) the structures are
+    # comparable; at 10k entries the R-tree must win clearly.
+    array_large, rtree_large = crossover_table[SIZES[-1]]
+    assert rtree_large < array_large, (
+        "R-tree should beat linear scan at 10k entries"
+    )
+
+
+@pytest.mark.parametrize("kind", ["array", "rtree"])
+@pytest.mark.parametrize("count", SIZES)
+def test_probe_scaling(kind, count, benchmark, crossover_table):
+    entries = synthetic_entries(count)
+    description = build(
+        ArrayDescription() if kind == "array" else RTreeDescription(),
+        entries,
+    )
+    probe = entries[count // 2].region
+
+    benchmark(description.candidates, "synthetic", probe)

@@ -1,0 +1,62 @@
+"""Benchmark suite fixtures.
+
+Each ``bench_*`` file regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  The reproduction tables are
+printed and also written to ``benchmarks/results/<name>.txt`` so a
+``--benchmark-only`` run leaves the full comparison on disk;
+EXPERIMENTS.md records a reference run.
+
+Scale selection: set ``REPRO_SCALE`` to ``quick`` / ``default`` /
+``paper`` (default: ``default``).  All scales share the calibrated cost
+models; ``paper`` replays the full 11,323-query trace and takes tens of
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.config import ExperimentScale
+from repro.harness.runner import ExperimentRunner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _select_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_SCALE", "default")
+    factory = {
+        "quick": ExperimentScale.quick,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }.get(name)
+    if factory is None:
+        raise ValueError(
+            f"REPRO_SCALE={name!r}; expected quick, default, or paper"
+        )
+    return factory()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return _select_scale()
+
+
+@pytest.fixture(scope="session")
+def runner(scale) -> ExperimentRunner:
+    return ExperimentRunner(scale)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

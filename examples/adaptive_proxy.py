@@ -1,0 +1,93 @@
+"""Extensions tour: adaptive overlap handling and replacement policies.
+
+The paper decides *offline* that handling cache-intersecting queries is
+not worthwhile (Figure 6).  This example shows the library's two
+extension points around that finding:
+
+1. :class:`repro.extensions.AdaptiveProxy` measures forward vs
+   remainder costs as it serves and learns the decision online — run
+   against two origins (cheap and costly remainders) it converges to
+   opposite policies;
+2. replacement policies are pluggable; the same trace under a tight
+   budget shows how LRU, FIFO, and GreedyDual-Size differ.
+
+Run:  python examples/adaptive_proxy.py
+"""
+
+import dataclasses
+
+from repro import BrowserEmulator, FunctionProxy, ServerCostModel
+from repro.core.replacement import FifoPolicy, GreedyDualSizePolicy, LruPolicy
+from repro.extensions import AdaptiveProxy
+from repro.harness.config import ExperimentScale
+from repro.server.origin import OriginServer
+from repro.workload.generator import generate_radial_trace
+
+
+def adaptive_demo(scale) -> None:
+    print("1. Adaptive overlap handling")
+    print("   (overlap-heavy trace; watch the learned decision flip)")
+    trace_config = dataclasses.replace(
+        scale.trace, n_queries=600, p_repeat=0.1, p_zoom=0.1, p_pan=0.4,
+        p_zoom_out=0.0,
+    )
+    trace = generate_radial_trace(trace_config)
+    scenarios = [
+        ("costly remainders (the paper's testbed)",
+         ServerCostModel(base_ms=1500.0, remainder_surcharge_ms=2000.0,
+                         per_hole_ms=200.0)),
+        ("cheap remainders (fast origin, slow network)",
+         ServerCostModel(base_ms=1500.0, remainder_surcharge_ms=0.0,
+                         per_hole_ms=0.0)),
+    ]
+    for label, costs in scenarios:
+        origin = OriginServer.skyserver(scale.sky, costs)
+        proxy = AdaptiveProxy(origin, origin.templates,
+                              topology=scale.topology,
+                              costs=scale.proxy_costs)
+        BrowserEmulator(proxy).run(trace)
+        state = proxy.adaptive
+        verdict = (
+            "keep handling overlaps" if state.remainder_pays_off
+            else "stop handling overlaps"
+        )
+        print(f"   {label}:")
+        print(f"     forward ~{state.forward_cost.mean:.0f} ms vs "
+              f"remainder ~{state.overlap_cost.mean:.0f} ms "
+              f"-> learned: {verdict}")
+        print(f"     handled {state.overlaps_handled}, declined "
+              f"{state.overlaps_declined} of {state.overlaps_seen} "
+              "overlaps")
+
+
+def replacement_demo(scale) -> None:
+    print()
+    print("2. Replacement policies under a tight cache budget")
+    origin = OriginServer.skyserver(scale.sky, scale.server_costs)
+    trace = generate_radial_trace(
+        dataclasses.replace(scale.trace, n_queries=600)
+    )
+    print(f"   {'policy':10} {'efficiency':>10} {'evictions':>9}")
+    for policy_cls in (LruPolicy, FifoPolicy, GreedyDualSizePolicy):
+        proxy = FunctionProxy(
+            origin,
+            origin.templates,
+            cache_bytes=60_000,
+            topology=scale.topology,
+            costs=scale.proxy_costs,
+            replacement_policy=policy_cls(),
+        )
+        stats = BrowserEmulator(proxy).run(trace)
+        print(f"   {policy_cls.name:10} "
+              f"{stats.average_cache_efficiency:10.3f} "
+              f"{proxy.cache.evictions:9d}")
+
+
+def main() -> None:
+    scale = ExperimentScale.quick()
+    adaptive_demo(scale)
+    replacement_demo(scale)
+
+
+if __name__ == "__main__":
+    main()

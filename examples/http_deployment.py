@@ -1,0 +1,75 @@
+"""The paper's deployment picture over real HTTP.
+
+Starts the origin web site and the function proxy as two Flask servers
+on localhost, with the proxy forwarding to the origin through
+:class:`repro.webapp.HttpOriginClient` — browser, proxy servlet, and
+web site are three genuinely separate HTTP actors, as in the paper's
+Figure 4 (Tomcat servlet fronting the SkyServer).
+
+The "browser" below is plain ``urllib``; watch the ``X-Cache-Status``
+header change as the cache warms up.
+
+Run:  python examples/http_deployment.py
+Requires Flask (pip install repro[http]).
+"""
+
+import threading
+import time
+import urllib.parse
+import urllib.request
+from wsgiref.simple_server import make_server
+
+from repro import FunctionProxy, OriginServer, SkyCatalogConfig
+from repro.webapp import HttpOriginClient, create_origin_app, create_proxy_app
+
+ORIGIN_PORT = 8471
+PROXY_PORT = 8472
+
+
+def start_server(app, port: int) -> None:
+    server = make_server("127.0.0.1", port, app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+
+def browse(form: str, fields: dict) -> None:
+    query = urllib.parse.urlencode(fields)
+    url = f"http://127.0.0.1:{PROXY_PORT}/search/{form}?{query}"
+    start = time.perf_counter()
+    with urllib.request.urlopen(url) as response:
+        body = response.read()
+        status = response.headers["X-Cache-Status"]
+        proxy_ms = response.headers["X-Proxy-Ms"]
+    wall_ms = (time.perf_counter() - start) * 1000
+    print(
+        f"  {form}({fields}) -> {len(body)} bytes, "
+        f"cache status {status}, simulated {float(proxy_ms):.0f} ms, "
+        f"wall {wall_ms:.0f} ms"
+    )
+
+
+def main() -> None:
+    print("Starting the origin web site...")
+    origin = OriginServer.skyserver(SkyCatalogConfig(n_objects=40_000))
+    start_server(create_origin_app(origin), ORIGIN_PORT)
+
+    print("Starting the function proxy (bootstrapping templates over "
+          "HTTP)...")
+    client = HttpOriginClient(f"http://127.0.0.1:{ORIGIN_PORT}")
+    proxy = FunctionProxy(client, client.templates)
+    start_server(create_proxy_app(proxy), PROXY_PORT)
+
+    print("Browsing through the proxy:")
+    browse("Radial", {"ra": 166.0, "dec": 9.0, "radius": 8})
+    browse("Radial", {"ra": 166.0, "dec": 9.0, "radius": 8})   # exact
+    browse("Radial", {"ra": 166.01, "dec": 9.0, "radius": 3})  # contained
+    browse("Radial", {"ra": 166.1, "dec": 9.05, "radius": 7})  # overlap
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{PROXY_PORT}/stats"
+    ) as response:
+        print("Proxy stats:", response.read().decode())
+
+
+if __name__ == "__main__":
+    main()

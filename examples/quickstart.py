@@ -1,0 +1,49 @@
+"""Quickstart: a function proxy answering Radial search form queries.
+
+Builds a synthetic SkyServer, puts a function proxy in front of it, and
+submits a handful of form queries that exercise each of the paper's
+four dispositions: disjoint (forwarded + cached), exact match,
+containment (answered locally), and overlap (probe + remainder query).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CachingScheme, FunctionProxy, OriginServer, SkyCatalogConfig
+
+
+def main() -> None:
+    print("Building the origin site (synthetic SkyServer)...")
+    origin = OriginServer.skyserver(SkyCatalogConfig(n_objects=60_000))
+    proxy = FunctionProxy(
+        origin, origin.templates, scheme=CachingScheme.FULL_SEMANTIC
+    )
+
+    searches = [
+        ("a fresh search", {"ra": "165.0", "dec": "8.0", "radius": "10"}),
+        ("the same search again", {"ra": "165.0", "dec": "8.0", "radius": "10"}),
+        ("zooming in", {"ra": "165.02", "dec": "8.01", "radius": "4"}),
+        ("panning aside", {"ra": "165.15", "dec": "8.05", "radius": "9"}),
+        ("somewhere else", {"ra": "162.0", "dec": "10.5", "radius": "6"}),
+    ]
+
+    print(f"{'request':24} {'status':20} {'rows':>5} {'sim ms':>8} "
+          f"{'eff':>5}  origin?")
+    for label, fields in searches:
+        response = proxy.serve_form("Radial", fields)
+        record = response.record
+        print(
+            f"{label:24} {record.status.value:20} "
+            f"{record.tuples_total:5d} {record.response_ms:8.1f} "
+            f"{record.cache_efficiency:5.2f}  "
+            f"{'yes' if record.contacted_origin else 'no'}"
+        )
+
+    print()
+    print(f"cache now holds {len(proxy.cache)} entries, "
+          f"{proxy.cache.current_bytes / 1024:.1f} KB")
+    print(f"origin served {origin.queries_served} queries "
+          f"({origin.remainders_served} remainder)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Function Proxy: template-based proxy caching for table-valued functions.
+
+A from-scratch reproduction of Luo & Xue, *Template-Based Proxy Caching
+for Table-Valued Functions* (2004): a web proxy that performs *active
+semantic caching* for SQL queries with embedded table-valued
+user-defined functions, by registering function templates that abstract
+each function as a spatial region selection query.
+
+Quickstart::
+
+    from repro import (
+        CachingScheme, FunctionProxy, OriginServer, SkyCatalogConfig,
+    )
+
+    origin = OriginServer.skyserver(SkyCatalogConfig(n_objects=50_000))
+    proxy = FunctionProxy(
+        origin, origin.templates, scheme=CachingScheme.FULL_SEMANTIC
+    )
+    response = proxy.serve_form(
+        "Radial", {"ra": "165.0", "dec": "8.0", "radius": "10"}
+    )
+    print(len(response.result), "objects,", response.record.status)
+
+Package map (see DESIGN.md for the full inventory):
+
+=====================  =================================================
+``repro.core``         the function proxy: cache manager, descriptions
+                       (array / R-tree), caching schemes, local
+                       evaluation, remainder queries
+``repro.templates``    function templates, query templates, info files
+``repro.server``       the origin web site (synthetic SkyServer)
+``repro.relational``   the in-memory relational engine
+``repro.sqlparser``    SQL dialect parser
+``repro.udf``          user-defined function framework + SkyServer lib
+``repro.skydata``      synthetic sky catalog + spatial index
+``repro.geometry``     region shapes and relations
+``repro.network``      simulated clock, links, topology
+``repro.workload``     trace generator, analyzer, browser emulator
+``repro.harness``      per-table/figure experiment runners
+``repro.webapp``       Flask HTTP deployment (optional)
+=====================  =================================================
+"""
+
+from repro.core.proxy import FunctionProxy, ProxyResponse
+from repro.core.schemes import CachingScheme
+from repro.core.description import ArrayDescription, RTreeDescription
+from repro.core.stats import QueryStatus, TraceStats
+from repro.server.origin import OriginServer
+from repro.server.costs import ServerCostModel
+from repro.core.costs import ProxyCostModel
+from repro.network.link import NetworkLink, Topology
+from repro.skydata.generator import SkyCatalogConfig
+from repro.templates.manager import BoundQuery, TemplateManager
+from repro.templates.function_template import FunctionTemplate, Shape
+from repro.templates.query_template import QueryTemplate
+from repro.templates.info_file import TemplateInfoFile
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+from repro.workload.rbe import BrowserEmulator
+from repro.workload.trace import Trace, TraceQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayDescription",
+    "BoundQuery",
+    "BrowserEmulator",
+    "CachingScheme",
+    "FunctionProxy",
+    "FunctionTemplate",
+    "NetworkLink",
+    "OriginServer",
+    "ProxyCostModel",
+    "ProxyResponse",
+    "QueryStatus",
+    "QueryTemplate",
+    "RTreeDescription",
+    "RadialTraceConfig",
+    "ServerCostModel",
+    "Shape",
+    "SkyCatalogConfig",
+    "TemplateInfoFile",
+    "TemplateManager",
+    "Topology",
+    "Trace",
+    "TraceQuery",
+    "TraceStats",
+    "generate_radial_trace",
+]

@@ -1,0 +1,137 @@
+"""Cache descriptions: the metadata structure probed per query.
+
+The *cache description* (paper Figure 4) records, for every cached
+result, the region its query selected.  Answering a new query starts by
+probing the description for cached regions that could relate to the new
+region.  The paper compares two implementations:
+
+* **array** (``ACNR``) — a flat list, linearly scanned;
+* **R-tree** (``ACR``) — bounding boxes indexed in an R-tree.
+
+Both return *candidates*; the query processor then runs the exact
+region-relation check on each.  Each returns the amount of simulated
+work its probe or update performed (already converted to milliseconds
+via the supplied cost model), so the two implementations are charged
+differently exactly as the paper's measurements show: the R-tree visits
+fewer entries per probe but pays more per maintenance operation.
+
+Entries of different *templates* live in disjoint sub-descriptions:
+regions from different templates inhabit different coordinate spaces
+(a 3-d chord sphere vs a 2-d sky rectangle) and are never compared.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.costs import ProxyCostModel
+from repro.core.rtree import RTree
+from repro.geometry.regions import Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.cache import CacheEntry
+
+
+class CacheDescription(Protocol):
+    """Probe-and-maintain interface shared by array and R-tree."""
+
+    def add(self, entry: "CacheEntry") -> float:
+        """Index an entry; returns simulated maintenance milliseconds."""
+
+    def remove(self, entry: "CacheEntry") -> float:
+        """Unindex an entry; returns simulated maintenance milliseconds."""
+
+    def candidates(
+        self, template_id: str, region: Region
+    ) -> tuple[list["CacheEntry"], float]:
+        """Entries of ``template_id`` possibly related to ``region``.
+
+        Returns ``(candidates, probe_ms)``.  May overapproximate (the
+        caller runs exact relation checks) but must never miss an entry
+        whose region intersects ``region``.
+        """
+
+
+class ArrayDescription:
+    """Flat per-template entry lists, scanned linearly (ACNR)."""
+
+    def __init__(self, costs: ProxyCostModel | None = None) -> None:
+        self.costs = costs or ProxyCostModel()
+        self._by_template: dict[str, dict[int, "CacheEntry"]] = {}
+
+    def add(self, entry: "CacheEntry") -> float:
+        bucket = self._by_template.setdefault(entry.template_id, {})
+        bucket[entry.entry_id] = entry
+        return self.costs.array_update_ms
+
+    def remove(self, entry: "CacheEntry") -> float:
+        bucket = self._by_template.get(entry.template_id, {})
+        bucket.pop(entry.entry_id, None)
+        return self.costs.array_update_ms
+
+    def candidates(
+        self, template_id: str, region: Region
+    ) -> tuple[list["CacheEntry"], float]:
+        bucket = self._by_template.get(template_id, {})
+        entries = list(bucket.values())
+        # Linear scan: every entry of the template is touched; the cheap
+        # bounding-box rejection below mirrors the real implementation's
+        # per-entry comparison before the exact check.
+        probe_ms = self.costs.check_per_array_entry_ms * len(entries)
+        box = region.bounding_box()
+        survivors = [
+            entry
+            for entry in entries
+            if entry.region.bounding_box().intersect(box) is not None
+        ]
+        return survivors, probe_ms
+
+
+class RTreeDescription:
+    """Per-template R-trees over region bounding boxes (ACR)."""
+
+    def __init__(
+        self, costs: ProxyCostModel | None = None, max_entries: int = 8
+    ) -> None:
+        self.costs = costs or ProxyCostModel()
+        self.max_entries = max_entries
+        self._trees: dict[str, RTree] = {}
+        self._entries: dict[str, dict[int, "CacheEntry"]] = {}
+
+    def _tree_for(self, entry: "CacheEntry") -> RTree:
+        tree = self._trees.get(entry.template_id)
+        if tree is None:
+            tree = RTree(entry.region.dims, max_entries=self.max_entries)
+            self._trees[entry.template_id] = tree
+        return tree
+
+    def add(self, entry: "CacheEntry") -> float:
+        tree = self._tree_for(entry)
+        tree.insert(entry.entry_id, entry.region.bounding_box())
+        self._entries.setdefault(entry.template_id, {})[
+            entry.entry_id
+        ] = entry
+        return self.costs.rtree_update_per_node_ms * max(
+            tree.nodes_visited, 1
+        )
+
+    def remove(self, entry: "CacheEntry") -> float:
+        tree = self._trees.get(entry.template_id)
+        if tree is None or entry.entry_id not in tree:
+            return 0.0
+        tree.delete(entry.entry_id)
+        self._entries.get(entry.template_id, {}).pop(entry.entry_id, None)
+        return self.costs.rtree_update_per_node_ms * max(
+            tree.nodes_visited, 1
+        )
+
+    def candidates(
+        self, template_id: str, region: Region
+    ) -> tuple[list["CacheEntry"], float]:
+        tree = self._trees.get(template_id)
+        if tree is None:
+            return [], 0.0
+        ids = tree.search(region.bounding_box())
+        probe_ms = self.costs.check_per_rtree_node_ms * tree.nodes_visited
+        bucket = self._entries.get(template_id, {})
+        return [bucket[entry_id] for entry_id in ids], probe_ms

@@ -1,0 +1,422 @@
+"""The function proxy servlet.
+
+Implements the query-processing logic of Section 3.2.  Given a new
+query, the proxy classifies it against the cache into one of the four
+statuses and acts accordingly:
+
+(a) **exact match** — read the cached result and return it;
+(b) **contained** — evaluate the new query locally over the subsuming
+    entry's result; do not cache (the result is already covered);
+(c) **overlap** — serve the cached portion via a probe over the
+    overlapping entries, send a *remainder query* to the origin, merge,
+    return, and cache the merged full-region result.  In the special
+    case of *region containment* (the new region contains cached
+    regions) the subsumed entries are removed after their results are
+    merged into the new entry — consolidation that "reduces the number
+    of cached queries and improves cache utilization";
+(d) **disjoint** — forward the query, cache the result, return it.
+
+Which of (b)/(c) the proxy attempts is the caching scheme's policy
+(:mod:`repro.core.schemes`); unhandled cases degrade to (d)'s
+forwarding, minus the redundant caching of a result that a cached
+superset already covers.
+
+Soundness guards beyond the paper's text:
+
+* only entries with the *same residual-predicate signature* participate
+  in containment/overlap reasoning (two queries whose non-spatial
+  predicates differ are spatially incomparable);
+* entries whose producing query was TOP-N truncated serve exact matches
+  only;
+* queries on templates whose embedded function is non-deterministic are
+  tunneled, never cached (paper property 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cache import CacheEntry, CacheManager
+from repro.core.costs import ProxyCostModel
+from repro.core.description import ArrayDescription, CacheDescription
+from repro.core.evaluation import LocalEvaluator
+from repro.core.remainder import build_remainder
+from repro.core.schemes import CachingScheme
+from repro.core.stats import QueryRecord, QueryStatus, TraceStats
+from repro.geometry.relations import RegionRelation, relate
+from repro.network.link import Topology
+from repro.relational.result import ResultTable
+from repro.server.origin import OriginServer
+from repro.templates.manager import BoundQuery, TemplateManager
+
+
+@dataclass(frozen=True)
+class ProxyResponse:
+    """What the proxy hands back to the browser (emulator)."""
+
+    result: ResultTable
+    record: QueryRecord
+
+    @property
+    def proxy_ms(self) -> float:
+        return self.record.response_ms
+
+
+class FunctionProxy:
+    """A template-based caching proxy for function-embedded queries."""
+
+    def __init__(
+        self,
+        origin: OriginServer,
+        templates: TemplateManager,
+        scheme: CachingScheme = CachingScheme.FULL_SEMANTIC,
+        description: CacheDescription | None = None,
+        cache_bytes: int | None = None,
+        costs: ProxyCostModel | None = None,
+        topology: Topology | None = None,
+        max_holes: int = 16,
+        result_store=None,
+        replacement_policy=None,
+    ) -> None:
+        if max_holes < 1:
+            raise ValueError("max_holes must be at least 1")
+        self.origin = origin
+        self.templates = templates
+        self.scheme = scheme
+        self.costs = costs or ProxyCostModel()
+        self.topology = topology or Topology()
+        self.cache = CacheManager(
+            description or ArrayDescription(self.costs),
+            max_bytes=cache_bytes,
+            costs=self.costs,
+            result_store=result_store,
+            policy=replacement_policy,
+        )
+        self.evaluator = LocalEvaluator()
+        self.max_holes = max_holes
+        self.stats = TraceStats()
+        self._query_index = 0
+        self._seen_data_version = getattr(origin, "data_version", None)
+        self.invalidations = 0
+
+    # ------------------------------------------------------------ public
+    def serve_form(
+        self, form_name: str, form_values: Mapping[str, str]
+    ) -> ProxyResponse:
+        """Serve a raw HTML form request (the HTTP listener's path)."""
+        bound = self.templates.bind_form(form_name, form_values)
+        return self.serve(bound)
+
+    def serve(self, bound: BoundQuery) -> ProxyResponse:
+        """Serve one bound query; appends a record to ``stats``."""
+        self._query_index += 1
+        self._check_data_version()
+        steps: dict[str, float] = {"parse": self.costs.parse_ms}
+        policy = self.scheme.policy
+
+        deterministic = self._is_deterministic(bound)
+        if not policy.caches or not deterministic:
+            response = self._tunnel(bound, steps)
+        else:
+            response = self._serve_cached(bound, steps, policy)
+        self.stats.add(response.record)
+        return response
+
+    # --------------------------------------------------------- dispatch
+    def _serve_cached(self, bound, steps, policy) -> ProxyResponse:
+        exact = self.cache.exact_match(bound)
+        if exact is not None:
+            return self._serve_exact(bound, exact, steps)
+        if not policy.handles_containment:
+            return self._forward_and_cache(
+                bound, steps, QueryStatus.FORWARDED
+            )
+        return self._serve_active(bound, steps, policy)
+
+    def _serve_active(self, bound, steps, policy) -> ProxyResponse:
+        candidates, relations = self._check_description(bound, steps)
+
+        contained_in = [
+            entry
+            for entry, relation in zip(candidates, relations)
+            if relation
+            in (RegionRelation.CONTAINED, RegionRelation.EQUAL)
+        ]
+        if contained_in:
+            return self._serve_contained(bound, contained_in, steps)
+
+        subsumed = [
+            entry
+            for entry, relation in zip(candidates, relations)
+            if relation is RegionRelation.CONTAINS
+        ]
+        overlapping = [
+            entry
+            for entry, relation in zip(candidates, relations)
+            if relation is RegionRelation.OVERLAP
+        ]
+
+        if (subsumed or overlapping) and self._attempt_overlap(
+            bound, subsumed, overlapping
+        ):
+            return self._serve_overlap(
+                bound, subsumed, overlapping, steps
+            )
+        if policy.handles_region_containment and subsumed:
+            return self._serve_overlap(bound, subsumed, [], steps)
+        status = (
+            QueryStatus.DISJOINT
+            if not (subsumed or overlapping)
+            else QueryStatus.FORWARDED
+        )
+        return self._forward_and_cache(bound, steps, status)
+
+    def _attempt_overlap(self, bound, subsumed, overlapping) -> bool:
+        """Whether to handle this cache-intersecting query via probe +
+        remainder.  The base proxy follows the scheme's static policy;
+        :class:`repro.extensions.adaptive.AdaptiveProxy` overrides this
+        with a learned estimate of whether remainders pay off."""
+        return self.scheme.policy.handles_overlap
+
+    # ------------------------------------------------------ description
+    def _check_description(self, bound: BoundQuery, steps):
+        """Probe the cache description and run exact relation checks.
+
+        Returns ``(usable_entries, relations)`` where relations[i] is
+        the relation of the *new* region to usable_entries[i]'s region.
+        Besides the simulated charge, the real wall-clock time of the
+        probe is recorded (the paper's "< 100 ms" claim is about real
+        time, not modelled time).
+        """
+        wall_start = time.perf_counter()
+        candidates, probe_ms = self.cache.description.candidates(
+            bound.template_id, bound.region
+        )
+        signature = self._signature(bound)
+        usable = [
+            entry
+            for entry in candidates
+            if entry.signature == signature and not entry.truncated
+        ]
+        relations = [relate(bound.region, entry.region) for entry in usable]
+        steps["check"] = steps.get("check", 0.0) + probe_ms + (
+            self.costs.check_per_candidate_ms * len(usable)
+        )
+        steps["_check_wall"] = (time.perf_counter() - wall_start) * 1000.0
+        return usable, relations
+
+    def _is_deterministic(self, bound: BoundQuery) -> bool:
+        source = bound.template.statement.source
+        registry = self.origin.catalog.functions
+        try:
+            return registry.is_deterministic(source.name)
+        except Exception:
+            # An unregistered function cannot be reasoned about; tunnel.
+            return False
+
+    # ------------------------------------------------------ case (a)
+    def _serve_exact(self, bound, entry: CacheEntry, steps) -> ProxyResponse:
+        self.cache.touch(entry)
+        steps["read"] = self.costs.read_per_tuple_ms * len(entry.result)
+        result = entry.result
+        return self._respond(
+            bound,
+            result,
+            QueryStatus.EXACT,
+            steps,
+            tuples_from_cache=len(result),
+            contacted_origin=False,
+        )
+
+    # ------------------------------------------------------ case (b)
+    def _serve_contained(self, bound, entries, steps) -> ProxyResponse:
+        # Any subsuming entry works; scan the smallest result.
+        entry = min(entries, key=lambda e: e.row_count)
+        self.cache.touch(entry)
+        outcome = self.evaluator.select_in_region(bound, [entry])
+        steps["read"] = self.costs.read_per_tuple_ms * outcome.tuples_read
+        steps["local_eval"] = self.costs.eval_per_tuple_ms * (
+            outcome.tuples_evaluated
+        )
+        result = self.evaluator.finalize(bound, outcome.result)
+        return self._respond(
+            bound,
+            result,
+            QueryStatus.CONTAINED,
+            steps,
+            tuples_from_cache=len(result),
+            contacted_origin=False,
+        )
+
+    # ------------------------------------------------------ case (c)
+    def _serve_overlap(
+        self, bound, subsumed, overlapping, steps
+    ) -> ProxyResponse:
+        # The entries used as remainder holes, largest results first to
+        # maximize the cached share, capped to keep the remainder SQL sane.
+        used = sorted(
+            subsumed + overlapping, key=lambda e: e.row_count, reverse=True
+        )[: self.max_holes]
+        subsumed_ids = {entry.entry_id for entry in subsumed}
+        used_subsumed = [
+            entry for entry in used if entry.entry_id in subsumed_ids
+        ]
+        for entry in used:
+            self.cache.touch(entry)
+
+        probe = self.evaluator.select_in_region(bound, used)
+        steps["read"] = self.costs.read_per_tuple_ms * probe.tuples_read
+        steps["local_eval"] = self.costs.eval_per_tuple_ms * (
+            probe.tuples_evaluated
+        )
+
+        remainder = build_remainder(bound, [e.region for e in used])
+        origin_response = self.origin.execute_remainder(
+            remainder.statement, remainder.n_holes
+        )
+        steps["origin"] = origin_response.server_ms
+        steps["transfer"] = self.topology.origin_round_trip_ms(
+            origin_response.result.byte_size()
+        )
+
+        merged = probe.result.merge_dedup(
+            origin_response.result, bound.key_column
+        )
+        steps["merge"] = self.costs.merge_per_tuple_ms * len(merged)
+        result = self.evaluator.finalize(bound, merged)
+
+        # Count the cached contribution that survived into the answer.
+        key_position = result.schema.position(bound.key_column)
+        probe_keys = {
+            row[probe.result.schema.position(bound.key_column)]
+            for row in probe.result.rows
+        }
+        from_cache = sum(
+            1 for row in result.rows if row[key_position] in probe_keys
+        )
+
+        # Cache the merged full-region result and consolidate subsumed
+        # entries into it (the paper's region-containment maintenance).
+        truncated = self._is_truncated(bound, origin_response.result)
+        entry, report = self.cache.store(
+            bound, merged, self._signature(bound), truncated
+        )
+        maintenance = report.charge_ms(self.costs)
+        if entry is not None:
+            for victim in used_subsumed:
+                maintenance += self.cache.remove(victim).charge_ms(
+                    self.costs
+                )
+        steps["maintenance"] = steps.get("maintenance", 0.0) + maintenance
+
+        status = (
+            QueryStatus.REGION_CONTAINMENT
+            if not overlapping
+            else QueryStatus.OVERLAP
+        )
+        return self._respond(
+            bound,
+            result,
+            status,
+            steps,
+            tuples_from_cache=from_cache,
+            contacted_origin=True,
+            origin_bytes=origin_response.result.byte_size(),
+        )
+
+    # ------------------------------------------------------ case (d)
+    def _forward_and_cache(self, bound, steps, status) -> ProxyResponse:
+        origin_response = self.origin.execute_bound(bound)
+        steps["origin"] = origin_response.server_ms
+        steps["transfer"] = self.topology.origin_round_trip_ms(
+            origin_response.result.byte_size()
+        )
+        result = origin_response.result
+        truncated = self._is_truncated(bound, result)
+        _entry, report = self.cache.store(
+            bound, result, self._signature(bound), truncated
+        )
+        steps["maintenance"] = steps.get("maintenance", 0.0) + (
+            report.charge_ms(self.costs)
+        )
+        return self._respond(
+            bound,
+            result,
+            status,
+            steps,
+            tuples_from_cache=0,
+            contacted_origin=True,
+            origin_bytes=result.byte_size(),
+        )
+
+    def _tunnel(self, bound, steps) -> ProxyResponse:
+        origin_response = self.origin.execute_bound(bound)
+        steps["origin"] = origin_response.server_ms
+        steps["transfer"] = self.topology.origin_round_trip_ms(
+            origin_response.result.byte_size()
+        )
+        return self._respond(
+            bound,
+            origin_response.result,
+            QueryStatus.NO_CACHE,
+            steps,
+            tuples_from_cache=0,
+            contacted_origin=True,
+            origin_bytes=origin_response.result.byte_size(),
+        )
+
+    # ---------------------------------------------------------- helpers
+    def _check_data_version(self) -> None:
+        """Flush the cache when the origin's data version moved.
+
+        Cached results are snapshots of the origin's base data; the
+        determinism that justifies caching holds only per data version
+        (paper property 1: "nothing changes over time").  Origins
+        without a version attribute are treated as immutable.
+        """
+        version = getattr(self.origin, "data_version", None)
+        if version != self._seen_data_version:
+            self.cache.clear()
+            self._seen_data_version = version
+            self.invalidations += 1
+
+    @staticmethod
+    def _signature(bound: BoundQuery) -> str:
+        where = bound.statement.where
+        return "" if where is None else where.to_sql()
+
+    @staticmethod
+    def _is_truncated(bound: BoundQuery, origin_result: ResultTable) -> bool:
+        """Whether a stored result may be an incomplete region answer."""
+        top = bound.statement.top
+        return top is not None and len(origin_result) >= top
+
+    def _respond(
+        self,
+        bound,
+        result,
+        status,
+        steps,
+        tuples_from_cache: int,
+        contacted_origin: bool,
+        origin_bytes: int = 0,
+    ) -> ProxyResponse:
+        check_wall_ms = steps.pop("_check_wall", 0.0)
+        record = QueryRecord(
+            index=self._query_index,
+            template_id=bound.template_id,
+            status=status,
+            response_ms=sum(steps.values()),
+            tuples_total=len(result),
+            tuples_from_cache=tuples_from_cache,
+            result_bytes=result.byte_size(),
+            origin_bytes=origin_bytes,
+            contacted_origin=contacted_origin,
+            steps_ms=dict(steps),
+            check_wall_ms=check_wall_ms,
+            cache_bytes_after=self.cache.current_bytes,
+            cache_entries_after=len(self.cache),
+        )
+        return ProxyResponse(result=result, record=record)

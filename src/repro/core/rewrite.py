@@ -1,0 +1,108 @@
+"""Expression scope rewriting between statement and result scope.
+
+Two coordinate systems appear in the proxy:
+
+* **statement scope** — names as they appear inside the template SQL
+  (``p.cx``, ``n.distance``): what the origin's executor resolves.
+* **result scope** — the *output* column names of the template's select
+  list (``cx``, ``distance``): what a cached result table carries and
+  what the function template's point expressions reference.
+
+The local evaluator takes statement-scope expressions (ORDER BY items,
+residual predicates) into result scope to run them over cached tuples;
+the remainder builder takes result-scope region predicates into
+statement scope to splice them into SQL sent to the origin.
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import ColumnRef, Expression
+from repro.templates.errors import TemplateError
+from repro.templates.query_template import QueryTemplate
+
+
+def _mappings(template: QueryTemplate) -> tuple[dict, dict]:
+    """(statement sql -> output name, output name -> expression)."""
+    statement = template.statement
+    if statement.star:
+        raise TemplateError(
+            f"template {template.template_id!r}: scope rewriting needs an "
+            "explicit select list, not SELECT *"
+        )
+    to_output: dict[str, str] = {}
+    to_statement: dict[str, Expression] = {}
+    for item in statement.select_items:
+        output = item.output_name().lower()
+        to_output[item.expression.to_sql().lower()] = output
+        to_statement[output] = item.expression
+    return to_output, to_statement
+
+
+def _rewrite(expr: Expression, transform) -> Expression:
+    """Structurally rebuild ``expr`` with ``transform`` applied to each
+    node bottom-up (leaves first)."""
+    changes = {}
+    for name, attr in vars(expr).items():
+        if isinstance(attr, Expression):
+            changes[name] = _rewrite(attr, transform)
+        elif isinstance(attr, tuple) and any(
+            isinstance(element, Expression) for element in attr
+        ):
+            changes[name] = tuple(
+                _rewrite(element, transform)
+                if isinstance(element, Expression)
+                else element
+                for element in attr
+            )
+    if changes:
+        fields = dict(vars(expr))
+        fields.update(changes)
+        expr = type(expr)(**fields)
+    return transform(expr)
+
+
+def to_result_scope(
+    template: QueryTemplate, expr: Expression
+) -> Expression:
+    """Rewrite a statement-scope expression to result scope.
+
+    Any subexpression that textually matches a select item is replaced
+    by a reference to that item's output column.  A qualified column
+    reference that matches nothing raises: it would be unresolvable
+    against a cached result.
+    """
+    to_output, _ = _mappings(template)
+
+    def transform(node: Expression) -> Expression:
+        replacement = to_output.get(node.to_sql().lower())
+        if replacement is not None:
+            return ColumnRef(replacement)
+        if isinstance(node, ColumnRef) and "." in node.name:
+            raise TemplateError(
+                f"template {template.template_id!r}: {node.name!r} is not "
+                "in the select list; cannot evaluate it over cached results"
+            )
+        return node
+
+    return _rewrite(expr, transform)
+
+
+def to_statement_scope(
+    template: QueryTemplate, expr: Expression
+) -> Expression:
+    """Rewrite a result-scope expression to statement scope.
+
+    Each reference to an output column is replaced by the select item
+    expression that defines it, so the rewritten expression is valid in
+    the template SQL's FROM/JOIN namespace (used by remainder queries).
+    """
+    _, to_statement = _mappings(template)
+
+    def transform(node: Expression) -> Expression:
+        if isinstance(node, ColumnRef):
+            replacement = to_statement.get(node.name.lower())
+            if replacement is not None:
+                return replacement
+        return node
+
+    return _rewrite(expr, transform)

@@ -1,0 +1,79 @@
+"""Result stores: where cached query results live.
+
+The paper's proxy keeps each cached query's result as an XML file on
+disk ("Query Result Files" in Figure 4) and re-reads the file whenever
+the cache answers a query.  Two stores implement that contract:
+
+* :class:`MemoryResultStore` — results held in memory; the default,
+  and what the simulated ``read_per_tuple_ms`` charge models.
+* :class:`FileResultStore` — results serialized to one XML file per
+  entry under a directory, parsed back on every access; byte-for-byte
+  the paper's storage scheme.  Slower in real time, identical in
+  behaviour — the equivalence tests run against both.
+
+Stores hold results by cache-entry id; the cache manager owns the
+lifecycle (put on store, remove on eviction).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.relational.result import ResultTable
+
+
+class ResultStoreError(Exception):
+    """Missing entries or unusable storage directories."""
+
+
+class MemoryResultStore:
+    """In-memory result storage."""
+
+    def __init__(self) -> None:
+        self._results: dict[int, ResultTable] = {}
+
+    def put(self, entry_id: int, result: ResultTable) -> None:
+        self._results[entry_id] = result
+
+    def get(self, entry_id: int) -> ResultTable:
+        try:
+            return self._results[entry_id]
+        except KeyError:
+            raise ResultStoreError(
+                f"no stored result for entry {entry_id}"
+            ) from None
+
+    def remove(self, entry_id: int) -> None:
+        self._results.pop(entry_id, None)
+
+
+class FileResultStore:
+    """One XML result file per cache entry, re-parsed on access."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ResultStoreError(
+                f"cannot create result directory {self.directory}: {exc}"
+            ) from None
+
+    def _path(self, entry_id: int) -> Path:
+        return self.directory / f"entry-{entry_id}.xml"
+
+    def put(self, entry_id: int, result: ResultTable) -> None:
+        self._path(entry_id).write_text(result.to_xml(), encoding="utf-8")
+
+    def get(self, entry_id: int) -> ResultTable:
+        path = self._path(entry_id)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise ResultStoreError(
+                f"no stored result file for entry {entry_id}"
+            ) from None
+        return ResultTable.from_xml(text)
+
+    def remove(self, entry_id: int) -> None:
+        self._path(entry_id).unlink(missing_ok=True)

@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's evaluated configuration.
+
+The paper's Section 3.1 notes that a function's region "can be a
+hypercube (most common), a hypersphere, or even a polytope (more
+complex)" but evaluates only the first two.  This package carries the
+polytope path end to end: a triangular sky-search function, its
+polytope function template, and a query template — demonstrating that
+the framework's region machinery is not specialized to the two easy
+shapes.
+"""
+
+from repro.extensions.adaptive import AdaptiveProxy, AdaptiveState
+from repro.extensions.triangle import (
+    TRIANGLE_TEMPLATE_ID,
+    register_triangle_search,
+    triangle_function_template,
+    triangle_query_template,
+)
+
+__all__ = [
+    "AdaptiveProxy",
+    "AdaptiveState",
+    "TRIANGLE_TEMPLATE_ID",
+    "register_triangle_search",
+    "triangle_function_template",
+    "triangle_query_template",
+]

@@ -1,0 +1,43 @@
+"""Region measures (volumes).
+
+Volumes are not needed for correctness of the caching schemes, but the
+harness uses them for workload diagnostics (e.g. expected overlap mass)
+and the tests use them to sanity-check the generators.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.regions import (
+    ConvexPolytope,
+    GeometryError,
+    HyperRect,
+    HyperSphere,
+    Region,
+)
+
+
+def unit_ball_volume(dims: int) -> float:
+    """Volume of the unit ball in ``dims`` dimensions.
+
+    Uses the closed form ``pi^(n/2) / Gamma(n/2 + 1)``.
+    """
+    if dims < 1:
+        raise GeometryError(f"dimension must be positive, got {dims}")
+    return math.pi ** (dims / 2.0) / math.gamma(dims / 2.0 + 1.0)
+
+
+def region_volume(region: Region) -> float:
+    """Exact volume for rects and spheres; bounding-box upper bound for
+    polytopes (documented, and sufficient for diagnostics)."""
+    if isinstance(region, HyperRect):
+        volume = 1.0
+        for length in region.side_lengths():
+            volume *= max(length, 0.0)
+        return volume
+    if isinstance(region, HyperSphere):
+        return unit_ball_volume(region.dims) * region.radius**region.dims
+    if isinstance(region, ConvexPolytope):
+        return region_volume(region.bounding_box())
+    raise GeometryError(f"no volume rule for {type(region).__name__}")

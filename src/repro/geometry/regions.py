@@ -1,0 +1,371 @@
+"""Region shapes used to abstract table-valued functions.
+
+A *region* is a subset of N-dimensional Euclidean space.  The paper's
+function templates (Figure 3) declare the shape of the region a
+table-valued function selects: a hypersphere for radial searches such as
+``fGetNearbyObjEq``, a hyperrectangle for rectangular searches such as
+``fGetObjFromRect``, or in the general case a convex polytope.
+
+All shapes support:
+
+* ``contains_point(point)`` — membership test for a result tuple's
+  coordinate point (used when evaluating a subsumed query locally);
+* ``bounding_box()`` — the minimum enclosing :class:`HyperRect`, used by
+  the R-tree cache description;
+* structural equality via ``==`` with a numeric tolerance.
+
+Pairwise relations (equal / contains / overlaps / disjoint) live in
+:mod:`repro.geometry.relations`.
+
+Numeric tolerance
+-----------------
+Coordinates originate from user form inputs, so values are short decimals
+and an absolute tolerance of ``EPSILON`` (1e-9) is ample.  Containment
+checks used for cache answering are written so that a *false negative*
+(reporting "overlap" where the truth is "contained") is always safe: the
+proxy then merely forwards a query it could have answered locally.
+False positives are never produced for the exact shape pairs implemented
+here; the one documented conservative case is noted on
+:func:`repro.geometry.relations.relate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+EPSILON = 1e-9
+
+Point = Sequence[float]
+
+
+class GeometryError(ValueError):
+    """Raised for malformed shapes or dimension mismatches."""
+
+
+def _check_dims(a: "Region", b: "Region") -> None:
+    if a.dims != b.dims:
+        raise GeometryError(
+            f"dimension mismatch: {a.dims}-d region vs {b.dims}-d region"
+        )
+
+
+def _close(x: float, y: float) -> bool:
+    return abs(x - y) <= EPSILON
+
+
+class Region:
+    """Abstract base for all region shapes.
+
+    Subclasses must be immutable; the cache description stores regions as
+    dictionary keys and shares them between the cache manager and the
+    query processor.
+    """
+
+    dims: int
+
+    def contains_point(self, point: Point) -> bool:
+        raise NotImplementedError
+
+    def bounding_box(self) -> "HyperRect":
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        """True when the region contains no point at all."""
+        raise NotImplementedError
+
+    # Convenience wrappers over the relations module -------------------
+    def contains_region(self, other: "Region") -> bool:
+        from repro.geometry.relations import RegionRelation, relate
+
+        rel = relate(self, other)
+        return rel in (RegionRelation.EQUAL, RegionRelation.CONTAINS)
+
+    def overlaps(self, other: "Region") -> bool:
+        from repro.geometry.relations import RegionRelation, relate
+
+        return relate(self, other) is not RegionRelation.DISJOINT
+
+
+@dataclass(frozen=True)
+class HyperRect(Region):
+    """An axis-aligned hyperrectangle ``[low_i, high_i]`` per dimension.
+
+    This is the shape of rectangular search functions such as the
+    SkyServer's ``fGetObjFromRect(min_ra, max_ra, min_dec, max_dec)``.
+    Bounds are inclusive on both ends, matching SQL ``BETWEEN``
+    semantics used by such functions.
+    """
+
+    lows: tuple[float, ...]
+    highs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise GeometryError("lows and highs must have the same length")
+        if not self.lows:
+            raise GeometryError("a hyperrectangle needs at least one dimension")
+        object.__setattr__(self, "lows", tuple(float(x) for x in self.lows))
+        object.__setattr__(self, "highs", tuple(float(x) for x in self.highs))
+
+    @property
+    def dims(self) -> int:  # type: ignore[override]
+        return len(self.lows)
+
+    def is_empty(self) -> bool:
+        return any(lo > hi + EPSILON for lo, hi in zip(self.lows, self.highs))
+
+    def contains_point(self, point: Point) -> bool:
+        if len(point) != self.dims:
+            raise GeometryError(
+                f"point has {len(point)} coordinates, region has {self.dims}"
+            )
+        return all(
+            lo - EPSILON <= x <= hi + EPSILON
+            for x, lo, hi in zip(point, self.lows, self.highs)
+        )
+
+    def bounding_box(self) -> "HyperRect":
+        return self
+
+    def corners(self) -> Iterable[tuple[float, ...]]:
+        """Yield all 2^dims corner points.
+
+        Used for exact rect-inside-sphere and rect-inside-polytope checks;
+        the paper's regions are 2-d or 3-d so the corner count is small.
+        """
+        for choice in itertools.product(*zip(self.lows, self.highs)):
+            yield choice
+
+    def side_lengths(self) -> tuple[float, ...]:
+        return tuple(hi - lo for lo, hi in zip(self.lows, self.highs))
+
+    def intersect(self, other: "HyperRect") -> "HyperRect | None":
+        """The intersection box, or None when the boxes are disjoint."""
+        _check_dims(self, other)
+        lows = tuple(max(a, b) for a, b in zip(self.lows, other.lows))
+        highs = tuple(min(a, b) for a, b in zip(self.highs, other.highs))
+        if any(lo > hi + EPSILON for lo, hi in zip(lows, highs)):
+            return None
+        return HyperRect(lows, highs)
+
+    def union_box(self, other: "HyperRect") -> "HyperRect":
+        """The minimum box enclosing both; the R-tree's node expansion."""
+        _check_dims(self, other)
+        return HyperRect(
+            tuple(min(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(max(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    @staticmethod
+    def from_center(center: Point, half_widths: Point) -> "HyperRect":
+        if len(center) != len(half_widths):
+            raise GeometryError("center and half_widths must agree in length")
+        return HyperRect(
+            tuple(c - h for c, h in zip(center, half_widths)),
+            tuple(c + h for c, h in zip(center, half_widths)),
+        )
+
+
+@dataclass(frozen=True)
+class HyperSphere(Region):
+    """A closed ball: all points within ``radius`` of ``center``.
+
+    This is the shape declared by the paper's example function template
+    for ``fGetNearbyObjEq(ra, dec, radius)`` (Figure 3): a 3-d
+    hypersphere around the unit vector of the search center.
+    """
+
+    center: tuple[float, ...]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not self.center:
+            raise GeometryError("a hypersphere needs at least one dimension")
+        if self.radius < 0:
+            raise GeometryError(f"negative radius: {self.radius}")
+        object.__setattr__(self, "center", tuple(float(x) for x in self.center))
+        object.__setattr__(self, "radius", float(self.radius))
+
+    @property
+    def dims(self) -> int:  # type: ignore[override]
+        return len(self.center)
+
+    def is_empty(self) -> bool:
+        return False  # a zero-radius sphere still contains its center
+
+    def contains_point(self, point: Point) -> bool:
+        if len(point) != self.dims:
+            raise GeometryError(
+                f"point has {len(point)} coordinates, region has {self.dims}"
+            )
+        dist2 = sum((x - c) ** 2 for x, c in zip(point, self.center))
+        return dist2 <= (self.radius + EPSILON) ** 2
+
+    def bounding_box(self) -> HyperRect:
+        return HyperRect.from_center(self.center, (self.radius,) * self.dims)
+
+    def center_distance(self, other: "HyperSphere") -> float:
+        _check_dims(self, other)
+        return math.dist(self.center, other.center)
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The halfspace ``normal . x <= offset``.
+
+    Building block of :class:`ConvexPolytope`.  Normals need not be unit
+    length; :meth:`normalized` rescales so that signed distances can be
+    compared against sphere radii.
+    """
+
+    normal: tuple[float, ...]
+    offset: float
+
+    def __post_init__(self) -> None:
+        if not self.normal:
+            raise GeometryError("a halfspace needs at least one dimension")
+        if all(_close(n, 0.0) for n in self.normal):
+            raise GeometryError("halfspace normal must be non-zero")
+        object.__setattr__(self, "normal", tuple(float(x) for x in self.normal))
+        object.__setattr__(self, "offset", float(self.offset))
+
+    @property
+    def dims(self) -> int:
+        return len(self.normal)
+
+    def normalized(self) -> "Halfspace":
+        norm = math.sqrt(sum(n * n for n in self.normal))
+        return Halfspace(tuple(n / norm for n in self.normal), self.offset / norm)
+
+    def contains_point(self, point: Point) -> bool:
+        value = sum(n * x for n, x in zip(self.normal, point))
+        return value <= self.offset + EPSILON
+
+
+@dataclass(frozen=True)
+class ConvexPolytope(Region):
+    """An intersection of halfspaces (an H-polytope).
+
+    The paper notes (Section 3.1, property 2) that a region "can be a
+    hypercube (most common), a hypersphere, or even a polytope (more
+    complex)".  We represent polytopes in halfspace form because the
+    function templates that need them (e.g. great-circle band searches)
+    naturally produce linear constraints, and halfspace form gives exact
+    contains-point, polytope-contains-rect, and polytope-contains-sphere
+    checks without a vertex enumeration.
+
+    ``bbox`` must be supplied by the template that constructs the
+    polytope: computing a tight bounding box of an H-polytope requires
+    linear programming, which is out of proportion for the proxy.  Any
+    enclosing box is valid; a looser box only makes the R-tree filter
+    less selective, never incorrect.
+    """
+
+    halfspaces: tuple[Halfspace, ...]
+    bbox: HyperRect
+
+    def __post_init__(self) -> None:
+        if not self.halfspaces:
+            raise GeometryError("a polytope needs at least one halfspace")
+        dims = {h.dims for h in self.halfspaces}
+        if len(dims) != 1:
+            raise GeometryError("halfspaces disagree on dimensionality")
+        if self.bbox.dims != dims.pop():
+            raise GeometryError("bounding box dimensionality mismatch")
+        object.__setattr__(self, "halfspaces", tuple(self.halfspaces))
+
+    @property
+    def dims(self) -> int:  # type: ignore[override]
+        return self.bbox.dims
+
+    def is_empty(self) -> bool:
+        # Emptiness of an H-polytope requires an LP feasibility test; the
+        # proxy treats a polytope as potentially non-empty, which is the
+        # safe direction (it may cache an empty result, never drop tuples).
+        return False
+
+    def contains_point(self, point: Point) -> bool:
+        if len(point) != self.dims:
+            raise GeometryError(
+                f"point has {len(point)} coordinates, region has {self.dims}"
+            )
+        return all(h.contains_point(point) for h in self.halfspaces)
+
+    def bounding_box(self) -> HyperRect:
+        return self.bbox
+
+
+@dataclass(frozen=True)
+class DifferenceRegion(Region):
+    """``base`` minus the union of ``holes``.
+
+    This is the region of a *remainder query* (Dar et al.'s semantic
+    caching): the part of a new query's region not covered by the cache.
+    It is never stored in the cache description; it exists to (a) test
+    membership when merging probe and remainder results and (b) render
+    the remainder predicate via the template layer.
+    """
+
+    base: Region
+    holes: tuple[Region, ...]
+
+    def __post_init__(self) -> None:
+        for hole in self.holes:
+            _check_dims(self.base, hole)
+        object.__setattr__(self, "holes", tuple(self.holes))
+
+    @property
+    def dims(self) -> int:  # type: ignore[override]
+        return self.base.dims
+
+    def is_empty(self) -> bool:
+        # Exact emptiness would need region subtraction; the caller
+        # detects full coverage through relation checks instead.
+        return self.base.is_empty()
+
+    def contains_point(self, point: Point) -> bool:
+        if not self.base.contains_point(point):
+            return False
+        return not any(hole.contains_point(point) for hole in self.holes)
+
+    def bounding_box(self) -> HyperRect:
+        return self.base.bounding_box()
+
+
+@dataclass(frozen=True)
+class UnionRegion(Region):
+    """A union of regions.
+
+    Used when the proxy assembles the *cached portion* of an overlapping
+    query from several cache entries (the region-containment case of
+    Section 3.2 merges all subsumed entries with the remainder result).
+    """
+
+    parts: tuple[Region, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise GeometryError("a union needs at least one part")
+        first = self.parts[0]
+        for part in self.parts[1:]:
+            _check_dims(first, part)
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    @property
+    def dims(self) -> int:  # type: ignore[override]
+        return self.parts[0].dims
+
+    def is_empty(self) -> bool:
+        return all(part.is_empty() for part in self.parts)
+
+    def contains_point(self, point: Point) -> bool:
+        return any(part.contains_point(point) for part in self.parts)
+
+    def bounding_box(self) -> HyperRect:
+        box = self.parts[0].bounding_box()
+        for part in self.parts[1:]:
+            box = box.union_box(part.bounding_box())
+        return box

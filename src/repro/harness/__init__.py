@@ -1,0 +1,24 @@
+"""The experiment harness: regenerates every table and figure.
+
+One module per experiment, mirroring DESIGN.md's per-experiment index:
+
+* :mod:`repro.harness.trace_stats` — the Section 4.1 workload profile;
+* :mod:`repro.harness.table1` — Table 1, cache efficiency of AC vs PC
+  across cache sizes;
+* :mod:`repro.harness.fig5` — Figure 5, response time of NC / PC /
+  ACR / ACNR across cache sizes;
+* :mod:`repro.harness.fig6` — Figure 6, response time of the three
+  active schemes;
+* :mod:`repro.harness.ablations` — the checking-time claim (< 100 ms,
+  array vs R-tree) and the remainder-query tradeoff discussion.
+
+Every experiment takes an :class:`~repro.harness.config.ExperimentScale`
+so the same code runs at paper scale (11,323 queries) or at the smaller
+default scale used by the benchmark suite.
+"""
+
+from repro.harness.config import ExperimentScale
+from repro.harness.runner import ExperimentRunner, RunResult
+from repro.harness.render import render_table
+
+__all__ = ["ExperimentRunner", "ExperimentScale", "RunResult", "render_table"]

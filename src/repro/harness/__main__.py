@@ -1,0 +1,64 @@
+"""Run every reproduction experiment and print the tables.
+
+Usage::
+
+    python -m repro.harness [quick|default|paper]
+
+Regenerates, in order: the Section 4.1 trace profile, Table 1,
+Figure 5, Figure 6, and the two ablations.  The same code backs the
+``benchmarks/`` suite; this entry point is for eyeballing a full run
+without pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness.ablations import (
+    run_description_ablation,
+    run_remainder_ablation,
+)
+from repro.harness.config import ExperimentScale
+from repro.harness.fig5 import run_fig5
+from repro.harness.fig6 import run_fig6
+from repro.harness.runner import ExperimentRunner
+from repro.harness.table1 import run_table1
+from repro.harness.trace_stats import run_trace_stats
+
+
+def main(argv: list[str]) -> int:
+    name = argv[0] if argv else "default"
+    factory = {
+        "quick": ExperimentScale.quick,
+        "default": ExperimentScale.default,
+        "paper": ExperimentScale.paper,
+    }.get(name)
+    if factory is None:
+        print(f"unknown scale {name!r}; use quick, default, or paper")
+        return 2
+    scale = factory()
+    print(f"Scale: {scale.name} ({scale.trace.n_queries} queries, "
+          f"{scale.sky.n_objects} objects, measuring first "
+          f"{scale.measure_queries})")
+    runner = ExperimentRunner(scale)
+
+    experiments = [
+        ("trace profile", lambda: run_trace_stats(runner)),
+        ("Table 1", lambda: run_table1(runner)),
+        ("Figure 5", lambda: run_fig5(runner)),
+        ("Figure 6", lambda: run_fig6(runner)),
+        ("description ablation", lambda: run_description_ablation(runner)),
+        ("remainder ablation", lambda: run_remainder_ablation(scale)),
+    ]
+    for label, run in experiments:
+        start = time.time()
+        result = run()
+        print()
+        print(result.render())
+        print(f"[{label}: {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,77 @@
+"""Figure 6: the three active caching schemes compared.
+
+Paper values (unlimited cache, array description)::
+
+    First  (full semantic caching)          1236 ms   efficiency 0.593
+    Second (containment + region containment) 1044 ms efficiency 0.544
+    Third  (pure containment)               1081 ms   efficiency 0.511
+
+Shape to reproduce: the *full* scheme has the best cache efficiency but
+the *worst* response time — handling cache-intersecting queries costs
+more (probe + a pricier remainder query + merge) than it saves, which
+is the paper's headline finding.  The Second scheme edges out the Third
+because region-containment consolidation keeps the cache tighter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schemes import CachingScheme
+from repro.harness.config import ExperimentScale
+from repro.harness.render import render_table
+from repro.harness.runner import ExperimentRunner
+
+PAPER_RESPONSE_MS = {"First": 1236.0, "Second": 1044.0, "Third": 1081.0}
+PAPER_EFFICIENCY = {"First": 0.593, "Second": 0.544, "Third": 0.511}
+
+SCHEMES = (
+    ("First", CachingScheme.FULL_SEMANTIC),
+    ("Second", CachingScheme.REGION_CONTAINMENT),
+    ("Third", CachingScheme.CONTAINMENT_ONLY),
+)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    response_ms: dict[str, float]
+    efficiency: dict[str, float]
+
+    def render(self) -> str:
+        headers = [
+            "Scheme",
+            "resp ms",
+            "paper ms",
+            "efficiency",
+            "paper eff",
+        ]
+        rows = [
+            [
+                label,
+                self.response_ms[label],
+                PAPER_RESPONSE_MS[label],
+                self.efficiency[label],
+                PAPER_EFFICIENCY[label],
+            ]
+            for label, _scheme in SCHEMES
+        ]
+        return render_table(
+            "Figure 6: average response time of active caching schemes "
+            "(unlimited cache, array description)",
+            headers,
+            rows,
+        )
+
+
+def run_fig6(
+    runner: ExperimentRunner | None = None,
+    scale: ExperimentScale | None = None,
+) -> Fig6Result:
+    runner = runner or ExperimentRunner(scale or ExperimentScale.default())
+    response_ms: dict[str, float] = {}
+    efficiency: dict[str, float] = {}
+    for label, scheme in SCHEMES:
+        result = runner.run(scheme, "array", cache_fraction=None)
+        response_ms[label] = result.stats.average_response_ms
+        efficiency[label] = result.stats.average_cache_efficiency
+    return Fig6Result(response_ms=response_ms, efficiency=efficiency)

@@ -1,0 +1,38 @@
+"""Plain-text rendering of experiment tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width text table, the harness's output format.
+
+    Numbers are formatted compactly (three decimals for floats under
+    ten, otherwise no decimals — efficiencies vs milliseconds).
+    """
+    formatted = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    columns = [list(column) for column in zip(headers, *formatted)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = [title, ""]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) < 10:
+            return f"{cell:.3f}"
+        return f"{cell:.0f}"
+    return str(cell)

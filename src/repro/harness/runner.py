@@ -1,0 +1,124 @@
+"""Shared experiment machinery: build once, run many configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.description import ArrayDescription, RTreeDescription
+from repro.core.proxy import FunctionProxy
+from repro.core.schemes import CachingScheme
+from repro.core.stats import TraceStats
+from repro.harness.config import ExperimentScale
+from repro.server.origin import OriginServer
+from repro.workload.generator import generate_radial_trace
+from repro.workload.rbe import BrowserEmulator
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One proxy configuration's measurements."""
+
+    scheme: CachingScheme
+    description_kind: str  # "array" or "rtree"
+    cache_fraction: float | None  # None = unlimited
+    stats: TraceStats
+    final_cache_bytes: int
+    final_cache_entries: int
+
+
+class ExperimentRunner:
+    """Builds the testbed for a scale and replays configurations.
+
+    The origin server and the trace are built once and reused across
+    configurations (the origin is stateless with respect to the proxy;
+    its query counters are diagnostics only).  The *total result size*
+    that anchors the cache-size axis is measured the way the paper
+    implies: the bytes a passive cache of unlimited size holds after
+    the whole measured trace — i.e. one stored result file per distinct
+    query.
+    """
+
+    def __init__(self, scale: ExperimentScale) -> None:
+        self.scale = scale
+        self._origin: OriginServer | None = None
+        self._trace: Trace | None = None
+        self._total_result_bytes: int | None = None
+
+    # --------------------------------------------------------- building
+    @property
+    def origin(self) -> OriginServer:
+        if self._origin is None:
+            self._origin = OriginServer.skyserver(
+                self.scale.sky, self.scale.server_costs
+            )
+        return self._origin
+
+    @property
+    def trace(self) -> Trace:
+        if self._trace is None:
+            self._trace = generate_radial_trace(self.scale.trace)
+        return self._trace
+
+    @property
+    def total_result_bytes(self) -> int:
+        """The cache-size axis anchor ("total result size of the trace")."""
+        if self._total_result_bytes is None:
+            probe = self.run(
+                CachingScheme.PASSIVE, "array", cache_fraction=None
+            )
+            self._total_result_bytes = probe.final_cache_bytes
+        return self._total_result_bytes
+
+    def cache_bytes_for(self, fraction: float | None) -> int | None:
+        if fraction is None:
+            return None
+        return int(self.total_result_bytes * fraction)
+
+    # ---------------------------------------------------------- running
+    def build_proxy(
+        self,
+        scheme: CachingScheme,
+        description_kind: str = "array",
+        cache_fraction: float | None = None,
+    ) -> FunctionProxy:
+        costs = self.scale.proxy_costs
+        if description_kind == "array":
+            description = ArrayDescription(costs)
+        elif description_kind == "rtree":
+            description = RTreeDescription(costs)
+        else:
+            raise ValueError(
+                f"unknown description kind {description_kind!r}; "
+                "use 'array' or 'rtree'"
+            )
+        return FunctionProxy(
+            origin=self.origin,
+            templates=self.origin.templates,
+            scheme=scheme,
+            description=description,
+            cache_bytes=self.cache_bytes_for(cache_fraction),
+            costs=costs,
+            topology=self.scale.topology,
+        )
+
+    def run(
+        self,
+        scheme: CachingScheme,
+        description_kind: str = "array",
+        cache_fraction: float | None = None,
+        measure_queries: int | None = None,
+    ) -> RunResult:
+        """Replay the trace under one configuration."""
+        proxy = self.build_proxy(scheme, description_kind, cache_fraction)
+        emulator = BrowserEmulator(proxy)
+        limit = measure_queries or self.scale.measure_queries
+        stats = emulator.run(self.trace, limit=limit)
+        return RunResult(
+            scheme=scheme,
+            description_kind=description_kind,
+            cache_fraction=cache_fraction,
+            stats=stats,
+            final_cache_bytes=proxy.cache.current_bytes,
+            final_cache_entries=len(proxy.cache),
+        )

@@ -1,0 +1,57 @@
+"""Section 4.1's workload profile, measured on the synthetic trace.
+
+The paper: "The query trace for the Radial search form has a total of
+11,323 queries.  With an unlimited cache size, nearly 51% (17% query
+exact match and 34% query containment) of the Radial search form
+queries can be completely answered by the cache.  Additionally, about
+9% of the queries overlap."
+
+Our generator is calibrated against the quantities that drive Table 1
+and Figure 5 — see EXPERIMENTS.md for how the 17/34 split relates to
+occurrence- vs distinct-query counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.config import ExperimentScale
+from repro.harness.render import render_table
+from repro.harness.runner import ExperimentRunner
+from repro.workload.analyzer import TraceProfile, analyze_trace
+
+
+@dataclass(frozen=True)
+class TraceStatsResult:
+    profile: TraceProfile
+    distinct_queries: int
+
+    def render(self) -> str:
+        profile = self.profile
+        headers = ["Quantity", "Measured", "Paper"]
+        rows = [
+            ["Queries", profile.n_queries, 11_323],
+            ["Distinct queries", self.distinct_queries, "(not stated)"],
+            ["Fully answerable", profile.fully_answerable, 0.51],
+            ["... exact match", profile.exact, "0.17 (see notes)"],
+            ["... containment", profile.contained, "0.34 (see notes)"],
+            ["Overlapping", profile.overlap, 0.09],
+            ["Disjoint", profile.disjoint, "(remainder)"],
+        ]
+        return render_table(
+            "Section 4.1 trace profile (unlimited-cache dispositions)",
+            headers,
+            rows,
+        )
+
+
+def run_trace_stats(
+    runner: ExperimentRunner | None = None,
+    scale: ExperimentScale | None = None,
+) -> TraceStatsResult:
+    runner = runner or ExperimentRunner(scale or ExperimentScale.default())
+    trace = runner.trace
+    profile = analyze_trace(trace, runner.origin.templates)
+    return TraceStatsResult(
+        profile=profile, distinct_queries=trace.distinct_count()
+    )

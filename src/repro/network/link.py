@@ -1,0 +1,62 @@
+"""Network links: latency + bandwidth delay models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A one-way network path with fixed latency and bandwidth.
+
+    ``transfer_ms(n)`` is the classic first-byte + serialization model:
+    ``latency + n / bandwidth``.  Defaults are per-direction; a request/
+    response exchange charges the link twice.
+    """
+
+    latency_ms: float
+    bandwidth_bytes_per_ms: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError(f"negative latency: {self.latency_ms}")
+        if self.bandwidth_bytes_per_ms <= 0:
+            raise ValueError(
+                f"bandwidth must be positive: {self.bandwidth_bytes_per_ms}"
+            )
+
+    def transfer_ms(self, n_bytes: int) -> float:
+        if n_bytes < 0:
+            raise ValueError(f"negative payload size: {n_bytes}")
+        return self.latency_ms + n_bytes / self.bandwidth_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The experiment's two-hop network: browser -- proxy -- origin.
+
+    Defaults approximate the paper's setting: the proxy sits near the
+    clients (campus LAN) while the origin web site is across a WAN
+    (Hong Kong to the SkyServer).  Request messages are small and fixed
+    size; responses carry the serialized result table.
+    """
+
+    client_proxy: NetworkLink = NetworkLink(
+        latency_ms=5.0, bandwidth_bytes_per_ms=1000.0
+    )
+    proxy_origin: NetworkLink = NetworkLink(
+        latency_ms=150.0, bandwidth_bytes_per_ms=250.0
+    )
+    request_bytes: int = 600
+
+    def origin_round_trip_ms(self, response_bytes: int) -> float:
+        """Proxy -> origin request plus origin -> proxy response."""
+        return self.proxy_origin.transfer_ms(
+            self.request_bytes
+        ) + self.proxy_origin.transfer_ms(response_bytes)
+
+    def client_round_trip_ms(self, response_bytes: int) -> float:
+        """Browser -> proxy request plus proxy -> browser response."""
+        return self.client_proxy.transfer_ms(
+            self.request_bytes
+        ) + self.client_proxy.transfer_ms(response_bytes)

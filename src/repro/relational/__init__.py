@@ -1,0 +1,41 @@
+"""A small in-memory relational engine.
+
+This is the substrate standing in for the SkyServer's commercial DBMS.
+It provides typed schemas, in-memory tables with optional primary-key
+indexes, an expression tree shared with the SQL parser, and an executor
+covering the operations the paper's function-embedded query class needs:
+table scans, table-valued function scans, joins, filters, projections,
+ORDER BY, and TOP-N.
+
+The engine favours explicitness over speed — queries over the synthetic
+sky catalog (hundreds of thousands of rows) complete in milliseconds,
+and origin-server *cost* in experiments is charged by the cost model in
+:mod:`repro.server.costs`, not by wall-clock time here.
+"""
+
+from repro.relational.errors import (
+    CatalogError,
+    ExecutionError,
+    RelationalError,
+    SchemaError,
+)
+from repro.relational.types import ColumnType
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.result import ResultTable
+from repro.relational.catalog import Catalog
+from repro.relational import expressions
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnType",
+    "ExecutionError",
+    "RelationalError",
+    "ResultTable",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "expressions",
+]

@@ -1,0 +1,48 @@
+"""The catalog: named tables plus the function registry."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relational.errors import CatalogError
+from repro.relational.table import Table
+
+
+class Catalog:
+    """Name resolution for base tables and user-defined functions.
+
+    The function registry is attached rather than owned so that the same
+    registry object (with the SkyServer function library) can back
+    several catalogs in tests.
+    """
+
+    def __init__(self, functions=None) -> None:
+        self._tables: dict[str, Table] = {}
+        # Import here to avoid a package cycle: udf depends on relational
+        # result types.
+        if functions is None:
+            from repro.udf.registry import FunctionRegistry
+
+            functions = FunctionRegistry()
+        self.functions = functions
+
+    def add_table(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; known: "
+                f"{', '.join(sorted(self._tables)) or '(none)'}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())

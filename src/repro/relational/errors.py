@@ -1,0 +1,22 @@
+"""Exception hierarchy for the relational engine.
+
+A single root (:class:`RelationalError`) lets callers that treat the
+engine as a black box — the origin server returns an HTTP 400 for any of
+these — catch one type, while tests can assert on the precise subclass.
+"""
+
+
+class RelationalError(Exception):
+    """Root of all engine errors."""
+
+
+class SchemaError(RelationalError):
+    """Schema definition or row/schema mismatch problems."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table/function names."""
+
+
+class ExecutionError(RelationalError):
+    """Runtime errors while evaluating expressions or plans."""

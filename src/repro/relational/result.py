@@ -1,0 +1,195 @@
+"""Query result tables: the unit of caching and of network transfer.
+
+The paper's proxy stores query results as XML files on disk and ships
+them over HTTP.  :class:`ResultTable` is that artifact: an ordered,
+column-named row set that knows its own serialized size (the byte budget
+the cache manager enforces, and the payload size the simulated network
+charges for), can serialize to/from the XML wire format used by the
+Flask deployment, and supports the merge/deduplicate operation the proxy
+performs when combining a probe result with a remainder result.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.relational.errors import ExecutionError, SchemaError
+from repro.relational.schema import Schema
+from repro.relational.types import ColumnType
+
+# Serialization overhead constants used by the byte-size estimate.  They
+# approximate the per-row and per-cell tag cost of the XML wire format so
+# that size accounting stays proportional to the real payload without
+# materializing the XML string for every query.
+_ROW_OVERHEAD_BYTES = 16
+_CELL_OVERHEAD_BYTES = 8
+_HEADER_OVERHEAD_BYTES = 128
+
+
+class ResultTable:
+    """An immutable-by-convention result set with size accounting."""
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]]) -> None:
+        self.schema = schema
+        self._rows: list[tuple[Any, ...]] = [tuple(row) for row in rows]
+        self._byte_size: int | None = None
+
+    # ------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultTable):
+            return NotImplemented
+        return (
+            self.schema.names == other.schema.names
+            and self._rows == other._rows
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultTable {len(self._rows)} rows x "
+            f"{len(self.schema)} cols>"
+        )
+
+    @property
+    def rows(self) -> Sequence[tuple[Any, ...]]:
+        return self._rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.schema.names
+
+    def column_values(self, name: str) -> list[Any]:
+        position = self.schema.position(name)
+        return [row[position] for row in self._rows]
+
+    def row_dicts(self) -> Iterator[dict[str, Any]]:
+        names = self.schema.names
+        for row in self._rows:
+            yield dict(zip(names, row))
+
+    # ------------------------------------------------------------- sizes
+    def byte_size(self) -> int:
+        """Approximate serialized (XML) size in bytes; cached."""
+        if self._byte_size is None:
+            total = _HEADER_OVERHEAD_BYTES
+            types = [column.type for column in self.schema.columns]
+            for row in self._rows:
+                total += _ROW_OVERHEAD_BYTES
+                for ctype, value in zip(types, row):
+                    total += _CELL_OVERHEAD_BYTES + ctype.byte_size(value)
+            self._byte_size = total
+        return self._byte_size
+
+    # -------------------------------------------------------- operations
+    def filtered(self, keep: Callable[[tuple[Any, ...]], bool]) -> "ResultTable":
+        """A new result containing only rows where ``keep(row)`` is True."""
+        return ResultTable(self.schema, [r for r in self._rows if keep(r)])
+
+    def top_n(self, limit: int) -> "ResultTable":
+        if limit < 0:
+            raise ExecutionError(f"negative TOP limit: {limit}")
+        return ResultTable(self.schema, self._rows[:limit])
+
+    def sorted_by(
+        self, names: Sequence[str], descending: Sequence[bool] | None = None
+    ) -> "ResultTable":
+        """Stable multi-key sort (NULLs last, per SQL Server default)."""
+        if descending is None:
+            descending = [False] * len(names)
+        rows = list(self._rows)
+        # Apply keys right-to-left so the leftmost key dominates
+        # (relies on sort stability).
+        for name, desc in reversed(list(zip(names, descending))):
+            position = self.schema.position(name)
+            rows.sort(
+                key=lambda row: (row[position] is None, row[position]),
+                reverse=desc,
+            )
+        return ResultTable(self.schema, rows)
+
+    def merge_dedup(self, other: "ResultTable", key: str) -> "ResultTable":
+        """Union with ``other``, deduplicating on ``key`` (first wins).
+
+        The proxy uses this to combine the probe result (tuples served
+        from the cache) with the remainder result from the origin, and to
+        merge several subsumed cache entries in the region-containment
+        case.  Column sets must match exactly.
+        """
+        if self.schema.names != other.schema.names:
+            raise SchemaError(
+                "cannot merge results with different columns: "
+                f"{self.schema.names} vs {other.schema.names}"
+            )
+        position = self.schema.position(key)
+        seen = {row[position] for row in self._rows}
+        merged = list(self._rows)
+        for row in other._rows:
+            if row[position] not in seen:
+                seen.add(row[position])
+                merged.append(row)
+        return ResultTable(self.schema, merged)
+
+    # ------------------------------------------------------- wire format
+    def to_xml(self) -> str:
+        """Serialize to the XML wire format used by the HTTP deployment."""
+        root = ET.Element("ResultTable")
+        columns = ET.SubElement(root, "Columns")
+        for column in self.schema.columns:
+            ET.SubElement(
+                columns, "Column", name=column.name, type=column.type.value
+            )
+        rows_el = ET.SubElement(root, "Rows")
+        for row in self._rows:
+            row_el = ET.SubElement(rows_el, "R")
+            for value in row:
+                cell = ET.SubElement(row_el, "C")
+                if value is None:
+                    cell.set("null", "1")
+                else:
+                    cell.text = str(value)
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(text: str) -> "ResultTable":
+        """Parse the wire format back into a result table."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ExecutionError(f"malformed result XML: {exc}") from None
+        from repro.relational.schema import Column
+
+        columns = []
+        for column_el in root.find("Columns") or []:
+            columns.append(
+                Column(
+                    column_el.get("name"),
+                    ColumnType(column_el.get("type")),
+                )
+            )
+        schema = Schema(tuple(columns))
+        parsers = {
+            ColumnType.INT: int,
+            ColumnType.FLOAT: float,
+            ColumnType.STR: str,
+            ColumnType.BOOL: lambda text: text == "True",
+        }
+        rows = []
+        for row_el in root.find("Rows") or []:
+            values = []
+            for column, cell in zip(schema.columns, row_el):
+                if cell.get("null") == "1":
+                    values.append(None)
+                else:
+                    values.append(parsers[column.type](cell.text or ""))
+            rows.append(values)
+        return ResultTable(schema, rows)
+
+    @staticmethod
+    def empty(schema: Schema) -> "ResultTable":
+        return ResultTable(schema, [])

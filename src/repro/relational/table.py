@@ -1,0 +1,72 @@
+"""In-memory base tables with optional primary-key index."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.relational.errors import SchemaError
+from repro.relational.schema import Schema
+
+
+class Table:
+    """A named base table: a schema plus a list of row tuples.
+
+    The optional primary key builds a hash index used by point lookups
+    and by the proxy's result merging (deduplication after a remainder
+    query).  Rows are immutable tuples; the table grows by ``insert`` /
+    ``insert_many`` only — the workloads in the paper are read-only, so
+    no delete/update path is needed (and none is pretended).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        primary_key: str | None = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.primary_key = primary_key
+        self._rows: list[tuple[Any, ...]] = []
+        self._pk_position: int | None = None
+        self._pk_index: dict[Any, int] | None = None
+        if primary_key is not None:
+            self._pk_position = schema.position(primary_key)
+            self._pk_index = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    @property
+    def rows(self) -> Sequence[tuple[Any, ...]]:
+        return self._rows
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Validate and append one row."""
+        row = self.schema.coerce_row(values)
+        if self._pk_index is not None:
+            key = row[self._pk_position]
+            if key is None:
+                raise SchemaError(
+                    f"NULL primary key in table {self.name!r}"
+                )
+            if key in self._pk_index:
+                raise SchemaError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for values in rows:
+            self.insert(values)
+
+    def lookup(self, key: Any) -> tuple[Any, ...] | None:
+        """Point lookup by primary key; None when absent."""
+        if self._pk_index is None:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        position = self._pk_index.get(key)
+        return None if position is None else self._rows[position]

@@ -1,0 +1,23 @@
+"""The origin web site: the database-backed server behind the proxy.
+
+This package stands in for the SkyServer: a web application executing
+function-embedded SQL over a DBMS with registered user-defined
+functions.  It exposes exactly the two facilities the paper's proxy
+needs from the original site:
+
+* **form/template execution** — a bound template query is executed and
+  its result returned;
+* **a free-form SQL facility** — arbitrary SELECTs of the supported
+  dialect, which the proxy uses to send *remainder queries* (the paper
+  used the SkyServer's public SQL search page for this).
+
+Execution cost is charged to the simulated clock through
+:class:`~repro.server.costs.ServerCostModel`; the real Python execution
+also happens (results are real), it just is not what the experiment
+times.
+"""
+
+from repro.server.costs import ServerCostModel
+from repro.server.origin import OriginResponse, OriginServer
+
+__all__ = ["OriginResponse", "OriginServer", "ServerCostModel"]

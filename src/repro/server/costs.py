@@ -1,0 +1,48 @@
+"""The origin server's execution cost model.
+
+Calibrated so that a typical Radial-form query (a spatial function call
+plus a PhotoPrimary join, a hundred-odd result tuples) costs on the
+order of 1.5 seconds of server time — the magnitude implied by the
+paper's no-cache average response time of just over two seconds once
+WAN transfer is added.
+
+The ``remainder_surcharge`` models the paper's observation (Section
+3.2) that "a remainder query is usually more complicated than the
+original query" and so may not reduce server processing time even
+though it returns fewer tuples: a remainder query pays the base cost
+plus the surcharge per excluded region (each NOT-region predicate
+defeats part of the spatial index and adds evaluation work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerCostModel:
+    """Simulated execution cost of the origin DBMS + web tier."""
+
+    base_ms: float = 1400.0
+    per_tuple_ms: float = 1.0
+    remainder_surcharge_ms: float = 250.0
+    per_hole_ms: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("base_ms", "per_tuple_ms", "remainder_surcharge_ms",
+                     "per_hole_ms"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def query_ms(self, n_result_tuples: int) -> float:
+        """Cost of a plain (template or forwarded) query."""
+        return self.base_ms + self.per_tuple_ms * n_result_tuples
+
+    def remainder_ms(self, n_result_tuples: int, n_holes: int) -> float:
+        """Cost of a remainder query with ``n_holes`` excluded regions."""
+        return (
+            self.base_ms
+            + self.remainder_surcharge_ms
+            + self.per_hole_ms * n_holes
+            + self.per_tuple_ms * n_result_tuples
+        )

@@ -1,0 +1,30 @@
+"""Synthetic Sloan-Digital-Sky-Survey-like catalog.
+
+The paper's experiments run against the SkyServer, which serves
+terabytes of SDSS photometry.  We cannot ship that data, so this package
+generates a synthetic ``PhotoPrimary`` catalog whose *spatial* behaviour
+matches what the caching study needs: a mixture of uniformly scattered
+objects and clustered hotspots, with magnitudes and flags for the
+"other predicates" of the query templates.
+
+The substitution is behaviour-preserving because every result the proxy
+caches is a function of object positions and the query region only; the
+astronomy behind the magnitudes is irrelevant to cache dynamics.
+"""
+
+from repro.skydata.sphere import (
+    angular_distance_arcmin,
+    arcmin_to_chord,
+    chord_to_arcmin,
+    radec_to_unit,
+)
+from repro.skydata.generator import SkyCatalogConfig, build_sky_catalog
+
+__all__ = [
+    "SkyCatalogConfig",
+    "angular_distance_arcmin",
+    "arcmin_to_chord",
+    "build_sky_catalog",
+    "chord_to_arcmin",
+    "radec_to_unit",
+]

@@ -1,0 +1,47 @@
+"""SQL parsing for function-embedded queries.
+
+The proxy, the origin server, and the template layer all need to read
+and write SQL text of the class the paper targets (Figure 2):
+
+.. code-block:: sql
+
+    SELECT TOP 100 p.objID, p.ra, p.dec, p.u, p.g, p.r
+    FROM fGetNearbyObjEq(182.5, 10.3, 15.0) n
+    JOIN PhotoPrimary p ON n.objID = p.objID
+    WHERE p.g < 20.5 AND p.type = 3
+    ORDER BY n.distance
+
+This package provides a tokenizer, a recursive-descent parser producing
+an AST that renders back to SQL (round-trip property-tested), and
+template placeholders (``$name``) for the parameterized query templates
+of Section 2.
+"""
+
+from repro.sqlparser.errors import ParseError
+from repro.sqlparser.tokens import Token, TokenType, tokenize
+from repro.sqlparser.ast import (
+    FunctionSource,
+    JoinClause,
+    OrderItem,
+    Parameter,
+    SelectItem,
+    SelectStatement,
+    TableSource,
+)
+from repro.sqlparser.parser import parse_expression, parse_select
+
+__all__ = [
+    "FunctionSource",
+    "JoinClause",
+    "OrderItem",
+    "Parameter",
+    "ParseError",
+    "SelectItem",
+    "SelectStatement",
+    "TableSource",
+    "Token",
+    "TokenType",
+    "parse_expression",
+    "parse_select",
+    "tokenize",
+]

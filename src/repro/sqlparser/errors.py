@@ -1,0 +1,15 @@
+"""Parser errors with position information."""
+
+
+class ParseError(ValueError):
+    """A tokenizer or parser failure.
+
+    Carries the character position so the origin server and proxy can
+    point at the offending spot when rejecting a malformed request.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position

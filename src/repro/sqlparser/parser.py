@@ -1,0 +1,388 @@
+"""Recursive-descent parser for the function-embedded SELECT dialect.
+
+Grammar (EBNF, keywords case-insensitive)::
+
+    select     = "SELECT" ["DISTINCT"] ["TOP" integer] select_list
+                 "FROM" from_source { join } ["WHERE" or_expr]
+                 ["GROUP" "BY" or_expr {"," or_expr}]
+                 ["ORDER" "BY" order_item {"," order_item}]
+    select_list= "*" | select_item {"," select_item}
+    select_item= or_expr ["AS"] [identifier]
+    from_source= identifier "(" [args] ")" [alias]      (function source)
+               | identifier [alias]                       (table source)
+    join       = ["INNER"] "JOIN" identifier [alias] "ON" or_expr
+    or_expr    = and_expr {"OR" and_expr}
+    and_expr   = not_expr {"AND" not_expr}
+    not_expr   = "NOT" not_expr | predicate
+    predicate  = additive [comparison | between | in | is-null]
+    additive   = term {("+"|"-") term}
+    term       = factor {("*"|"/") factor}
+    factor     = "-" factor | atom
+    atom       = number | string | "NULL" | parameter
+               | "COUNT" "(" "*" ")"
+               | identifier ["(" args ")"]   (function call / column ref)
+               | "(" or_expr ")"
+
+Operator precedence and associativity follow SQL.
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    BinaryOperator,
+    ColumnRef,
+    CountStar,
+    Expression,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+)
+from repro.sqlparser.ast import (
+    FunctionSource,
+    JoinClause,
+    OrderItem,
+    Parameter,
+    SelectItem,
+    SelectStatement,
+    TableSource,
+)
+from repro.sqlparser.errors import ParseError
+from repro.sqlparser.tokens import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {
+    "=": BinaryOperator.EQ,
+    "<>": BinaryOperator.NE,
+    "<": BinaryOperator.LT,
+    "<=": BinaryOperator.LE,
+    ">": BinaryOperator.GT,
+    ">=": BinaryOperator.GE,
+}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------- utilities
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self.fail(f"expected {word.upper()}")
+
+    def accept_punct(self, symbol: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == symbol:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> None:
+        if not self.accept_punct(symbol):
+            self.fail(f"expected {symbol!r}")
+
+    def fail(self, message: str) -> None:
+        token = self.current
+        shown = "end of input" if token.type is TokenType.END else repr(token.value)
+        raise ParseError(f"{message}, found {shown}", token.position)
+
+    # ------------------------------------------------------- statement
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        top = None
+        if self.accept_keyword("top"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or not isinstance(
+                token.value, int
+            ):
+                self.fail("expected an integer after TOP")
+            if token.value < 0:
+                self.fail("TOP count must be non-negative")
+            top = token.value
+            self.advance()
+
+        star = False
+        items: list[SelectItem] = []
+        if self.current.type is TokenType.OPERATOR and self.current.value == "*":
+            star = True
+            self.advance()
+        else:
+            items.append(self.parse_select_item())
+            while self.accept_punct(","):
+                items.append(self.parse_select_item())
+
+        self.expect_keyword("from")
+        source = self.parse_from_source()
+
+        joins: list[JoinClause] = []
+        while self.current.is_keyword("join") or self.current.is_keyword("inner"):
+            self.accept_keyword("inner")
+            self.expect_keyword("join")
+            table = self.parse_table_source()
+            self.expect_keyword("on")
+            condition = self.parse_or()
+            joins.append(JoinClause(table, condition))
+
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_or()
+
+        group_by: list[Expression] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_or())
+            while self.accept_punct(","):
+                group_by.append(self.parse_or())
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+
+        if self.current.type is not TokenType.END:
+            self.fail("unexpected trailing input")
+        return SelectStatement(
+            select_items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            order_by=tuple(order_by),
+            top=top,
+            star=star,
+            distinct=distinct,
+            group_by=tuple(group_by),
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_or()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier("alias")
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return SelectItem(expression, alias)
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_or()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expression, descending)
+
+    def expect_identifier(self, what: str) -> str:
+        token = self.current
+        if token.type is not TokenType.IDENTIFIER:
+            self.fail(f"expected {what}")
+        self.advance()
+        return token.value
+
+    def parse_from_source(self) -> TableSource | FunctionSource:
+        name = self.expect_identifier("table or function name")
+        if self.accept_punct("("):
+            args: list[Expression] = []
+            if not self.accept_punct(")"):
+                args.append(self.parse_or())
+                while self.accept_punct(","):
+                    args.append(self.parse_or())
+                self.expect_punct(")")
+            alias = self.parse_optional_alias()
+            return FunctionSource(name, tuple(args), alias)
+        return TableSource(name, self.parse_optional_alias())
+
+    def parse_table_source(self) -> TableSource:
+        name = self.expect_identifier("table name")
+        return TableSource(name, self.parse_optional_alias())
+
+    def parse_optional_alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            return self.expect_identifier("alias")
+        if self.current.type is TokenType.IDENTIFIER:
+            return self.advance().value
+        return None
+
+    # ----------------------------------------------------- expressions
+    def parse_or(self) -> Expression:
+        operands = [self.parse_and()]
+        while self.accept_keyword("or"):
+            operands.append(self.parse_and())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def parse_and(self) -> Expression:
+        operands = [self.parse_not()]
+        while self.accept_keyword("and"):
+            operands.append(self.parse_not())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("not"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            self.advance()
+            right = self.parse_additive()
+            return BinaryOp(_COMPARISON_OPS[token.value], left, right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            return Between(left, low, high)
+        negated = False
+        if token.is_keyword("not"):
+            # Only NOT IN / NOT BETWEEN reach here (prefix NOT is handled
+            # above); look ahead to decide.
+            lookahead = self.tokens[self.index + 1]
+            if lookahead.is_keyword("in"):
+                self.advance()
+                negated = True
+            elif lookahead.is_keyword("between"):
+                self.advance()
+                self.expect_keyword("between")
+                low = self.parse_additive()
+                self.expect_keyword("and")
+                high = self.parse_additive()
+                return Not(Between(left, low, high))
+        if self.current.is_keyword("in"):
+            self.advance()
+            self.expect_punct("(")
+            choices = [self.parse_or()]
+            while self.accept_punct(","):
+                choices.append(self.parse_or())
+            self.expect_punct(")")
+            membership = InList(left, tuple(choices))
+            return Not(membership) if negated else membership
+        if negated:
+            self.fail("expected IN after NOT")
+        if self.current.is_keyword("is"):
+            self.advance()
+            is_not = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negated=is_not)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_term()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("+", "-")
+        ):
+            op = BinaryOperator.ADD if self.advance().value == "+" else (
+                BinaryOperator.SUB
+            )
+            left = BinaryOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expression:
+        left = self.parse_factor()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in ("*", "/")
+        ):
+            op = BinaryOperator.MUL if self.advance().value == "*" else (
+                BinaryOperator.DIV
+            )
+            left = BinaryOp(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expression:
+        if self.current.type is TokenType.OPERATOR and self.current.value == "-":
+            self.advance()
+            # Fold a negated numeric literal into the literal itself so
+            # that "-1" round-trips as Literal(-1), not Negate(Literal(1)).
+            if self.current.type is TokenType.NUMBER:
+                return Literal(-self.advance().value)
+            return Negate(self.parse_factor())
+        if self.current.type is TokenType.OPERATOR and self.current.value == "+":
+            self.advance()
+            return self.parse_factor()
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.type is TokenType.PARAMETER:
+            self.advance()
+            return Parameter(token.value)
+        if self.accept_punct("("):
+            inner = self.parse_or()
+            self.expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            name = token.value
+            if self.accept_punct("("):
+                # COUNT(*) is the one place "*" is an argument.
+                if (
+                    name.lower() == "count"
+                    and self.current.type is TokenType.OPERATOR
+                    and self.current.value == "*"
+                ):
+                    self.advance()
+                    self.expect_punct(")")
+                    return CountStar()
+                args: list[Expression] = []
+                if not self.accept_punct(")"):
+                    args.append(self.parse_or())
+                    while self.accept_punct(","):
+                        args.append(self.parse_or())
+                    self.expect_punct(")")
+                return FuncCall(name, tuple(args))
+            # Qualified column reference: alias.column
+            while self.accept_punct("."):
+                name += "." + self.expect_identifier("column name after '.'")
+            return ColumnRef(name)
+        self.fail("expected an expression")
+        raise AssertionError("unreachable")
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement (concrete query or template)."""
+    return _Parser(text).parse_select()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone expression (used by function templates)."""
+    parser = _Parser(text)
+    expression = parser.parse_or()
+    if parser.current.type is not TokenType.END:
+        parser.fail("unexpected trailing input")
+    return expression

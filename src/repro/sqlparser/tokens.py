@@ -1,0 +1,175 @@
+"""Tokenizer for the function-embedded SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sqlparser.errors import ParseError
+
+KEYWORDS = {
+    "select",
+    "top",
+    "from",
+    "join",
+    "inner",
+    "on",
+    "where",
+    "and",
+    "or",
+    "not",
+    "between",
+    "in",
+    "is",
+    "null",
+    "as",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "group",
+    "distinct",
+}
+
+# Multi-character operators must be matched before their prefixes.
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+PUNCTUATION = ("(", ")", ",", ".")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PARAMETER = "parameter"  # $name template placeholder
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.lower()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on stray characters."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            # SQL line comment.
+            newline = text.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            token, i = _scan_number(text, i)
+            yield token
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            if word.lower() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.lower(), start)
+            else:
+                yield Token(TokenType.IDENTIFIER, word, start)
+            continue
+        if ch == "$":
+            start = i
+            i += 1
+            name_start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            if i == name_start:
+                raise ParseError("'$' must be followed by a parameter name", start)
+            yield Token(TokenType.PARAMETER, text[name_start:i], start)
+            continue
+        if ch == "'":
+            token, i = _scan_string(text, i)
+            yield token
+            continue
+        matched_operator = next(
+            (op for op in OPERATORS if text.startswith(op, i)), None
+        )
+        if matched_operator is not None:
+            # Normalize the two not-equal spellings.
+            value = "<>" if matched_operator == "!=" else matched_operator
+            yield Token(TokenType.OPERATOR, value, i)
+            i += len(matched_operator)
+            continue
+        if ch in PUNCTUATION:
+            yield Token(TokenType.PUNCT, ch, i)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.END, None, n)
+
+
+def _scan_number(text: str, start: int) -> tuple[Token, int]:
+    i = start
+    n = len(text)
+    saw_dot = False
+    saw_exp = False
+    while i < n:
+        ch = text[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not saw_dot and not saw_exp:
+            # A dot followed by a letter is a qualified name, not a decimal.
+            if i + 1 < n and text[i + 1].isalpha():
+                break
+            saw_dot = True
+            i += 1
+        elif ch in "eE" and not saw_exp and i > start:
+            lookahead = i + 1
+            if lookahead < n and text[lookahead] in "+-":
+                lookahead += 1
+            if lookahead < n and text[lookahead].isdigit():
+                saw_exp = True
+                i = lookahead
+            else:
+                break
+        else:
+            break
+    literal = text[start:i]
+    try:
+        value: Any = float(literal) if (saw_dot or saw_exp) else int(literal)
+    except ValueError:
+        raise ParseError(f"malformed number {literal!r}", start) from None
+    return Token(TokenType.NUMBER, value, start), i
+
+
+def _scan_string(text: str, start: int) -> tuple[Token, int]:
+    """Single-quoted string; '' is the escaped quote (SQL convention)."""
+    i = start + 1
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", start)

@@ -1,0 +1,46 @@
+"""Templates: the semantic contracts registered with the function proxy.
+
+The paper's framework (Section 2) rests on three registered artifacts:
+
+* **Function templates** — XML documents abstracting a table-valued
+  function as a spatial region selection query (Figure 3): shape,
+  dimensionality, expressions mapping the call's parameters to the
+  region, and expressions mapping a result tuple to its point.
+* **Function-embedded query templates** — parameterized SQL whose FROM
+  clause calls a templated function (Figure 2).
+* **Template information files** — the glue tying an HTML search form's
+  fields to a query template's parameters.
+
+The :class:`~repro.templates.manager.TemplateManager` holds all three
+and turns an incoming form request or parameter binding into a
+:class:`~repro.templates.manager.BoundQuery`: concrete SQL plus the
+region the proxy's cache reasoning runs on.
+"""
+
+from repro.templates.errors import TemplateError
+from repro.templates.function_template import FunctionTemplate, Shape
+from repro.templates.query_template import QueryTemplate
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.manager import BoundQuery, TemplateManager
+from repro.templates.skyserver_templates import (
+    radial_function_template,
+    radial_query_template,
+    rect_function_template,
+    rect_query_template,
+    register_skyserver_templates,
+)
+
+__all__ = [
+    "BoundQuery",
+    "FunctionTemplate",
+    "QueryTemplate",
+    "Shape",
+    "TemplateError",
+    "TemplateInfoFile",
+    "TemplateManager",
+    "radial_function_template",
+    "radial_query_template",
+    "rect_function_template",
+    "rect_query_template",
+    "register_skyserver_templates",
+]

@@ -1,0 +1,6 @@
+"""Template-layer errors."""
+
+
+class TemplateError(ValueError):
+    """Malformed template XML, failed validation of the four properties,
+    or an unresolvable template reference."""

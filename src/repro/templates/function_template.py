@@ -1,0 +1,307 @@
+"""Function templates: the spatial abstraction of a table-valued function.
+
+A function template declares (paper Figure 3):
+
+* the function's name and parameter names;
+* the region **shape** (hypersphere, hyperrect, or polytope) and its
+  dimensionality;
+* expressions, over the ``$``-parameters, that compute the region from a
+  concrete call — e.g. for ``fGetNearbyObjEq`` the center is the unit
+  vector ``(cos(ra)cos(dec), sin(ra)cos(dec), sin(dec))`` and the radius
+  is the chord subtending the angular radius;
+* expressions, over the *result attributes*, that compute the point a
+  result tuple represents (the paper's property 4 requires those
+  attributes to be present in cached results).
+
+Templates serialize to XML.  The paper's example uses numbered child
+tags (``<1>``, ``<2>``); we use repeated ``<Expr>`` elements, which is
+well-formed XML carrying the same information.
+"""
+
+from __future__ import annotations
+
+import enum
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.geometry.regions import (
+    ConvexPolytope,
+    Halfspace,
+    HyperRect,
+    HyperSphere,
+    Region,
+)
+from repro.relational.errors import ExecutionError
+from repro.relational.expressions import Expression
+from repro.sqlparser.ast import bind_expression
+from repro.sqlparser.parser import parse_expression
+from repro.templates.errors import TemplateError
+
+
+class Shape(enum.Enum):
+    """Region shapes a function template may declare."""
+
+    HYPERSPHERE = "hypersphere"
+    HYPERRECT = "hyperrect"
+    POLYTOPE = "polytope"
+
+
+def _parse(text: str) -> Expression:
+    try:
+        return parse_expression(text)
+    except Exception as exc:
+        raise TemplateError(f"bad template expression {text!r}: {exc}") from exc
+
+
+def _evaluate_constant(expr: Expression, params: Mapping[str, Any]) -> float:
+    """Bind ``$``-parameters and evaluate to a number."""
+    bound = bind_expression(expr, dict(params))
+    try:
+        value = bound.evaluate({})
+    except ExecutionError as exc:
+        raise TemplateError(f"cannot evaluate {expr.to_sql()}: {exc}") from exc
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TemplateError(
+            f"template expression {expr.to_sql()} produced {value!r}, "
+            "expected a number"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class HalfspaceSpec:
+    """One polytope face: normal component expressions and an offset."""
+
+    normal: tuple[Expression, ...]
+    offset: Expression
+
+
+@dataclass(frozen=True)
+class FunctionTemplate:
+    """The registered spatial semantics of one table-valued function.
+
+    ``point_exprs`` are evaluated against a result tuple's environment
+    (lower-cased column name -> value) to recover the tuple's point in
+    region space.  For the shape expressions, exactly the fields
+    matching the declared shape must be provided:
+
+    * HYPERSPHERE: ``center_exprs`` (one per dimension) and ``radius_expr``
+    * HYPERRECT: ``low_exprs`` and ``high_exprs`` (one per dimension)
+    * POLYTOPE: ``halfspace_specs`` plus ``low_exprs``/``high_exprs``
+      giving an enclosing box (used for the R-tree description)
+    """
+
+    name: str
+    params: tuple[str, ...]
+    shape: Shape
+    dims: int
+    point_exprs: tuple[Expression, ...]
+    center_exprs: tuple[Expression, ...] = ()
+    radius_expr: Expression | None = None
+    low_exprs: tuple[Expression, ...] = ()
+    high_exprs: tuple[Expression, ...] = ()
+    halfspace_specs: tuple[HalfspaceSpec, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dims < 1:
+            raise TemplateError(f"dims must be positive, got {self.dims}")
+        if len(self.point_exprs) != self.dims:
+            raise TemplateError(
+                f"{self.name}: need {self.dims} point expressions, "
+                f"got {len(self.point_exprs)}"
+            )
+        if self.shape is Shape.HYPERSPHERE:
+            if len(self.center_exprs) != self.dims or self.radius_expr is None:
+                raise TemplateError(
+                    f"{self.name}: hypersphere needs {self.dims} center "
+                    "expressions and a radius expression"
+                )
+        elif self.shape is Shape.HYPERRECT:
+            if len(self.low_exprs) != self.dims or (
+                len(self.high_exprs) != self.dims
+            ):
+                raise TemplateError(
+                    f"{self.name}: hyperrect needs {self.dims} low and "
+                    f"{self.dims} high bound expressions"
+                )
+        elif self.shape is Shape.POLYTOPE:
+            if not self.halfspace_specs:
+                raise TemplateError(
+                    f"{self.name}: polytope needs at least one halfspace"
+                )
+            if len(self.low_exprs) != self.dims or (
+                len(self.high_exprs) != self.dims
+            ):
+                raise TemplateError(
+                    f"{self.name}: polytope needs an enclosing box "
+                    "(low/high bound expressions)"
+                )
+            for spec in self.halfspace_specs:
+                if len(spec.normal) != self.dims:
+                    raise TemplateError(
+                        f"{self.name}: halfspace normal has "
+                        f"{len(spec.normal)} components, expected {self.dims}"
+                    )
+
+    # ------------------------------------------------------------ region
+    def region_for(self, params: Mapping[str, Any]) -> Region:
+        """The region selected by a concrete call with ``params``."""
+        missing = [p for p in self.params if p not in params]
+        if missing:
+            raise TemplateError(
+                f"{self.name}: missing parameter(s) {', '.join(missing)}"
+            )
+        if self.shape is Shape.HYPERSPHERE:
+            center = tuple(
+                _evaluate_constant(e, params) for e in self.center_exprs
+            )
+            radius = _evaluate_constant(self.radius_expr, params)
+            if radius < 0:
+                raise TemplateError(f"{self.name}: negative radius {radius}")
+            return HyperSphere(center, radius)
+        lows = tuple(_evaluate_constant(e, params) for e in self.low_exprs)
+        highs = tuple(_evaluate_constant(e, params) for e in self.high_exprs)
+        box = HyperRect(lows, highs)
+        if self.shape is Shape.HYPERRECT:
+            return box
+        halfspaces = tuple(
+            Halfspace(
+                tuple(_evaluate_constant(n, params) for n in spec.normal),
+                _evaluate_constant(spec.offset, params),
+            )
+            for spec in self.halfspace_specs
+        )
+        return ConvexPolytope(halfspaces, box)
+
+    def point_of(self, row_env: Mapping[str, Any]) -> tuple[float, ...]:
+        """The point in region space represented by one result tuple."""
+        values = []
+        for expr in self.point_exprs:
+            value = expr.evaluate(row_env)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TemplateError(
+                    f"{self.name}: point expression {expr.to_sql()} gave "
+                    f"{value!r}, expected a number"
+                )
+            values.append(float(value))
+        return tuple(values)
+
+    def point_attribute_names(self) -> set[str]:
+        """Result attributes the point expressions depend on.
+
+        The proxy checks these against a query template's select list to
+        enforce the paper's *result attribute availability* property.
+        """
+        names: set[str] = set()
+        for expr in self.point_exprs:
+            names |= expr.column_refs()
+        return names
+
+    # --------------------------------------------------------------- XML
+    def to_xml(self) -> str:
+        root = ET.Element("FunctionTemplate")
+        ET.SubElement(root, "Name").text = self.name
+        params_el = ET.SubElement(root, "Params")
+        for param in self.params:
+            ET.SubElement(params_el, "Param").text = param
+        ET.SubElement(root, "Shape").text = self.shape.value
+        ET.SubElement(root, "NumDimensions").text = str(self.dims)
+        if self.shape is Shape.HYPERSPHERE:
+            center_el = ET.SubElement(root, "CenterCoordinate")
+            for expr in self.center_exprs:
+                ET.SubElement(center_el, "Expr").text = expr.to_sql()
+            ET.SubElement(root, "Radius").text = self.radius_expr.to_sql()
+        else:
+            low_el = ET.SubElement(root, "LowBound")
+            for expr in self.low_exprs:
+                ET.SubElement(low_el, "Expr").text = expr.to_sql()
+            high_el = ET.SubElement(root, "HighBound")
+            for expr in self.high_exprs:
+                ET.SubElement(high_el, "Expr").text = expr.to_sql()
+        if self.shape is Shape.POLYTOPE:
+            faces_el = ET.SubElement(root, "Halfspaces")
+            for spec in self.halfspace_specs:
+                face_el = ET.SubElement(faces_el, "Halfspace")
+                normal_el = ET.SubElement(face_el, "Normal")
+                for expr in spec.normal:
+                    ET.SubElement(normal_el, "Expr").text = expr.to_sql()
+                ET.SubElement(face_el, "Offset").text = spec.offset.to_sql()
+        point_el = ET.SubElement(root, "PointCoordinate")
+        for expr in self.point_exprs:
+            ET.SubElement(point_el, "Expr").text = expr.to_sql()
+        if self.description:
+            ET.SubElement(root, "Description").text = self.description
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(text: str) -> "FunctionTemplate":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise TemplateError(f"malformed template XML: {exc}") from None
+        if root.tag != "FunctionTemplate":
+            raise TemplateError(f"expected <FunctionTemplate>, got <{root.tag}>")
+
+        def text_of(tag: str, required: bool = True) -> str | None:
+            element = root.find(tag)
+            if element is None or element.text is None:
+                if required:
+                    raise TemplateError(f"missing <{tag}> in template")
+                return None
+            return element.text.strip()
+
+        def exprs_of(tag: str, parent: ET.Element | None = None) -> tuple:
+            container = (parent or root).find(tag)
+            if container is None:
+                return ()
+            return tuple(
+                _parse(child.text or "") for child in container.findall("Expr")
+            )
+
+        name = text_of("Name")
+        params_el = root.find("Params")
+        if params_el is None:
+            raise TemplateError("missing <Params> in template")
+        params = tuple(
+            (child.text or "").strip() for child in params_el.findall("Param")
+        )
+        try:
+            shape = Shape(text_of("Shape"))
+        except ValueError:
+            raise TemplateError(
+                f"unknown shape {text_of('Shape')!r}"
+            ) from None
+        dims = int(text_of("NumDimensions"))
+
+        radius_text = text_of("Radius", required=False)
+        halfspace_specs = []
+        faces_el = root.find("Halfspaces")
+        if faces_el is not None:
+            for face_el in faces_el.findall("Halfspace"):
+                offset_el = face_el.find("Offset")
+                if offset_el is None or offset_el.text is None:
+                    raise TemplateError("halfspace missing <Offset>")
+                halfspace_specs.append(
+                    HalfspaceSpec(
+                        normal=exprs_of("Normal", face_el),
+                        offset=_parse(offset_el.text),
+                    )
+                )
+        description_el = root.find("Description")
+        return FunctionTemplate(
+            name=name,
+            params=params,
+            shape=shape,
+            dims=dims,
+            point_exprs=exprs_of("PointCoordinate"),
+            center_exprs=exprs_of("CenterCoordinate"),
+            radius_expr=_parse(radius_text) if radius_text else None,
+            low_exprs=exprs_of("LowBound"),
+            high_exprs=exprs_of("HighBound"),
+            halfspace_specs=tuple(halfspace_specs),
+            description=(description_el.text or "").strip()
+            if description_el is not None
+            else "",
+        )

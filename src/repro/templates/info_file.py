@@ -1,0 +1,113 @@
+"""Template information files: HTML form -> query template binding.
+
+The paper (Section 2): "we use information files to associate an HTML
+search form with a function-embedded query template".  An info file
+names the form, the query template it drives, how form field names map
+to template parameter names, and default values for parameters the form
+may omit (the Radial form's result limit, for instance).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.templates.errors import TemplateError
+
+
+def _parse_value(text: str) -> Any:
+    """Form values arrive as strings; recover int/float when they look
+    numeric (the same coercion the web tier of the original site does)."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+@dataclass(frozen=True)
+class TemplateInfoFile:
+    """Association of one search form with one query template."""
+
+    form_name: str
+    template_id: str
+    field_map: Mapping[str, str]  # form field name -> template parameter
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def bind_form(self, form_values: Mapping[str, str]) -> dict[str, Any]:
+        """Translate raw form fields into template parameter values.
+
+        Unknown form fields are ignored (forms carry submit buttons and
+        the like); missing fields fall back to defaults; a parameter
+        with neither raises :class:`TemplateError`.
+        """
+        params: dict[str, Any] = dict(self.defaults)
+        for form_field, parameter in self.field_map.items():
+            if form_field in form_values:
+                raw = form_values[form_field]
+                params[parameter] = (
+                    _parse_value(raw) if isinstance(raw, str) else raw
+                )
+        missing = [
+            parameter
+            for parameter in self.field_map.values()
+            if parameter not in params
+        ]
+        if missing:
+            raise TemplateError(
+                f"form {self.form_name!r}: missing value(s) for "
+                f"{', '.join(missing)}"
+            )
+        return params
+
+    # --------------------------------------------------------------- XML
+    def to_xml(self) -> str:
+        root = ET.Element("TemplateInfo")
+        ET.SubElement(root, "FormName").text = self.form_name
+        ET.SubElement(root, "TemplateId").text = self.template_id
+        fields_el = ET.SubElement(root, "Fields")
+        for form_field, parameter in self.field_map.items():
+            ET.SubElement(
+                fields_el, "Field", name=form_field, param=parameter
+            )
+        defaults_el = ET.SubElement(root, "Defaults")
+        for parameter, value in self.defaults.items():
+            ET.SubElement(
+                defaults_el, "Default", param=parameter, value=str(value)
+            )
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(text: str) -> "TemplateInfoFile":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise TemplateError(f"malformed info file XML: {exc}") from None
+        if root.tag != "TemplateInfo":
+            raise TemplateError(f"expected <TemplateInfo>, got <{root.tag}>")
+        form_el = root.find("FormName")
+        template_el = root.find("TemplateId")
+        if form_el is None or template_el is None:
+            raise TemplateError("info file needs <FormName> and <TemplateId>")
+        field_map = {}
+        fields_el = root.find("Fields")
+        if fields_el is not None:
+            for field_el in fields_el.findall("Field"):
+                field_map[field_el.get("name")] = field_el.get("param")
+        defaults = {}
+        defaults_el = root.find("Defaults")
+        if defaults_el is not None:
+            for default_el in defaults_el.findall("Default"):
+                defaults[default_el.get("param")] = _parse_value(
+                    default_el.get("value") or ""
+                )
+        return TemplateInfoFile(
+            form_name=(form_el.text or "").strip(),
+            template_id=(template_el.text or "").strip(),
+            field_map=field_map,
+            defaults=defaults,
+        )

@@ -1,0 +1,154 @@
+"""The template manager and bound (concrete) queries.
+
+The template manager is the proxy component of Figure 4 that holds the
+registered function templates, query templates, and info files, and
+turns incoming requests into :class:`BoundQuery` objects — the unit the
+cache manager and query processor operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.geometry.regions import Region
+from repro.sqlparser.ast import SelectStatement
+from repro.templates.errors import TemplateError
+from repro.templates.function_template import FunctionTemplate
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.query_template import QueryTemplate
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    """A concrete instance of a query template.
+
+    Everything downstream derives from here: the SQL shipped to the
+    origin, the region the cache reasoning uses, and the residual parts
+    (other predicates, TOP-N) the proxy applies during local evaluation.
+    """
+
+    template: QueryTemplate
+    params: dict[str, Any]
+    statement: SelectStatement
+    region: Region
+
+    @property
+    def template_id(self) -> str:
+        return self.template.template_id
+
+    @property
+    def sql(self) -> str:
+        return self.statement.to_sql()
+
+    @property
+    def key_column(self) -> str:
+        return self.template.key_column
+
+    @property
+    def top(self) -> int | None:
+        return self.statement.top
+
+    def cache_key(self) -> tuple:
+        """Exact-match identity: template plus parameter values."""
+        return (
+            self.template_id,
+            tuple(sorted(self.params.items())),
+        )
+
+    def __repr__(self) -> str:
+        return f"<BoundQuery {self.template_id} {self.params}>"
+
+
+class TemplateManager:
+    """Registry of templates and info files; builds bound queries."""
+
+    def __init__(self) -> None:
+        self._function_templates: dict[str, FunctionTemplate] = {}
+        self._query_templates: dict[str, QueryTemplate] = {}
+        self._info_files: dict[str, TemplateInfoFile] = {}
+
+    # ------------------------------------------------------ registration
+    def register_function_template(self, template: FunctionTemplate) -> None:
+        key = template.name.lower()
+        if key in self._function_templates:
+            raise TemplateError(
+                f"function template {template.name!r} already registered"
+            )
+        self._function_templates[key] = template
+
+    def register_query_template(self, template: QueryTemplate) -> None:
+        key = template.template_id.lower()
+        if key in self._query_templates:
+            raise TemplateError(
+                f"query template {template.template_id!r} already registered"
+            )
+        self._query_templates[key] = template
+
+    def register_info_file(self, info: TemplateInfoFile) -> None:
+        key = info.form_name.lower()
+        if key in self._info_files:
+            raise TemplateError(
+                f"info file for form {info.form_name!r} already registered"
+            )
+        if info.template_id.lower() not in self._query_templates:
+            raise TemplateError(
+                f"info file {info.form_name!r} references unknown query "
+                f"template {info.template_id!r}"
+            )
+        self._info_files[key] = info
+
+    # ------------------------------------------------------------ lookup
+    def function_template(self, name: str) -> FunctionTemplate:
+        try:
+            return self._function_templates[name.lower()]
+        except KeyError:
+            raise TemplateError(
+                f"no function template for {name!r}"
+            ) from None
+
+    def query_template(self, template_id: str) -> QueryTemplate:
+        try:
+            return self._query_templates[template_id.lower()]
+        except KeyError:
+            raise TemplateError(
+                f"no query template {template_id!r}"
+            ) from None
+
+    def info_file(self, form_name: str) -> TemplateInfoFile:
+        try:
+            return self._info_files[form_name.lower()]
+        except KeyError:
+            raise TemplateError(
+                f"no info file for form {form_name!r}"
+            ) from None
+
+    def query_template_ids(self) -> list[str]:
+        return [t.template_id for t in self._query_templates.values()]
+
+    def info_files(self) -> list[TemplateInfoFile]:
+        return list(self._info_files.values())
+
+    # ----------------------------------------------------------- binding
+    def bind(
+        self, template_id: str, params: Mapping[str, Any]
+    ) -> BoundQuery:
+        """A concrete query from a template id and parameter values."""
+        template = self.query_template(template_id)
+        params = dict(params)
+        statement = template.bind_statement(params)
+        region = template.region_for(params)
+        return BoundQuery(
+            template=template,
+            params=params,
+            statement=statement,
+            region=region,
+        )
+
+    def bind_form(
+        self, form_name: str, form_values: Mapping[str, str]
+    ) -> BoundQuery:
+        """A concrete query from raw HTML form fields."""
+        info = self.info_file(form_name)
+        params = info.bind_form(form_values)
+        return self.bind(info.template_id, params)

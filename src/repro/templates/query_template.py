@@ -1,0 +1,183 @@
+"""Function-embedded query templates (paper Figure 2).
+
+A query template is parameterized SQL whose FROM clause calls a
+table-valued function; the parameters come from an HTML search form.
+The template pins down everything the proxy must know to do active
+caching:
+
+* which function template gives the call its region semantics,
+* the result key column used to deduplicate merged results,
+* the select list, optional join, optional "other predicates", and an
+  optional TOP-N — the complete shape of the paper's common query class.
+
+``validate`` enforces the four properties of Section 3.1 as far as they
+are checkable statically:
+
+1. *Determinism* — the embedded function (and any scalar functions in
+   the WHERE clause) must be registered as deterministic.
+2. *Spatial region selection semantics* — the FROM source must be a
+   call to the declared function template, with matching arity.
+3. *Semantics-preserving join* — every join must be an equi-join
+   between a function output column and the joined table (tuple
+   filtering / attribute expansion only, never tuple creation).  The
+   paper's Radial form join on ``objID`` is the model.
+4. *Result attribute availability* — every attribute the function
+   template's point expressions read must appear in the select list, so
+   cached tuples can be re-evaluated spatially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.relational.expressions import BinaryOp, BinaryOperator, ColumnRef
+from repro.sqlparser.ast import FunctionSource, SelectStatement
+from repro.sqlparser.parser import parse_select
+from repro.templates.errors import TemplateError
+from repro.templates.function_template import FunctionTemplate
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A registered function-embedded query template."""
+
+    template_id: str
+    sql: str
+    statement: SelectStatement
+    function_template: FunctionTemplate
+    key_column: str
+    description: str = ""
+
+    @staticmethod
+    def from_sql(
+        template_id: str,
+        sql: str,
+        function_template: FunctionTemplate,
+        key_column: str,
+        description: str = "",
+    ) -> "QueryTemplate":
+        try:
+            statement = parse_select(sql)
+        except Exception as exc:
+            raise TemplateError(
+                f"template {template_id!r}: cannot parse SQL: {exc}"
+            ) from exc
+        template = QueryTemplate(
+            template_id=template_id,
+            sql=sql,
+            statement=statement,
+            function_template=function_template,
+            key_column=key_column,
+            description=description,
+        )
+        template._check_structure()
+        return template
+
+    # -------------------------------------------------------- validation
+    def _check_structure(self) -> None:
+        source = self.statement.source
+        if not isinstance(source, FunctionSource):
+            raise TemplateError(
+                f"template {self.template_id!r}: FROM must call a "
+                "table-valued function"
+            )
+        if source.name.lower() != self.function_template.name.lower():
+            raise TemplateError(
+                f"template {self.template_id!r}: FROM calls {source.name!r} "
+                f"but the function template is for "
+                f"{self.function_template.name!r}"
+            )
+        if len(source.args) != len(self.function_template.params):
+            raise TemplateError(
+                f"template {self.template_id!r}: {source.name} takes "
+                f"{len(self.function_template.params)} arguments, the "
+                f"template passes {len(source.args)}"
+            )
+        if self.statement.star:
+            # SELECT * always exposes the point attributes; nothing to check.
+            pass
+        else:
+            available = {
+                item.output_name().lower()
+                for item in self.statement.select_items
+            }
+            # Qualified select items also expose their bare column name.
+            for item in self.statement.select_items:
+                name = item.output_name().lower()
+                if "." in name:
+                    available.add(name.split(".")[-1])
+            needed = {
+                name.split(".")[-1]
+                for name in self.function_template.point_attribute_names()
+            }
+            missing = sorted(needed - available)
+            if missing:
+                raise TemplateError(
+                    f"template {self.template_id!r}: point attribute(s) "
+                    f"{', '.join(missing)} not in the select list "
+                    "(result attribute availability, paper property 4)"
+                )
+            if self.key_column.lower() not in available:
+                raise TemplateError(
+                    f"template {self.template_id!r}: key column "
+                    f"{self.key_column!r} not in the select list"
+                )
+        for join in self.statement.joins:
+            if not self._is_semantics_preserving_join(join.condition):
+                raise TemplateError(
+                    f"template {self.template_id!r}: join ON "
+                    f"{join.condition.to_sql()} is not a plain equi-join "
+                    "(semantics-preserving join, paper property 3)"
+                )
+
+    @staticmethod
+    def _is_semantics_preserving_join(condition) -> bool:
+        return (
+            isinstance(condition, BinaryOp)
+            and condition.op is BinaryOperator.EQ
+            and isinstance(condition.left, ColumnRef)
+            and isinstance(condition.right, ColumnRef)
+        )
+
+    def validate(self, registry) -> None:
+        """Check determinism against a function registry (property 1)."""
+        source = self.statement.source
+        if not registry.has_table(source.name):
+            raise TemplateError(
+                f"template {self.template_id!r}: function {source.name!r} "
+                "is not registered at the origin"
+            )
+        if not registry.is_deterministic(source.name):
+            raise TemplateError(
+                f"template {self.template_id!r}: function {source.name!r} "
+                "is non-deterministic and cannot be actively cached "
+                "(paper property 1)"
+            )
+
+    # ----------------------------------------------------------- binding
+    @property
+    def parameter_names(self) -> list[str]:
+        return self.statement.parameter_names()
+
+    def bind_statement(self, params: Mapping[str, Any]) -> SelectStatement:
+        return self.statement.bind(dict(params))
+
+    def function_params(self, params: Mapping[str, Any]) -> dict[str, Any]:
+        """Values of the *function template's* parameters for a binding.
+
+        The query template's function call arguments are expressions
+        over the query parameters; evaluating each bound argument gives
+        the positional function arguments, which are zipped with the
+        function template's declared parameter names.
+        """
+        source = self.statement.source
+        assert isinstance(source, FunctionSource)
+        bound = self.bind_statement(params).source
+        assert isinstance(bound, FunctionSource)
+        values = bound.argument_values()
+        return dict(zip(self.function_template.params, values))
+
+    def region_for(self, params: Mapping[str, Any]):
+        """The spatial region a concrete binding selects."""
+        return self.function_template.region_for(self.function_params(params))

@@ -1,0 +1,28 @@
+"""User-defined function framework.
+
+The paper targets web sites whose SQL heavily embeds *user-defined
+functions*: scalar functions (one value per call) and table-valued
+functions (a set of tuples per call).  This package provides the
+registry the origin server's executor resolves calls against, plus the
+SkyServer function library the experiments use.
+
+Determinism matters (paper Section 3.1, property 1): only deterministic
+functions are candidates for active caching.  Every registration carries
+an explicit ``deterministic`` flag that the proxy checks before caching.
+"""
+
+from repro.udf.registry import (
+    FunctionRegistry,
+    ScalarFunction,
+    TableFunction,
+    UdfError,
+)
+from repro.udf.skyserver import register_skyserver_functions
+
+__all__ = [
+    "FunctionRegistry",
+    "ScalarFunction",
+    "TableFunction",
+    "UdfError",
+    "register_skyserver_functions",
+]

@@ -1,0 +1,257 @@
+"""The SkyServer function library.
+
+Reimplementations of the SDSS SkyServer functions the paper names
+(Section 1 and Section 2): the table-valued spatial search functions
+``fGetNearbyObjEq``, ``fGetObjFromRect``, and ``fGetNearbyObjXYZ``, and
+the scalar helpers ``fPhotoFlags``, ``fPhotoType``, and
+``fDistanceArcMinEq``.
+
+All spatial functions run against a PhotoPrimary table through a
+:class:`~repro.skydata.index.SkyGridIndex` (our stand-in for the
+SkyServer's HTM index) and are registered as deterministic.  A
+deliberately *non-deterministic* specimen, ``fRandomSample``, is also
+provided so tests and examples can exercise the proxy's refusal to
+cache non-deterministic functions (paper Section 3.1, property 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import ColumnType
+from repro.skydata.generator import PHOTO_FLAGS, TYPE_GALAXY, TYPE_STAR
+from repro.skydata.index import SkyGridIndex
+from repro.skydata.sphere import angular_distance_arcmin
+from repro.udf.registry import (
+    FunctionRegistry,
+    ScalarFunction,
+    TableFunction,
+    UdfError,
+)
+
+# Result schema of the radial search functions.  The coordinate columns
+# (cx, cy, cz) satisfy the paper's "result attribute availability"
+# property: the proxy needs each tuple's point in region space.
+NEARBY_OBJ_SCHEMA = Schema.of(
+    ("objID", ColumnType.INT),
+    ("ra", ColumnType.FLOAT),
+    ("dec", ColumnType.FLOAT),
+    ("cx", ColumnType.FLOAT),
+    ("cy", ColumnType.FLOAT),
+    ("cz", ColumnType.FLOAT),
+    ("type", ColumnType.INT),
+    ("distance", ColumnType.FLOAT),
+)
+
+RECT_OBJ_SCHEMA = Schema.of(
+    ("objID", ColumnType.INT),
+    ("ra", ColumnType.FLOAT),
+    ("dec", ColumnType.FLOAT),
+    ("cx", ColumnType.FLOAT),
+    ("cy", ColumnType.FLOAT),
+    ("cz", ColumnType.FLOAT),
+    ("type", ColumnType.INT),
+)
+
+PHOTO_TYPES = {"GALAXY": TYPE_GALAXY, "STAR": TYPE_STAR}
+
+
+def _photo_flags(name: Any) -> int:
+    try:
+        return PHOTO_FLAGS[str(name).upper()]
+    except KeyError:
+        raise UdfError(f"unknown photo flag {name!r}") from None
+
+
+def _photo_type(name: Any) -> int:
+    try:
+        return PHOTO_TYPES[str(name).upper()]
+    except KeyError:
+        raise UdfError(f"unknown photo type {name!r}") from None
+
+
+def register_skyserver_functions(
+    registry: FunctionRegistry,
+    photo_primary: Table,
+    index: SkyGridIndex | None = None,
+) -> SkyGridIndex:
+    """Register the SkyServer library bound to a PhotoPrimary table.
+
+    Returns the spatial index (built here unless supplied) so the origin
+    server can report its size in diagnostics.
+    """
+    index = index or SkyGridIndex(photo_primary)
+    schema = photo_primary.schema
+    positions = {
+        name: schema.position(name)
+        for name in ("objID", "ra", "dec", "cx", "cy", "cz", "type")
+    }
+
+    def nearby_rows(
+        ra: float, dec: float, radius_arcmin: float
+    ) -> list[tuple[Any, ...]]:
+        if radius_arcmin < 0:
+            raise UdfError(f"negative search radius: {radius_arcmin}")
+        rows = []
+        for row_index in index.candidates_in_circle(ra, dec, radius_arcmin):
+            row = photo_primary.rows[row_index]
+            distance = angular_distance_arcmin(
+                ra, dec, row[positions["ra"]], row[positions["dec"]]
+            )
+            if distance <= radius_arcmin:
+                rows.append(
+                    (
+                        row[positions["objID"]],
+                        row[positions["ra"]],
+                        row[positions["dec"]],
+                        row[positions["cx"]],
+                        row[positions["cy"]],
+                        row[positions["cz"]],
+                        row[positions["type"]],
+                        distance,
+                    )
+                )
+        rows.sort(key=lambda r: r[-1])  # nearest first, as the real one does
+        return rows
+
+    def f_get_nearby_obj_eq(catalog, args) -> list[tuple[Any, ...]]:
+        ra, dec, radius_arcmin = (float(a) for a in args)
+        return nearby_rows(ra, dec, radius_arcmin)
+
+    def f_get_nearby_obj_xyz(catalog, args) -> list[tuple[Any, ...]]:
+        nx, ny, nz, radius_arcmin = (float(a) for a in args)
+        norm = math.sqrt(nx * nx + ny * ny + nz * nz)
+        if norm == 0:
+            raise UdfError("fGetNearbyObjXYZ: zero direction vector")
+        dec = math.degrees(math.asin(nz / norm))
+        ra = math.degrees(math.atan2(ny / norm, nx / norm)) % 360.0
+        return nearby_rows(ra, dec, radius_arcmin)
+
+    def f_get_obj_from_rect(catalog, args) -> list[tuple[Any, ...]]:
+        ra_min, ra_max, dec_min, dec_max = (float(a) for a in args)
+        if ra_min > ra_max or dec_min > dec_max:
+            raise UdfError("fGetObjFromRect: empty rectangle")
+        rows = []
+        for row_index in index.candidates_in_rect(
+            ra_min, ra_max, dec_min, dec_max
+        ):
+            row = photo_primary.rows[row_index]
+            ra = row[positions["ra"]]
+            dec = row[positions["dec"]]
+            if ra_min <= ra <= ra_max and dec_min <= dec <= dec_max:
+                rows.append(
+                    (
+                        row[positions["objID"]],
+                        ra,
+                        dec,
+                        row[positions["cx"]],
+                        row[positions["cy"]],
+                        row[positions["cz"]],
+                        row[positions["type"]],
+                    )
+                )
+        rows.sort(key=lambda r: r[0])  # deterministic order by objID
+        return rows
+
+    registry.register_table(
+        TableFunction(
+            name="fGetNearbyObjEq",
+            params=("ra", "dec", "radius"),
+            schema=NEARBY_OBJ_SCHEMA,
+            impl=f_get_nearby_obj_eq,
+            deterministic=True,
+            description="Objects within radius arcmin of (ra, dec).",
+        )
+    )
+    registry.register_table(
+        TableFunction(
+            name="fGetNearbyObjXYZ",
+            params=("nx", "ny", "nz", "radius"),
+            schema=NEARBY_OBJ_SCHEMA,
+            impl=f_get_nearby_obj_xyz,
+            deterministic=True,
+            description="Objects within radius arcmin of a unit vector.",
+        )
+    )
+    registry.register_table(
+        TableFunction(
+            name="fGetObjFromRect",
+            params=("ra_min", "ra_max", "dec_min", "dec_max"),
+            schema=RECT_OBJ_SCHEMA,
+            impl=f_get_obj_from_rect,
+            deterministic=True,
+            description="Objects inside an (ra, dec) rectangle.",
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            name="fPhotoFlags",
+            params=("name",),
+            impl=_photo_flags,
+            deterministic=True,
+            description="Bit value of a named photo flag.",
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            name="fPhotoType",
+            params=("name",),
+            impl=_photo_type,
+            deterministic=True,
+            description="Type code of a named photometric class.",
+        )
+    )
+    registry.register_scalar(
+        ScalarFunction(
+            name="fDistanceArcMinEq",
+            params=("ra1", "dec1", "ra2", "dec2"),
+            impl=angular_distance_arcmin,
+            deterministic=True,
+            description="Great-circle distance between two points, arcmin.",
+        )
+    )
+
+    def f_random_sample(catalog, args) -> list[tuple[Any, ...]]:
+        import random
+
+        count = int(args[0])
+        rows = []
+        n = len(photo_primary)
+        for _ in range(max(count, 0)):
+            row = photo_primary.rows[random.randrange(n)]
+            rows.append(
+                (
+                    row[positions["objID"]],
+                    row[positions["ra"]],
+                    row[positions["dec"]],
+                    row[positions["cx"]],
+                    row[positions["cy"]],
+                    row[positions["cz"]],
+                    row[positions["type"]],
+                )
+            )
+        return rows
+
+    registry.register_table(
+        TableFunction(
+            name="fRandomSample",
+            params=("count",),
+            schema=RECT_OBJ_SCHEMA,
+            impl=f_random_sample,
+            deterministic=False,
+            description="A random object sample (non-deterministic; "
+            "exists to exercise the proxy's determinism check).",
+        )
+    )
+    return index
+
+
+__all__ = [
+    "NEARBY_OBJ_SCHEMA",
+    "PHOTO_TYPES",
+    "RECT_OBJ_SCHEMA",
+    "register_skyserver_functions",
+]

@@ -1,0 +1,27 @@
+"""HTTP deployment: Flask apps for the origin site and the proxy.
+
+Everything in :mod:`repro.core` and :mod:`repro.server` is
+transport-agnostic; this package provides the thin HTTP skins that make
+the paper's deployment picture literal — a browser talking HTTP to a
+proxy servlet that talks HTTP to the origin web site:
+
+* :func:`~repro.webapp.origin_app.create_origin_app` — the web site:
+  ``GET /search/<form>`` (the HTML search forms) and ``POST /sql``
+  (the free-form SQL page the proxy uses for remainder queries);
+* :func:`~repro.webapp.proxy_app.create_proxy_app` — the proxy
+  servlet: the same ``/search/<form>`` surface, answered from the
+  cache when possible, plus ``/stats`` for the timing records;
+* :class:`~repro.webapp.http_origin.HttpOriginClient` — an
+  origin-server adapter that forwards over HTTP, so a
+  :class:`~repro.core.proxy.FunctionProxy` can front a *remote* origin
+  process exactly as the paper's Tomcat servlet fronted the SkyServer.
+
+Flask is an optional dependency; importing this package without Flask
+installed raises a clear error only when an app is actually created.
+"""
+
+from repro.webapp.origin_app import create_origin_app
+from repro.webapp.proxy_app import create_proxy_app
+from repro.webapp.http_origin import HttpOriginClient
+
+__all__ = ["HttpOriginClient", "create_origin_app", "create_proxy_app"]

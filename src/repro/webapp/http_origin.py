@@ -1,0 +1,154 @@
+"""An origin-server adapter that forwards over HTTP.
+
+:class:`HttpOriginClient` implements the same ``execute_bound`` /
+``execute_remainder`` surface as
+:class:`~repro.server.origin.OriginServer`, but ships the query to a
+remote origin app (:mod:`repro.webapp.origin_app`) and parses the XML
+response.  A :class:`~repro.core.proxy.FunctionProxy` constructed with
+this client fronts a genuinely separate origin process, completing the
+browser -> proxy -> web-site HTTP chain of the paper's Figure 4.
+
+The simulated server cost is carried back in the ``X-Server-Ms``
+response header, so experiment timing composes identically in both
+deployments.  The proxy also needs a catalog for its determinism check;
+the client fetches the origin's template registry once and exposes a
+minimal ``catalog.functions`` shim backed by the declared metadata.
+
+Data-version coherence over HTTP is *eventually consistent*: the
+client updates ``data_version`` from the ``X-Data-Version`` header of
+each origin response, so the proxy notices a flush-worthy change on
+its next origin contact (a cache-only stretch keeps serving the prior
+snapshot — the same window any TTL-free HTTP cache has).
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+import urllib.request
+
+from repro.relational.result import ResultTable
+from repro.server.origin import OriginResponse
+from repro.sqlparser.ast import SelectStatement
+from repro.templates.function_template import FunctionTemplate
+from repro.templates.manager import BoundQuery, TemplateManager
+from repro.templates.query_template import QueryTemplate
+
+
+class HttpOriginError(RuntimeError):
+    """The remote origin rejected a request or returned garbage."""
+
+
+class _RemoteFunctions:
+    """Determinism metadata for remote functions.
+
+    The proxy only asks ``is_deterministic``; templates fetched from
+    ``/templates`` are by construction deterministic (the origin
+    validates property 1 before publishing), so any function named by
+    a registered template answers True and everything else errors.
+    """
+
+    def __init__(self, function_names: set[str]) -> None:
+        self._names = {name.lower() for name in function_names}
+
+    def is_deterministic(self, name: str) -> bool:
+        if name.lower() not in self._names:
+            raise HttpOriginError(f"unknown remote function {name!r}")
+        return True
+
+
+class _RemoteCatalog:
+    def __init__(self, functions: _RemoteFunctions) -> None:
+        self.functions = functions
+
+
+class HttpOriginClient:
+    """Speaks the origin app's HTTP protocol."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+        self.templates = TemplateManager()
+        self.data_version: int | None = None
+        self._bootstrap_templates()
+        self._fetch_data_version()
+
+    def _fetch_data_version(self) -> None:
+        import json
+
+        with urllib.request.urlopen(
+            f"{self.base_url}/health", timeout=self.timeout_s
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        self.data_version = payload.get("data_version")
+
+    # ---------------------------------------------------------- protocol
+    def _bootstrap_templates(self) -> None:
+        import json
+
+        with urllib.request.urlopen(
+            f"{self.base_url}/templates", timeout=self.timeout_s
+        ) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        function_names: set[str] = set()
+        for entry in payload["query_templates"]:
+            function_template = FunctionTemplate.from_xml(
+                entry["function_template"]
+            )
+            try:
+                self.templates.register_function_template(function_template)
+            except Exception:
+                pass  # two query templates may share a function template
+            self.templates.register_query_template(
+                QueryTemplate.from_sql(
+                    template_id=entry["template_id"],
+                    sql=entry["sql"],
+                    function_template=function_template,
+                    key_column=entry["key_column"],
+                    description=entry.get("description", ""),
+                )
+            )
+            function_names.add(function_template.name)
+        from repro.templates.info_file import TemplateInfoFile
+
+        for info_xml in payload.get("info_files", ()):
+            self.templates.register_info_file(
+                TemplateInfoFile.from_xml(info_xml)
+            )
+        self.catalog = _RemoteCatalog(_RemoteFunctions(function_names))
+
+    def _post_sql(self, sql: str, n_holes: int | None) -> OriginResponse:
+        request = urllib.request.Request(
+            f"{self.base_url}/sql",
+            data=sql.encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "text/plain"},
+        )
+        if n_holes is not None:
+            request.add_header("X-Remainder-Holes", str(n_holes))
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                body = response.read().decode("utf-8")
+                server_ms = float(response.headers.get("X-Server-Ms", "0"))
+                version = response.headers.get("X-Data-Version")
+                if version is not None:
+                    self.data_version = int(version)
+        except urllib.error.HTTPError as exc:
+            raise HttpOriginError(
+                f"origin rejected query ({exc.code}): "
+                f"{exc.read().decode('utf-8', 'replace')}"
+            ) from None
+        return OriginResponse(ResultTable.from_xml(body), server_ms)
+
+    # ------------------------------------------- OriginServer interface
+    def execute_bound(self, bound: BoundQuery) -> OriginResponse:
+        return self._post_sql(bound.sql, None)
+
+    def execute_statement(self, statement: SelectStatement) -> OriginResponse:
+        return self._post_sql(statement.to_sql(), None)
+
+    def execute_remainder(
+        self, statement: SelectStatement, n_holes: int
+    ) -> OriginResponse:
+        return self._post_sql(statement.to_sql(), n_holes)

@@ -1,0 +1,108 @@
+"""The origin web site as a Flask application.
+
+Routes:
+
+``GET /search/<form_name>?field=value&...``
+    The HTML search forms (Radial, Rectangular).  Parameters are the
+    raw form fields; the response is the result table as XML.
+
+``POST /sql`` (body: the SQL text)
+    The free-form SQL facility — the paper used the SkyServer's public
+    SQL page as the remainder-query interface.  ``X-Remainder-Holes``
+    may carry the excluded-region count so the simulated cost model
+    can charge the remainder price.
+
+``GET /templates``
+    The site's registered templates, for proxy bootstrap: query
+    template SQL, function template XML, and info file XML.
+
+Every response carries ``X-Server-Ms``: the simulated server cost the
+caller should charge to its clock.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import RelationalError
+from repro.server.origin import OriginServer
+from repro.sqlparser.errors import ParseError
+from repro.sqlparser.parser import parse_select
+from repro.templates.errors import TemplateError
+
+
+def create_origin_app(origin: OriginServer):
+    """Build the Flask app for an origin server."""
+    try:
+        from flask import Flask, request
+    except ImportError:  # pragma: no cover - optional dependency
+        raise RuntimeError(
+            "the HTTP deployment needs Flask; install repro[http]"
+        ) from None
+
+    app = Flask("repro-origin")
+
+    def xml_response(result, server_ms: float):
+        return (
+            result.to_xml(),
+            200,
+            {
+                "Content-Type": "application/xml",
+                "X-Server-Ms": f"{server_ms:.3f}",
+                "X-Data-Version": str(origin.data_version),
+            },
+        )
+
+    @app.get("/search/<form_name>")
+    def search(form_name: str):
+        try:
+            response = origin.execute_form(form_name, request.args)
+        except (TemplateError, ParseError, RelationalError) as exc:
+            return {"error": str(exc)}, 400
+        return xml_response(response.result, response.server_ms)
+
+    @app.post("/sql")
+    def sql():
+        text = request.get_data(as_text=True)
+        holes_header = request.headers.get("X-Remainder-Holes")
+        try:
+            if holes_header is not None:
+                statement = parse_select(text)
+                response = origin.execute_remainder(
+                    statement, int(holes_header)
+                )
+            else:
+                response = origin.execute_sql(text)
+        except (ParseError, RelationalError, ValueError) as exc:
+            return {"error": str(exc)}, 400
+        return xml_response(response.result, response.server_ms)
+
+    @app.get("/templates")
+    def templates():
+        manager = origin.templates
+        payload = {"query_templates": [], "info_files": []}
+        for template_id in manager.query_template_ids():
+            template = manager.query_template(template_id)
+            payload["query_templates"].append(
+                {
+                    "template_id": template.template_id,
+                    "sql": template.sql,
+                    "key_column": template.key_column,
+                    "function_template": (
+                        template.function_template.to_xml()
+                    ),
+                    "description": template.description,
+                }
+            )
+        for info in manager.info_files():
+            payload["info_files"].append(info.to_xml())
+        return payload
+
+    @app.get("/health")
+    def health():
+        return {
+            "tables": [t.name for t in origin.catalog.tables()],
+            "queries_served": origin.queries_served,
+            "remainders_served": origin.remainders_served,
+            "data_version": origin.data_version,
+        }
+
+    return app

@@ -1,0 +1,81 @@
+"""The function proxy as a Flask application.
+
+The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
+
+``GET /search/<form_name>?field=value&...``
+    Same surface as the origin's search forms; answered from the cache
+    when the caching scheme allows, forwarded otherwise.  The response
+    carries ``X-Proxy-Ms`` (simulated proxy-side time) and
+    ``X-Cache-Status`` (the paper's four-way disposition).
+
+``GET /stats``
+    Aggregate trace statistics: average response time, average cache
+    efficiency, status fractions, cache occupancy.
+
+``POST /cache/clear``
+    Drops every cached entry (for experiment hygiene between runs).
+"""
+
+from __future__ import annotations
+
+from repro.core.proxy import FunctionProxy
+from repro.relational.errors import RelationalError
+from repro.sqlparser.errors import ParseError
+from repro.templates.errors import TemplateError
+
+
+def create_proxy_app(proxy: FunctionProxy):
+    """Build the Flask app for a function proxy."""
+    try:
+        from flask import Flask, request
+    except ImportError:  # pragma: no cover - optional dependency
+        raise RuntimeError(
+            "the HTTP deployment needs Flask; install repro[http]"
+        ) from None
+
+    app = Flask("repro-proxy")
+
+    @app.get("/search/<form_name>")
+    def search(form_name: str):
+        try:
+            response = proxy.serve_form(form_name, request.args)
+        except (TemplateError, ParseError, RelationalError) as exc:
+            return {"error": str(exc)}, 400
+        record = response.record
+        return (
+            response.result.to_xml(),
+            200,
+            {
+                "Content-Type": "application/xml",
+                "X-Proxy-Ms": f"{record.response_ms:.3f}",
+                "X-Cache-Status": record.status.value,
+                "X-Cache-Efficiency": f"{record.cache_efficiency:.4f}",
+            },
+        )
+
+    @app.get("/stats")
+    def stats():
+        trace_stats = proxy.stats
+        return {
+            "queries": len(trace_stats),
+            "average_response_ms": trace_stats.average_response_ms,
+            "average_cache_efficiency": (
+                trace_stats.average_cache_efficiency
+            ),
+            "hit_ratio": trace_stats.hit_ratio,
+            "status_fractions": {
+                status.value: fraction
+                for status, fraction in (
+                    trace_stats.status_fractions().items()
+                )
+            },
+            "cache_bytes": proxy.cache.current_bytes,
+            "cache_entries": len(proxy.cache),
+            "scheme": proxy.scheme.value,
+        }
+
+    @app.post("/cache/clear")
+    def clear():
+        return {"removed": proxy.cache.clear()}
+
+    return app

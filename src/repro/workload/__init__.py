@@ -1,0 +1,42 @@
+"""Workloads: query traces and the remote browser emulator.
+
+The paper drives its experiments with a real trace of 11,323 Radial
+search form queries extracted from SkyServer web logs, with these
+measured properties (Section 4.1): with an unlimited cache, about 51%
+of queries can be fully answered from cache (17% exact matches and 34%
+query containment), and about 9% overlap.
+
+We cannot ship that trace, so :mod:`repro.workload.generator` produces
+a synthetic trace *calibrated to those fractions* — a hotspot model in
+which popular sky locations are revisited, zoomed into (containment),
+panned around (overlap), or abandoned for fresh ones (disjoint).  The
+:mod:`repro.workload.analyzer` measures the fractions of any trace the
+same way the paper reports them, and the calibration is asserted by
+tests.
+
+:class:`~repro.workload.rbe.BrowserEmulator` replays a trace through a
+proxy, adding client-side network time — the paper's RBE.
+"""
+
+from repro.workload.trace import Trace, TraceQuery
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+from repro.workload.rect_generator import (
+    RectTraceConfig,
+    generate_rect_trace,
+    interleave,
+)
+from repro.workload.analyzer import TraceProfile, analyze_trace
+from repro.workload.rbe import BrowserEmulator
+
+__all__ = [
+    "BrowserEmulator",
+    "RadialTraceConfig",
+    "RectTraceConfig",
+    "Trace",
+    "TraceProfile",
+    "TraceQuery",
+    "analyze_trace",
+    "generate_radial_trace",
+    "generate_rect_trace",
+    "interleave",
+]

@@ -1,0 +1,242 @@
+"""Rectangular-form trace generation, and mixed-template traces.
+
+The paper's experiments focus on the Radial form, but the framework
+(and this library) registers the Rectangular search form too.  This
+module maps the same four workload moves onto rectangles:
+
+* **repeat** — re-issue an earlier rectangle verbatim;
+* **zoom** — a sub-rectangle strictly inside an earlier one;
+* **pan** — an equal-size rectangle shifted by a fraction of its
+  width/height (overlapping, not contained);
+* **zoom-out** — a super-rectangle strictly containing an earlier one;
+* **fresh** — a new location, rejection-sampled against covered sky.
+
+``interleave`` mixes per-template traces into one stream, for
+experiments where the proxy caches several templates at once (each
+template's entries live in a separate cache-description space, as the
+paper's framework prescribes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.skydata.generator import SkyCatalogConfig
+from repro.templates.skyserver_templates import (
+    MAG_MAX_DEFAULT,
+    MAG_MIN_DEFAULT,
+    RECT_TEMPLATE_ID,
+)
+from repro.workload.generator import _CoverageGrid, _pick
+from repro.workload.trace import Trace, TraceQuery
+
+
+@dataclass(frozen=True)
+class RectTraceConfig:
+    """Parameters of the synthetic Rectangular-form trace."""
+
+    n_queries: int = 2_000
+    seed: int = 351  # the paper's last page number
+    p_repeat: float = 0.29
+    p_zoom: float = 0.22
+    p_pan: float = 0.055
+    p_zoom_out: float = 0.035
+    # Rectangle side lengths (log-uniform), in degrees.
+    side_min_deg: float = 0.05
+    side_max_deg: float = 0.4
+    zoom_fraction_min: float = 0.35
+    zoom_fraction_max: float = 0.8
+    popularity_skew: float = 3.0
+    fresh_max_tries: int = 25
+    sky: SkyCatalogConfig = SkyCatalogConfig()
+    edge_margin_deg: float = 1.0
+    coordinate_decimals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_queries < 1:
+            raise ValueError("n_queries must be positive")
+        if self.p_repeat + self.p_zoom + self.p_pan + self.p_zoom_out > 1.0:
+            raise ValueError("move probabilities exceed 1")
+        if not 0 < self.side_min_deg <= self.side_max_deg:
+            raise ValueError("bad side-length range")
+
+
+def generate_rect_trace(config: RectTraceConfig | None = None) -> Trace:
+    """Generate a Rectangular-form trace with the same move model as
+    the Radial generator."""
+    config = config or RectTraceConfig()
+    rng = np.random.default_rng(config.seed)
+    # History entries are (ra_min, ra_max, dec_min, dec_max).
+    history: list[tuple[float, float, float, float]] = []
+    coverage = _CoverageGrid()
+    trace = Trace()
+
+    for _ in range(config.n_queries):
+        move = rng.random()
+        t_repeat = config.p_repeat
+        t_zoom = t_repeat + config.p_zoom
+        t_pan = t_zoom + config.p_pan
+        t_zoom_out = t_pan + config.p_zoom_out
+        if history and move < t_repeat:
+            rect = _pick(history, rng, config.popularity_skew)
+        elif history and move < t_zoom:
+            rect = _zoom_rect(
+                _pick(history, rng, config.popularity_skew), rng, config
+            )
+        elif history and move < t_pan:
+            rect = _pan_rect(
+                _pick(history, rng, config.popularity_skew), rng
+            )
+        elif history and move < t_zoom_out:
+            rect = _zoom_out_rect(
+                _pick(history, rng, config.popularity_skew), rng, config
+            )
+        else:
+            rect = _fresh_rect(rng, config, coverage)
+        rect = _round_rect(config, rect)
+        history.append(rect)
+        ra_min, ra_max, dec_min, dec_max = rect
+        # Register the bounding disc in the shared coverage grid.
+        center_ra = (ra_min + ra_max) / 2.0
+        center_dec = (dec_min + dec_max) / 2.0
+        half_diag_arcmin = 30.0 * math.hypot(
+            ra_max - ra_min, dec_max - dec_min
+        )
+        coverage.add(center_ra, center_dec, half_diag_arcmin)
+        trace.append(
+            TraceQuery.of(
+                RECT_TEMPLATE_ID,
+                {
+                    "ra_min": ra_min,
+                    "ra_max": ra_max,
+                    "dec_min": dec_min,
+                    "dec_max": dec_max,
+                    "r_min": MAG_MIN_DEFAULT,
+                    "r_max": MAG_MAX_DEFAULT,
+                },
+            )
+        )
+    return trace
+
+
+def interleave(traces: list[Trace], seed: int = 0) -> Trace:
+    """Merge traces into one stream, preserving each trace's order.
+
+    Each step draws the next query from a trace chosen with probability
+    proportional to its remaining length — an unbiased shuffle of the
+    merge that keeps per-template reuse patterns intact.
+    """
+    rng = np.random.default_rng(seed)
+    cursors = [0] * len(traces)
+    merged = Trace()
+    remaining = sum(len(t) for t in traces)
+    while remaining:
+        weights = [
+            len(trace) - cursor for trace, cursor in zip(traces, cursors)
+        ]
+        choice = rng.choice(len(traces), p=[w / remaining for w in weights])
+        merged.append(traces[choice][cursors[choice]])
+        cursors[choice] += 1
+        remaining -= 1
+    return merged
+
+
+# ---------------------------------------------------------------- moves
+
+
+def _sample_sides(rng, config: RectTraceConfig) -> tuple[float, float]:
+    low = math.log(config.side_min_deg)
+    high = math.log(config.side_max_deg)
+    return math.exp(rng.uniform(low, high)), math.exp(
+        rng.uniform(low, high)
+    )
+
+
+def _fresh_rect(rng, config: RectTraceConfig, coverage: _CoverageGrid):
+    sky = config.sky
+    margin = config.edge_margin_deg
+    rect = None
+    for _ in range(max(config.fresh_max_tries, 1)):
+        width, height = _sample_sides(rng, config)
+        ra_min = rng.uniform(sky.ra_min + margin, sky.ra_max - margin - width)
+        dec_min = rng.uniform(
+            sky.dec_min + margin, sky.dec_max - margin - height
+        )
+        rect = (ra_min, ra_min + width, dec_min, dec_min + height)
+        center_ra = ra_min + width / 2.0
+        center_dec = dec_min + height / 2.0
+        half_diag_arcmin = 30.0 * math.hypot(width, height)
+        if not coverage.collides(center_ra, center_dec, half_diag_arcmin):
+            break
+    return rect
+
+
+def _zoom_rect(parent, rng, config: RectTraceConfig):
+    """A rectangle strictly inside the parent."""
+    ra_min, ra_max, dec_min, dec_max = parent
+    fraction = rng.uniform(config.zoom_fraction_min, config.zoom_fraction_max)
+    width = (ra_max - ra_min) * fraction
+    height = (dec_max - dec_min) * fraction
+    # Keep 10% of the slack on each side as rounding headroom.
+    slack_ra = (ra_max - ra_min - width) * 0.8
+    slack_dec = (dec_max - dec_min - height) * 0.8
+    new_ra_min = ra_min + (ra_max - ra_min - width) * 0.1 + rng.uniform(
+        0.0, slack_ra
+    )
+    new_dec_min = dec_min + (dec_max - dec_min - height) * 0.1 + rng.uniform(
+        0.0, slack_dec
+    )
+    return (new_ra_min, new_ra_min + width, new_dec_min, new_dec_min + height)
+
+
+def _pan_rect(parent, rng):
+    """An equal-size rectangle shifted to overlap but not contain."""
+    ra_min, ra_max, dec_min, dec_max = parent
+    width = ra_max - ra_min
+    height = dec_max - dec_min
+    shift_ra = width * rng.uniform(0.3, 0.8) * rng.choice((-1.0, 1.0))
+    shift_dec = height * rng.uniform(0.0, 0.3) * rng.choice((-1.0, 1.0))
+    return (
+        ra_min + shift_ra,
+        ra_max + shift_ra,
+        dec_min + shift_dec,
+        dec_max + shift_dec,
+    )
+
+
+def _zoom_out_rect(parent, rng, config: RectTraceConfig):
+    """A rectangle strictly containing the parent."""
+    ra_min, ra_max, dec_min, dec_max = parent
+    grow = rng.uniform(1.3, 2.2)
+    extra_ra = (ra_max - ra_min) * (grow - 1.0)
+    extra_dec = (dec_max - dec_min) * (grow - 1.0)
+    left = rng.uniform(0.1, 0.9)
+    bottom = rng.uniform(0.1, 0.9)
+    return (
+        ra_min - extra_ra * left,
+        ra_max + extra_ra * (1.0 - left),
+        dec_min - extra_dec * bottom,
+        dec_max + extra_dec * (1.0 - bottom),
+    )
+
+
+def _round_rect(config: RectTraceConfig, rect):
+    sky = config.sky
+    margin = config.edge_margin_deg
+    decimals = config.coordinate_decimals
+    ra_min, ra_max, dec_min, dec_max = rect
+    ra_min = max(ra_min, sky.ra_min + margin)
+    ra_max = min(ra_max, sky.ra_max - margin)
+    dec_min = max(dec_min, sky.dec_min + margin)
+    dec_max = min(dec_max, sky.dec_max - margin)
+    # Rounding the min down and the max up preserves zoom containment.
+    factor = 10.0**decimals
+    return (
+        math.floor(ra_min * factor) / factor,
+        math.ceil(ra_max * factor) / factor,
+        math.floor(dec_min * factor) / factor,
+        math.ceil(dec_max * factor) / factor,
+    )

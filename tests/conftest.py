@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+The origin server is expensive to build (catalog generation + spatial
+index), so one small instance is shared per test session.  Tests that
+mutate proxy caches build their own proxies around the shared origin —
+the origin itself is read-only with respect to proxies (its query
+counters are diagnostics and no test asserts exact counter values
+across tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.origin import OriginServer
+from repro.skydata.generator import SkyCatalogConfig
+
+SMALL_SKY = SkyCatalogConfig(
+    n_objects=8_000,
+    ra_min=160.0,
+    ra_max=168.0,
+    dec_min=5.0,
+    dec_max=11.0,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def origin() -> OriginServer:
+    """A small synthetic SkyServer shared by the whole session."""
+    return OriginServer.skyserver(SMALL_SKY)
+
+
+@pytest.fixture(scope="session")
+def templates(origin):
+    return origin.templates
+
+
+@pytest.fixture()
+def radial_params():
+    """A mid-window radial query binding with open magnitude range."""
+    return {
+        "ra": 164.0,
+        "dec": 8.0,
+        "radius": 10.0,
+        "r_min": -9999.0,
+        "r_max": 9999.0,
+    }

@@ -1,0 +1,27 @@
+"""Proxy cost model."""
+
+import pytest
+
+from repro.core.costs import ProxyCostModel
+
+
+def test_defaults_are_non_negative():
+    model = ProxyCostModel()
+    for name, value in vars(model).items():
+        assert value >= 0, name
+
+
+def test_negative_parameter_rejected():
+    with pytest.raises(ValueError, match="parse_ms"):
+        ProxyCostModel(parse_ms=-1.0)
+
+
+def test_store_cost_scales_with_kilobytes():
+    model = ProxyCostModel(store_per_kb_ms=2.0)
+    assert model.store_ms(0) == 0.0
+    assert model.store_ms(2048) == pytest.approx(4.0)
+
+
+def test_rtree_update_costs_more_than_array_by_default():
+    model = ProxyCostModel()
+    assert model.rtree_update_per_node_ms > model.array_update_ms

@@ -1,0 +1,83 @@
+"""Array and R-tree cache descriptions agree on candidates."""
+
+import pytest
+
+from repro.core.cache import CacheManager
+from repro.core.description import ArrayDescription, RTreeDescription
+from repro.templates.skyserver_templates import (
+    RADIAL_TEMPLATE_ID,
+    RECT_TEMPLATE_ID,
+)
+
+
+@pytest.fixture()
+def filled(templates, origin, radial_params):
+    """Both descriptions filled with the same entries."""
+    array_cache = CacheManager(ArrayDescription())
+    rtree_cache = CacheManager(RTreeDescription())
+    bounds = []
+    for i in range(12):
+        params = dict(
+            radial_params,
+            ra=162.0 + i * 0.4,
+            dec=7.0 + (i % 3) * 0.5,
+            radius=4.0 + i,
+        )
+        bound = templates.bind(RADIAL_TEMPLATE_ID, params)
+        result = origin.execute_bound(bound).result
+        array_cache.store(bound, result, "sig", False)
+        rtree_cache.store(bound, result, "sig", False)
+        bounds.append(bound)
+    return array_cache, rtree_cache, bounds
+
+
+def keys(entries):
+    return {entry.cache_key for entry in entries}
+
+
+class TestAgreement:
+    def test_same_survivors_for_each_probe(self, filled, templates,
+                                           radial_params):
+        array_cache, rtree_cache, bounds = filled
+        for probe in bounds:
+            array_entries, _ = array_cache.description.candidates(
+                RADIAL_TEMPLATE_ID, probe.region
+            )
+            rtree_entries, _ = rtree_cache.description.candidates(
+                RADIAL_TEMPLATE_ID, probe.region
+            )
+            assert keys(array_entries) == keys(rtree_entries)
+
+    def test_both_empty_for_unknown_template(self, filled):
+        array_cache, rtree_cache, bounds = filled
+        probe = bounds[0]
+        for cache in (array_cache, rtree_cache):
+            entries, probe_ms = cache.description.candidates(
+                RECT_TEMPLATE_ID, probe.region
+            )
+            assert entries == []
+
+
+class TestCosting:
+    def test_array_probe_cost_scales_with_entries(self, filled):
+        array_cache, _rtree_cache, bounds = filled
+        _, probe_ms = array_cache.description.candidates(
+            RADIAL_TEMPLATE_ID, bounds[0].region
+        )
+        expected = (
+            array_cache.costs.check_per_array_entry_ms * len(array_cache)
+        )
+        assert probe_ms == pytest.approx(expected)
+
+    def test_rtree_maintenance_charges_more_than_array(
+        self, templates, origin, radial_params
+    ):
+        array_cache = CacheManager(ArrayDescription())
+        rtree_cache = CacheManager(RTreeDescription())
+        bound = templates.bind(RADIAL_TEMPLATE_ID, radial_params)
+        result = origin.execute_bound(bound).result
+        _, array_report = array_cache.store(bound, result, "sig", False)
+        _, rtree_report = rtree_cache.store(bound, result, "sig", False)
+        assert rtree_report.description_work > (
+            array_report.description_work
+        )

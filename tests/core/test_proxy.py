@@ -1,0 +1,232 @@
+"""Function proxy dispositions and soundness guards."""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.schemes import CachingScheme
+from repro.core.stats import QueryStatus
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+@pytest.fixture()
+def make_proxy(origin):
+    def build(scheme=CachingScheme.FULL_SEMANTIC, **kwargs):
+        return FunctionProxy(origin, origin.templates, scheme=scheme,
+                             **kwargs)
+
+    return build
+
+
+@pytest.fixture()
+def bind(templates, radial_params):
+    def run(**overrides):
+        return templates.bind(
+            RADIAL_TEMPLATE_ID, dict(radial_params, **overrides)
+        )
+
+    return run
+
+
+def ids(result):
+    key = result.schema.position("objID")
+    return {row[key] for row in result.rows}
+
+
+class TestDispositions:
+    def test_first_query_is_disjoint_and_cached(self, make_proxy, bind):
+        proxy = make_proxy()
+        record = proxy.serve(bind()).record
+        assert record.status is QueryStatus.DISJOINT
+        assert record.contacted_origin
+        assert len(proxy.cache) == 1
+
+    def test_repeat_is_exact_hit(self, make_proxy, bind):
+        proxy = make_proxy()
+        first = proxy.serve(bind())
+        second = proxy.serve(bind())
+        assert second.record.status is QueryStatus.EXACT
+        assert not second.record.contacted_origin
+        assert ids(second.result) == ids(first.result)
+        assert second.record.cache_efficiency == 1.0
+
+    def test_zoom_in_is_contained_and_not_cached(
+        self, make_proxy, bind, origin
+    ):
+        proxy = make_proxy()
+        proxy.serve(bind(radius=15.0))
+        inner = bind(radius=6.0)
+        response = proxy.serve(inner)
+        assert response.record.status is QueryStatus.CONTAINED
+        assert not response.record.contacted_origin
+        assert ids(response.result) == ids(
+            origin.execute_bound(inner).result
+        )
+        assert len(proxy.cache) == 1  # contained results are not cached
+
+    def test_pan_is_overlap_with_remainder(self, make_proxy, bind, origin):
+        proxy = make_proxy()
+        proxy.serve(bind(radius=12.0))
+        shifted = bind(ra=164.25, radius=12.0)
+        response = proxy.serve(shifted)
+        assert response.record.status is QueryStatus.OVERLAP
+        assert response.record.contacted_origin
+        assert ids(response.result) == ids(
+            origin.execute_bound(shifted).result
+        )
+        assert 0.0 < response.record.cache_efficiency < 1.0
+        # The merged full-region result was cached.
+        assert proxy.cache.exact_match(shifted) is not None
+
+    def test_zoom_out_is_region_containment_with_consolidation(
+        self, make_proxy, bind, origin
+    ):
+        proxy = make_proxy()
+        proxy.serve(bind(radius=5.0))
+        big = bind(radius=20.0)
+        response = proxy.serve(big)
+        assert response.record.status is QueryStatus.REGION_CONTAINMENT
+        assert ids(response.result) == ids(origin.execute_bound(big).result)
+        # The subsumed small entry was removed; only the merged big
+        # entry remains.
+        assert len(proxy.cache) == 1
+        assert proxy.cache.exact_match(big) is not None
+
+    def test_far_query_is_disjoint(self, make_proxy, bind):
+        proxy = make_proxy()
+        proxy.serve(bind(ra=162.0))
+        record = proxy.serve(bind(ra=166.5)).record
+        assert record.status is QueryStatus.DISJOINT
+
+
+class TestSchemeDegradation:
+    def test_passive_only_hits_exact(self, make_proxy, bind):
+        proxy = make_proxy(scheme=CachingScheme.PASSIVE)
+        proxy.serve(bind(radius=15.0))
+        inner = proxy.serve(bind(radius=6.0))
+        assert inner.record.status is QueryStatus.FORWARDED
+        repeat = proxy.serve(bind(radius=15.0))
+        assert repeat.record.status is QueryStatus.EXACT
+
+    def test_no_cache_never_caches(self, make_proxy, bind):
+        proxy = make_proxy(scheme=CachingScheme.NO_CACHE)
+        proxy.serve(bind())
+        record = proxy.serve(bind()).record
+        assert record.status is QueryStatus.NO_CACHE
+        assert len(proxy.cache) == 0
+
+    def test_containment_only_forwards_overlap(
+        self, make_proxy, bind, origin
+    ):
+        proxy = make_proxy(scheme=CachingScheme.CONTAINMENT_ONLY)
+        proxy.serve(bind(radius=12.0))
+        shifted = bind(ra=164.25, radius=12.0)
+        response = proxy.serve(shifted)
+        assert response.record.status is QueryStatus.FORWARDED
+        assert ids(response.result) == ids(
+            origin.execute_bound(shifted).result
+        )
+
+    def test_second_scheme_handles_zoom_out_but_not_pan(
+        self, make_proxy, bind
+    ):
+        proxy = make_proxy(scheme=CachingScheme.REGION_CONTAINMENT)
+        proxy.serve(bind(radius=5.0))
+        zoom_out = proxy.serve(bind(radius=18.0))
+        assert zoom_out.record.status is QueryStatus.REGION_CONTAINMENT
+        pan = proxy.serve(bind(ra=164.4, radius=18.0))
+        assert pan.record.status is QueryStatus.FORWARDED
+
+
+class TestSoundnessGuards:
+    def test_different_signature_is_not_compared(self, make_proxy, bind):
+        proxy = make_proxy()
+        proxy.serve(bind(radius=15.0, r_min=18.0, r_max=20.0))
+        # Same region subset, but different magnitude filter: the cached
+        # entry misses tuples outside [18, 20], so containment answering
+        # would be wrong.  The proxy must treat it as a miss.
+        response = proxy.serve(bind(radius=6.0))
+        assert response.record.status in (
+            QueryStatus.DISJOINT, QueryStatus.FORWARDED,
+        )
+        assert response.record.contacted_origin
+
+    def test_same_narrowed_signature_is_compared(
+        self, make_proxy, bind, origin
+    ):
+        proxy = make_proxy()
+        narrowed = dict(r_min=18.0, r_max=20.0)
+        proxy.serve(bind(radius=15.0, **narrowed))
+        inner = bind(radius=6.0, **narrowed)
+        response = proxy.serve(inner)
+        assert response.record.status is QueryStatus.CONTAINED
+        assert ids(response.result) == ids(
+            origin.execute_bound(inner).result
+        )
+
+    def test_nondeterministic_function_is_tunneled(self, origin, make_proxy):
+        from repro.sqlparser.parser import parse_expression
+        from repro.templates.function_template import FunctionTemplate, Shape
+        from repro.templates.query_template import QueryTemplate
+
+        ftemplate = FunctionTemplate(
+            name="fRandomSample",
+            params=("count",),
+            shape=Shape.HYPERRECT,
+            dims=2,
+            point_exprs=(
+                parse_expression("ra"), parse_expression("dec"),
+            ),
+            low_exprs=(
+                parse_expression("0"), parse_expression("0"),
+            ),
+            high_exprs=(
+                parse_expression("$count"), parse_expression("$count"),
+            ),
+        )
+        template = QueryTemplate.from_sql(
+            "t.random",
+            "SELECT objID, ra, dec FROM fRandomSample($count) n",
+            ftemplate,
+            key_column="objID",
+        )
+        origin.templates.register_function_template(ftemplate)
+        origin.templates.register_query_template(template)
+        try:
+            proxy = make_proxy()
+            bound = origin.templates.bind("t.random", {"count": 5})
+            first = proxy.serve(bound)
+            second = proxy.serve(bound)
+            assert first.record.status is QueryStatus.NO_CACHE
+            assert second.record.status is QueryStatus.NO_CACHE
+            assert len(proxy.cache) == 0
+        finally:
+            # Keep the session-scoped origin clean for other tests.
+            origin.templates._query_templates.pop("t.random")
+            origin.templates._function_templates.pop("frandomsample")
+
+    def test_cache_budget_is_respected(self, make_proxy, bind):
+        proxy = make_proxy(cache_bytes=6_000)
+        for i in range(8):
+            proxy.serve(bind(ra=162.0 + i * 0.6, radius=12.0))
+        assert proxy.cache.current_bytes <= 6_000
+
+    def test_timing_steps_recorded(self, make_proxy, bind):
+        proxy = make_proxy()
+        record = proxy.serve(bind()).record
+        assert "parse" in record.steps_ms
+        assert "origin" in record.steps_ms
+        assert record.response_ms == pytest.approx(
+            sum(record.steps_ms.values())
+        )
+
+    def test_check_wall_time_is_measured(self, make_proxy, bind):
+        proxy = make_proxy()
+        proxy.serve(bind(ra=162.5))
+        record = proxy.serve(bind(ra=165.5)).record
+        assert record.check_wall_ms >= 0.0
+
+    def test_max_holes_validation(self, origin):
+        with pytest.raises(ValueError):
+            FunctionProxy(
+                origin, origin.templates, max_holes=0
+            )

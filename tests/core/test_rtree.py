@@ -1,0 +1,130 @@
+"""R-tree structure and search correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rtree import RTree, RTreeError
+from repro.geometry.regions import HyperRect
+
+
+def box(x, y, w=1.0, h=1.0):
+    return HyperRect((x, y), (x + w, y + h))
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = RTree(dims=2)
+        tree.insert("a", box(0, 0))
+        tree.insert("b", box(10, 10))
+        assert set(tree.search(box(-1, -1, 3, 3))) == {"a"}
+        assert set(tree.search(box(0, 0, 20, 20))) == {"a", "b"}
+        assert tree.search(box(50, 50)) == []
+
+    def test_len_and_contains(self):
+        tree = RTree(dims=2)
+        tree.insert(1, box(0, 0))
+        assert len(tree) == 1
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_duplicate_key_raises(self):
+        tree = RTree(dims=2)
+        tree.insert("a", box(0, 0))
+        with pytest.raises(RTreeError, match="duplicate"):
+            tree.insert("a", box(1, 1))
+
+    def test_delete(self):
+        tree = RTree(dims=2)
+        tree.insert("a", box(0, 0))
+        tree.insert("b", box(0.5, 0.5))
+        tree.delete("a")
+        assert set(tree.search(box(0, 0, 2, 2))) == {"b"}
+        assert len(tree) == 1
+
+    def test_delete_unknown_raises(self):
+        tree = RTree(dims=2)
+        with pytest.raises(RTreeError, match="unknown key"):
+            tree.delete("ghost")
+
+    def test_dimension_mismatch_raises(self):
+        tree = RTree(dims=2)
+        with pytest.raises(RTreeError):
+            tree.insert("a", HyperRect((0.0,), (1.0,)))
+
+    def test_bad_construction(self):
+        with pytest.raises(RTreeError):
+            RTree(dims=0)
+        with pytest.raises(RTreeError):
+            RTree(dims=2, max_entries=2)
+
+    def test_nodes_visited_reported(self):
+        tree = RTree(dims=2)
+        for i in range(50):
+            tree.insert(i, box(i * 2.0, 0.0))
+        tree.search(box(10, 0, 1, 1))
+        assert tree.nodes_visited >= 1
+
+    def test_splits_grow_tree_beyond_one_node(self):
+        tree = RTree(dims=2, max_entries=4)
+        for i in range(30):
+            tree.insert(i, box(float(i % 6), float(i // 6)))
+        assert tree.maintenance_ops > 0
+        tree.check_invariants()
+
+
+def brute_force(entries, probe):
+    return {
+        key for key, rect in entries.items()
+        if rect.intersect(probe) is not None
+    }
+
+
+coordinates = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+sizes = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+rects = st.builds(box, coordinates, coordinates, sizes, sizes)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 40), rects),
+        st.tuples(st.just("delete"), st.integers(0, 40), rects),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops=operations, probe=rects)
+@settings(max_examples=150, deadline=None)
+def test_search_matches_linear_scan_under_churn(ops, probe):
+    """Search equals brute force after arbitrary insert/delete churn."""
+    tree = RTree(dims=2, max_entries=5)
+    entries = {}
+    for action, key, rect in ops:
+        if action == "insert":
+            if key in entries:
+                continue
+            entries[key] = rect
+            tree.insert(key, rect)
+        else:
+            if key not in entries:
+                continue
+            del entries[key]
+            tree.delete(key)
+    assert set(tree.search(probe)) == brute_force(entries, probe)
+    assert len(tree) == len(entries)
+
+
+@given(ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_invariants_hold_under_churn(ops):
+    tree = RTree(dims=2, max_entries=5)
+    entries = set()
+    for action, key, rect in ops:
+        if action == "insert" and key not in entries:
+            entries.add(key)
+            tree.insert(key, rect)
+        elif action == "delete" and key in entries:
+            entries.remove(key)
+            tree.delete(key)
+        tree.check_invariants()

@@ -1,0 +1,103 @@
+"""Result stores: memory and file-backed (the paper's XML files)."""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.core.store import (
+    FileResultStore,
+    MemoryResultStore,
+    ResultStoreError,
+)
+from repro.relational.result import ResultTable
+from repro.relational.schema import Schema
+from repro.relational.types import ColumnType
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+def sample_result():
+    return ResultTable(
+        Schema.of(("objID", ColumnType.INT), ("ra", ColumnType.FLOAT)),
+        [(1, 164.5), (2, 164.6)],
+    )
+
+
+class TestMemoryStore:
+    def test_roundtrip(self):
+        store = MemoryResultStore()
+        store.put(1, sample_result())
+        assert store.get(1) == sample_result()
+
+    def test_missing_raises(self):
+        with pytest.raises(ResultStoreError):
+            MemoryResultStore().get(1)
+
+    def test_remove_is_idempotent(self):
+        store = MemoryResultStore()
+        store.put(1, sample_result())
+        store.remove(1)
+        store.remove(1)
+        with pytest.raises(ResultStoreError):
+            store.get(1)
+
+
+class TestFileStore:
+    def test_roundtrip_through_xml_file(self, tmp_path):
+        store = FileResultStore(tmp_path / "cache")
+        store.put(7, sample_result())
+        assert (tmp_path / "cache" / "entry-7.xml").exists()
+        assert store.get(7) == sample_result()
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(ResultStoreError):
+            FileResultStore(tmp_path).get(99)
+
+    def test_remove_deletes_file(self, tmp_path):
+        store = FileResultStore(tmp_path)
+        store.put(3, sample_result())
+        store.remove(3)
+        assert not (tmp_path / "entry-3.xml").exists()
+
+
+class TestProxyWithFileStore:
+    def test_dispositions_and_answers_match_memory(
+        self, origin, radial_params, tmp_path
+    ):
+        file_proxy = FunctionProxy(
+            origin,
+            origin.templates,
+            result_store=FileResultStore(tmp_path / "proxy-cache"),
+        )
+        memory_proxy = FunctionProxy(origin, origin.templates)
+
+        bindings = [
+            dict(radial_params, radius=15.0),
+            dict(radial_params, radius=15.0),       # exact
+            dict(radial_params, radius=6.0),        # contained
+            dict(radial_params, ra=164.3, radius=14.0),  # overlap
+        ]
+        for params in bindings:
+            bound = origin.templates.bind(RADIAL_TEMPLATE_ID, params)
+            from_file = file_proxy.serve(bound)
+            from_memory = memory_proxy.serve(bound)
+            assert from_file.record.status is from_memory.record.status
+            key = from_file.result.schema.position("objID")
+            assert {r[key] for r in from_file.result.rows} == {
+                r[key] for r in from_memory.result.rows
+            }
+
+    def test_eviction_cleans_result_files(
+        self, origin, radial_params, tmp_path
+    ):
+        directory = tmp_path / "spill"
+        proxy = FunctionProxy(
+            origin,
+            origin.templates,
+            cache_bytes=5_000,
+            result_store=FileResultStore(directory),
+        )
+        for i in range(8):
+            params = dict(radial_params, ra=162.0 + i * 0.6, radius=12.0)
+            proxy.serve(origin.templates.bind(RADIAL_TEMPLATE_ID, params))
+        files = list(directory.glob("entry-*.xml"))
+        assert len(files) == len(proxy.cache)

@@ -1,0 +1,97 @@
+"""TOP-N truncated cache entries serve exact matches only.
+
+A query with TOP-N may return a strict prefix of its region's tuples;
+caching that prefix and answering a *contained* query from it would
+silently drop rows.  The paper does not discuss this interaction; the
+implementation guards it by marking such entries ``truncated`` and
+excluding them from containment/overlap reasoning (DESIGN.md records
+the decision).
+"""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.templates.query_template import QueryTemplate
+from repro.templates.skyserver_templates import (
+    RADIAL_SQL,
+    radial_function_template,
+)
+
+TOP_TEMPLATE_ID = "radial.top"
+
+
+@pytest.fixture()
+def top_templates(origin):
+    """The origin's templates plus a TOP-3 radial variant."""
+    templates = origin.templates
+    if TOP_TEMPLATE_ID.lower() not in templates._query_templates:
+        top_sql = "SELECT TOP 3 " + RADIAL_SQL[len("SELECT "):] + (
+            " ORDER BY n.distance"
+        )
+        templates.register_query_template(
+            QueryTemplate.from_sql(
+                TOP_TEMPLATE_ID,
+                top_sql,
+                radial_function_template(),
+                key_column="objID",
+            )
+        )
+    yield templates
+    templates._query_templates.pop(TOP_TEMPLATE_ID.lower(), None)
+
+
+def test_truncated_entry_only_serves_exact(
+    origin, top_templates, radial_params
+):
+    proxy = FunctionProxy(origin, top_templates)
+    big = top_templates.bind(
+        TOP_TEMPLATE_ID, dict(radial_params, radius=20.0)
+    )
+    first = proxy.serve(big)
+    assert len(first.result) == 3  # hit the TOP limit -> truncated entry
+
+    # An identical query is still an exact hit...
+    repeat = proxy.serve(big)
+    assert repeat.record.status is QueryStatus.EXACT
+
+    # ...but a contained query must NOT be answered from the truncated
+    # prefix: its true top-3-by-distance may include tuples the prefix
+    # lacks.
+    small = top_templates.bind(
+        TOP_TEMPLATE_ID, dict(radial_params, radius=6.0)
+    )
+    response = proxy.serve(small)
+    assert response.record.status in (
+        QueryStatus.DISJOINT, QueryStatus.FORWARDED,
+    )
+    expected = origin.execute_bound(small).result
+    key = expected.schema.position("objID")
+    assert {r[key] for r in response.result.rows} == {
+        r[key] for r in expected.rows
+    }
+
+
+def test_untruncated_top_entry_can_serve_containment(
+    origin, top_templates, radial_params
+):
+    """A TOP-N query whose region held fewer than N tuples is complete
+    and safely answers contained queries."""
+    proxy = FunctionProxy(origin, top_templates)
+    # A tiny radius returns fewer than 3 tuples: not truncated.
+    tiny = top_templates.bind(
+        TOP_TEMPLATE_ID, dict(radial_params, radius=1.2)
+    )
+    first = proxy.serve(tiny)
+    if len(first.result) >= 3:
+        pytest.skip("region unexpectedly dense; pick a smaller radius")
+    smaller = top_templates.bind(
+        TOP_TEMPLATE_ID, dict(radial_params, radius=0.6)
+    )
+    response = proxy.serve(smaller)
+    assert response.record.status is QueryStatus.CONTAINED
+    expected = origin.execute_bound(smaller).result
+    key = expected.schema.position("objID")
+    assert {r[key] for r in response.result.rows} == {
+        r[key] for r in expected.rows
+    }

@@ -1,0 +1,116 @@
+"""Rectangle difference decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.decompose import (
+    decompose_difference,
+    subtract_rect,
+    total_volume,
+)
+from repro.geometry.measure import region_volume
+from repro.geometry.regions import GeometryError, HyperRect
+
+
+def rect(lo, hi):
+    return HyperRect(tuple(lo), tuple(hi))
+
+
+class TestSubtractRect:
+    def test_disjoint_hole_returns_base(self):
+        base = rect((0, 0), (2, 2))
+        assert subtract_rect(base, rect((5, 5), (6, 6))) == [base]
+
+    def test_covering_hole_returns_empty(self):
+        base = rect((0, 0), (2, 2))
+        assert subtract_rect(base, rect((-1, -1), (3, 3))) == []
+
+    def test_center_hole_yields_four_pieces_in_2d(self):
+        base = rect((0, 0), (3, 3))
+        pieces = subtract_rect(base, rect((1, 1), (2, 2)))
+        assert len(pieces) == 4
+        assert total_volume(pieces) == pytest.approx(9.0 - 1.0)
+
+    def test_corner_hole_yields_two_pieces(self):
+        base = rect((0, 0), (2, 2))
+        pieces = subtract_rect(base, rect((1, 1), (3, 3)))
+        assert len(pieces) == 2
+        assert total_volume(pieces) == pytest.approx(4.0 - 1.0)
+
+    def test_3d_slab_count(self):
+        base = rect((0, 0, 0), (2, 2, 2))
+        pieces = subtract_rect(base, rect((0.5, 0.5, 0.5), (1.5, 1.5, 1.5)))
+        assert len(pieces) == 6  # 2 per dimension
+        assert total_volume(pieces) == pytest.approx(8.0 - 1.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(GeometryError):
+            subtract_rect(rect((0,), (1,)), rect((0, 0), (1, 1)))
+
+
+coordinate = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+extent = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def boxes(draw, dims=2):
+    lows = [draw(coordinate) for _ in range(dims)]
+    highs = [low + draw(extent) for low in lows]
+    return HyperRect(tuple(lows), tuple(highs))
+
+
+GRID = [i / 7.0 for i in range(8)]
+
+
+def sample_points(base: HyperRect):
+    for u in GRID:
+        for v in GRID:
+            yield (
+                base.lows[0] + u * (base.highs[0] - base.lows[0]),
+                base.lows[1] + v * (base.highs[1] - base.lows[1]),
+            )
+
+
+@given(base=boxes(), holes=st.lists(boxes(), min_size=0, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_decomposition_is_pointwise_correct(base, holes):
+    """A sampled point is covered by the pieces iff it is in the base
+    and strictly inside no hole (up to boundary tolerance)."""
+    pieces = decompose_difference(base, holes)
+    for point in sample_points(base):
+        in_pieces = any(piece.contains_point(point) for piece in pieces)
+        strictly_in_hole = any(
+            all(
+                hole.lows[d] + 1e-9 < point[d] < hole.highs[d] - 1e-9
+                for d in range(2)
+            )
+            for hole in holes
+        )
+        if strictly_in_hole:
+            assert not in_pieces
+        elif not any(hole.contains_point(point) for hole in holes):
+            assert in_pieces
+
+
+@given(base=boxes(), holes=st.lists(boxes(), min_size=0, max_size=4))
+@settings(max_examples=200, deadline=None)
+def test_volume_accounting(base, holes):
+    """Pieces are disjoint and inside the base: their total volume never
+    exceeds the base's, and with no holes it equals it."""
+    pieces = decompose_difference(base, holes)
+    assert total_volume(pieces) <= region_volume(base) + 1e-6
+    if not holes:
+        assert total_volume(pieces) == pytest.approx(region_volume(base))
+
+
+@given(base=boxes(), hole=boxes())
+@settings(max_examples=200, deadline=None)
+def test_pieces_have_disjoint_interiors(base, hole):
+    pieces = subtract_rect(base, hole)
+    for i, a in enumerate(pieces):
+        for b in pieces[i + 1:]:
+            overlap = a.intersect(b)
+            if overlap is not None:
+                # Shared faces are allowed; positive volume is not.
+                assert region_volume(overlap) == pytest.approx(0.0, abs=1e-9)

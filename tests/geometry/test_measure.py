@@ -1,0 +1,49 @@
+"""Region volumes."""
+
+import math
+
+import pytest
+
+from repro.geometry.measure import region_volume, unit_ball_volume
+from repro.geometry.regions import (
+    ConvexPolytope,
+    GeometryError,
+    Halfspace,
+    HyperRect,
+    HyperSphere,
+)
+
+
+def test_unit_ball_known_values():
+    assert unit_ball_volume(1) == pytest.approx(2.0)
+    assert unit_ball_volume(2) == pytest.approx(math.pi)
+    assert unit_ball_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+
+def test_unit_ball_rejects_bad_dimension():
+    with pytest.raises(GeometryError):
+        unit_ball_volume(0)
+
+
+def test_rect_volume():
+    assert region_volume(HyperRect((0.0, 0.0), (2.0, 3.0))) == pytest.approx(
+        6.0
+    )
+
+
+def test_empty_rect_volume_is_zero():
+    assert region_volume(HyperRect((2.0,), (1.0,))) == 0.0
+
+
+def test_sphere_volume_scales_with_radius_power():
+    small = region_volume(HyperSphere((0.0, 0.0, 0.0), 1.0))
+    big = region_volume(HyperSphere((0.0, 0.0, 0.0), 2.0))
+    assert big == pytest.approx(8.0 * small)
+
+
+def test_polytope_volume_is_bbox_upper_bound():
+    poly = ConvexPolytope(
+        (Halfspace((1.0, 1.0), 1.0),),
+        bbox=HyperRect((0.0, 0.0), (1.0, 1.0)),
+    )
+    assert region_volume(poly) == pytest.approx(1.0)

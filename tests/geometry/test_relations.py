@@ -1,0 +1,197 @@
+"""Pairwise region relation classification (the paper's query check)."""
+
+import pytest
+
+from repro.geometry.regions import (
+    ConvexPolytope,
+    GeometryError,
+    Halfspace,
+    HyperRect,
+    HyperSphere,
+)
+from repro.geometry.relations import RegionRelation, relate
+
+
+def rect(lo, hi):
+    return HyperRect(tuple(lo), tuple(hi))
+
+
+class TestRectRect:
+    def test_equal(self):
+        a = rect((0, 0), (2, 2))
+        b = rect((0.0, 0.0), (2.0, 2.0))
+        assert relate(a, b) is RegionRelation.EQUAL
+
+    def test_contains(self):
+        outer = rect((0, 0), (4, 4))
+        inner = rect((1, 1), (2, 2))
+        assert relate(outer, inner) is RegionRelation.CONTAINS
+        assert relate(inner, outer) is RegionRelation.CONTAINED
+
+    def test_overlap(self):
+        a = rect((0, 0), (2, 2))
+        b = rect((1, 1), (3, 3))
+        assert relate(a, b) is RegionRelation.OVERLAP
+
+    def test_disjoint(self):
+        a = rect((0, 0), (1, 1))
+        b = rect((2, 2), (3, 3))
+        assert relate(a, b) is RegionRelation.DISJOINT
+
+    def test_touching_edges_overlap(self):
+        # Closed regions sharing a boundary point intersect.
+        a = rect((0, 0), (1, 1))
+        b = rect((1, 0), (2, 1))
+        assert relate(a, b) is RegionRelation.OVERLAP
+
+    def test_disjoint_in_one_dimension_only(self):
+        a = rect((0, 0), (1, 1))
+        b = rect((0.2, 5), (0.8, 6))  # overlaps in x, disjoint in y
+        assert relate(a, b) is RegionRelation.DISJOINT
+
+    def test_contains_with_shared_edge(self):
+        outer = rect((0, 0), (4, 4))
+        inner = rect((0, 1), (2, 2))  # flush against the left edge
+        assert relate(outer, inner) is RegionRelation.CONTAINS
+
+
+class TestSphereSphere:
+    def test_equal(self):
+        a = HyperSphere((1.0, 1.0), 2.0)
+        b = HyperSphere((1.0, 1.0), 2.0)
+        assert relate(a, b) is RegionRelation.EQUAL
+
+    def test_concentric_contains(self):
+        big = HyperSphere((0.0, 0.0), 2.0)
+        small = HyperSphere((0.0, 0.0), 1.0)
+        assert relate(big, small) is RegionRelation.CONTAINS
+        assert relate(small, big) is RegionRelation.CONTAINED
+
+    def test_offcenter_containment_boundary(self):
+        # d + r_inner == r_outer: internal tangency counts as contained.
+        outer = HyperSphere((0.0, 0.0), 3.0)
+        inner = HyperSphere((1.0, 0.0), 2.0)
+        assert relate(outer, inner) is RegionRelation.CONTAINS
+
+    def test_offcenter_not_contained(self):
+        outer = HyperSphere((0.0, 0.0), 3.0)
+        inner = HyperSphere((1.5, 0.0), 2.0)
+        assert relate(outer, inner) is RegionRelation.OVERLAP
+
+    def test_disjoint(self):
+        a = HyperSphere((0.0, 0.0), 1.0)
+        b = HyperSphere((5.0, 0.0), 1.0)
+        assert relate(a, b) is RegionRelation.DISJOINT
+
+    def test_external_tangency_overlaps(self):
+        a = HyperSphere((0.0,), 1.0)
+        b = HyperSphere((2.0,), 1.0)
+        assert relate(a, b) is RegionRelation.OVERLAP
+
+    def test_3d(self):
+        a = HyperSphere((0.0, 0.0, 0.0), 2.0)
+        b = HyperSphere((0.5, 0.5, 0.5), 0.5)
+        assert relate(a, b) is RegionRelation.CONTAINS
+
+
+class TestRectSphere:
+    def test_sphere_inside_rect(self):
+        box = rect((-2, -2), (2, 2))
+        ball = HyperSphere((0.0, 0.0), 1.0)
+        assert relate(box, ball) is RegionRelation.CONTAINS
+        assert relate(ball, box) is RegionRelation.CONTAINED
+
+    def test_rect_inside_sphere(self):
+        ball = HyperSphere((0.0, 0.0), 2.0)
+        box = rect((-1, -1), (1, 1))  # corner distance sqrt(2) < 2
+        assert relate(ball, box) is RegionRelation.CONTAINS
+        assert relate(box, ball) is RegionRelation.CONTAINED
+
+    def test_rect_corners_poke_out(self):
+        ball = HyperSphere((0.0, 0.0), 1.0)
+        box = rect((-0.9, -0.9), (0.9, 0.9))  # corners outside the ball
+        assert relate(ball, box) is RegionRelation.OVERLAP
+
+    def test_disjoint(self):
+        ball = HyperSphere((5.0, 5.0), 1.0)
+        box = rect((0, 0), (1, 1))
+        assert relate(box, ball) is RegionRelation.DISJOINT
+        assert relate(ball, box) is RegionRelation.DISJOINT
+
+    def test_sphere_overlaps_rect_edge(self):
+        ball = HyperSphere((0.0, 2.0), 1.5)
+        box = rect((-1, -1), (1, 1))
+        assert relate(box, ball) is RegionRelation.OVERLAP
+
+    def test_degenerate_point_equal(self):
+        ball = HyperSphere((1.0, 1.0), 0.0)
+        box = rect((1, 1), (1, 1))
+        assert relate(box, ball) is RegionRelation.EQUAL
+
+
+class TestPolytope:
+    def unit_square_polytope(self):
+        return ConvexPolytope(
+            (
+                Halfspace((-1.0, 0.0), 0.0),   # x >= 0
+                Halfspace((1.0, 0.0), 1.0),    # x <= 1
+                Halfspace((0.0, -1.0), 0.0),   # y >= 0
+                Halfspace((0.0, 1.0), 1.0),    # y <= 1
+            ),
+            bbox=rect((0, 0), (1, 1)),
+        )
+
+    def test_polytope_contains_rect(self):
+        poly = self.unit_square_polytope()
+        inner = rect((0.2, 0.2), (0.8, 0.8))
+        assert relate(poly, inner) is RegionRelation.CONTAINS
+        assert relate(inner, poly) is RegionRelation.CONTAINED
+
+    def test_polytope_contains_sphere(self):
+        poly = self.unit_square_polytope()
+        ball = HyperSphere((0.5, 0.5), 0.4)
+        assert relate(poly, ball) is RegionRelation.CONTAINS
+
+    def test_polytope_disjoint_sphere(self):
+        poly = self.unit_square_polytope()
+        ball = HyperSphere((3.0, 3.0), 0.5)
+        assert relate(poly, ball) is RegionRelation.DISJOINT
+
+    def test_polytope_overlap_sphere(self):
+        poly = self.unit_square_polytope()
+        ball = HyperSphere((1.0, 0.5), 0.3)
+        assert relate(poly, ball) is RegionRelation.OVERLAP
+
+    def test_rect_contains_polytope_via_bbox(self):
+        poly = self.unit_square_polytope()
+        outer = rect((-1, -1), (2, 2))
+        assert relate(outer, poly) is RegionRelation.CONTAINS
+        assert relate(poly, outer) is RegionRelation.CONTAINED
+
+    def test_polytope_disjoint_rect_by_halfspace(self):
+        poly = self.unit_square_polytope()
+        # A box beyond x <= 1 but whose bbox would intersect the
+        # polytope's bbox if it were wider.
+        outside = rect((1.5, 0.0), (2.0, 1.0))
+        assert relate(poly, outside) is RegionRelation.DISJOINT
+
+    def test_polytope_polytope_containment(self):
+        big = ConvexPolytope(
+            (Halfspace((1.0, 1.0), 10.0),),
+            bbox=rect((-2, -2), (2, 2)),
+        )
+        small = self.unit_square_polytope()
+        assert relate(big, small) is RegionRelation.CONTAINS
+
+
+class TestRelateErrors:
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            relate(HyperSphere((0.0,), 1.0), HyperSphere((0.0, 0.0), 1.0))
+
+    def test_flip(self):
+        assert RegionRelation.CONTAINS.flip() is RegionRelation.CONTAINED
+        assert RegionRelation.CONTAINED.flip() is RegionRelation.CONTAINS
+        assert RegionRelation.EQUAL.flip() is RegionRelation.EQUAL
+        assert RegionRelation.OVERLAP.flip() is RegionRelation.OVERLAP
+        assert RegionRelation.DISJOINT.flip() is RegionRelation.DISJOINT

@@ -1,0 +1,25 @@
+"""The harness CLI entry point."""
+
+import subprocess
+import sys
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.harness", *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def test_unknown_scale_is_rejected():
+    completed = run_cli("gigantic")
+    assert completed.returncode == 2
+    assert "unknown scale" in completed.stdout
+
+
+def test_help_text_names_scales():
+    completed = run_cli("nope")
+    assert "quick" in completed.stdout
+    assert "paper" in completed.stdout

@@ -1,0 +1,81 @@
+"""Experiment result renderers produce the paper's table shapes."""
+
+from repro.harness.ablations import (
+    DescriptionAblationResult,
+    RemainderAblationResult,
+)
+from repro.harness.fig5 import Fig5Result
+from repro.harness.fig6 import Fig6Result
+from repro.harness.table1 import Table1Result
+from repro.harness.trace_stats import TraceStatsResult
+from repro.workload.analyzer import TraceProfile
+
+FRACTIONS = (1 / 6, 1 / 3, 1 / 2, 1.0)
+
+
+def test_table1_render_includes_paper_rows():
+    result = Table1Result(
+        ac={f: 0.5 for f in FRACTIONS},
+        pc={f: 0.3 for f in FRACTIONS},
+    )
+    text = result.render()
+    assert "AC (measured)" in text
+    assert "AC (paper)" in text
+    assert "0.531" in text  # the paper's 1/6 AC value
+    assert "1/6" in text and "1/2" in text
+
+
+def test_fig5_render_lists_all_series():
+    series = {
+        label: {f: 1000.0 for f in FRACTIONS}
+        for label in ("ACR", "ACNR", "PC", "NC")
+    }
+    text = Fig5Result(response_ms=series).render()
+    for label in ("ACR", "ACNR", "PC", "NC"):
+        assert label in text
+
+
+def test_fig6_render_compares_to_paper():
+    result = Fig6Result(
+        response_ms={"First": 1200.0, "Second": 1000.0, "Third": 1050.0},
+        efficiency={"First": 0.59, "Second": 0.54, "Third": 0.51},
+    )
+    text = result.render()
+    assert "1236" in text  # the paper's First value
+    assert "First" in text and "Third" in text
+
+
+def test_trace_stats_render():
+    result = TraceStatsResult(
+        profile=TraceProfile(
+            n_queries=100, exact=0.3, contained=0.2, overlap=0.1,
+            disjoint=0.4,
+        ),
+        distinct_queries=70,
+    )
+    text = result.render()
+    assert "Fully answerable" in text
+    assert "0.500" in text  # exact + contained
+
+
+def test_description_ablation_render():
+    result = DescriptionAblationResult(
+        max_check_wall_ms={"array": 1.0, "rtree": 2.0},
+        mean_check_sim_ms={"array": 3.0, "rtree": 1.5},
+        mean_maintenance_sim_ms={"array": 0.1, "rtree": 1.0},
+        response_ms={"array": 1000.0, "rtree": 1005.0},
+    )
+    text = result.render()
+    assert "array" in text and "rtree" in text
+    assert "100 ms" in text  # the claim in the title
+
+
+def test_remainder_ablation_render():
+    result = RemainderAblationResult(
+        response_ms={"remainder": 1500.0, "forward-whole": 1450.0},
+        origin_bytes={"remainder": 1024.0, "forward-whole": 2048.0},
+        origin_ms={"remainder": 1300.0, "forward-whole": 1250.0},
+        efficiency={"remainder": 0.5, "forward-whole": 0.4},
+    )
+    text = result.render()
+    assert "remainder" in text and "forward-whole" in text

@@ -1,0 +1,91 @@
+"""The adaptive proxy learns whether remainder queries pay off."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.schemes import CachingScheme
+from repro.extensions.adaptive import AdaptiveProxy
+from repro.server.costs import ServerCostModel
+from repro.server.origin import OriginServer
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+from tests.conftest import SMALL_SKY
+
+# An overlap-heavy trace so the estimator sees plenty of evidence.
+TRACE_CONFIG = RadialTraceConfig(
+    n_queries=400, sky=SMALL_SKY, p_repeat=0.1, p_zoom=0.1, p_pan=0.4,
+    p_zoom_out=0.0,
+)
+
+CHEAP_REMAINDERS = ServerCostModel(
+    base_ms=1500.0, per_tuple_ms=1.0,
+    remainder_surcharge_ms=0.0, per_hole_ms=0.0,
+)
+COSTLY_REMAINDERS = ServerCostModel(
+    base_ms=1500.0, per_tuple_ms=1.0,
+    remainder_surcharge_ms=2500.0, per_hole_ms=200.0,
+)
+
+
+def replay(origin, proxy, trace):
+    for query in trace:
+        bound = origin.templates.bind(query.template_id, query.param_dict())
+        got = proxy.serve(bound).result
+        want = origin.execute_bound(bound).result
+        key = want.schema.position("objID")
+        assert {r[key] for r in got.rows} == {r[key] for r in want.rows}
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_radial_trace(TRACE_CONFIG)
+
+
+def test_declines_overlaps_when_remainders_are_costly(trace):
+    origin = OriginServer.skyserver(SMALL_SKY, COSTLY_REMAINDERS)
+    proxy = AdaptiveProxy(origin, origin.templates)
+    replay(origin, proxy, trace)
+    state = proxy.adaptive
+    assert state.overlaps_seen > 40
+    assert not state.remainder_pays_off
+    assert state.overlaps_declined > 0
+    # After warm-up, most overlaps are declined (only periodic
+    # exploration remains).
+    handled_after_warmup = state.overlaps_handled - proxy.explore_overlaps
+    declined = state.overlaps_declined
+    assert declined > handled_after_warmup
+
+
+def test_keeps_handling_overlaps_when_remainders_are_cheap(trace):
+    origin = OriginServer.skyserver(SMALL_SKY, CHEAP_REMAINDERS)
+    proxy = AdaptiveProxy(origin, origin.templates)
+    replay(origin, proxy, trace)
+    state = proxy.adaptive
+    assert state.overlaps_seen > 40
+    # Cheap remainders: handled overlaps dominate declines.
+    assert state.overlaps_handled > state.overlaps_declined
+
+
+def test_adaptive_beats_or_matches_static_full_when_costly(trace):
+    origin = OriginServer.skyserver(SMALL_SKY, COSTLY_REMAINDERS)
+    from repro.core.proxy import FunctionProxy
+    from repro.workload.rbe import BrowserEmulator
+
+    static = FunctionProxy(
+        origin, origin.templates, scheme=CachingScheme.FULL_SEMANTIC
+    )
+    static_stats = BrowserEmulator(static).run(trace)
+
+    adaptive = AdaptiveProxy(origin, origin.templates)
+    adaptive_stats = BrowserEmulator(adaptive).run(trace)
+
+    assert adaptive_stats.average_response_ms < (
+        static_stats.average_response_ms
+    )
+
+
+def test_parameter_validation(origin):
+    with pytest.raises(ValueError):
+        AdaptiveProxy(origin, origin.templates, explore_overlaps=0)
+    with pytest.raises(ValueError):
+        AdaptiveProxy(origin, origin.templates, exploration_period=1)

@@ -1,0 +1,49 @@
+"""Unit-level behaviour of the adaptive estimator."""
+
+import pytest
+
+from repro.extensions.adaptive import AdaptiveState, _RunningMean
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert _RunningMean().mean == 0.0
+
+    def test_mean_updates(self):
+        mean = _RunningMean()
+        mean.add(10.0)
+        mean.add(20.0)
+        assert mean.mean == pytest.approx(15.0)
+        assert mean.count == 2
+
+
+class TestAdaptiveState:
+    def test_no_evidence_means_explore(self):
+        assert AdaptiveState().remainder_pays_off
+
+    def test_one_sided_evidence_still_explores(self):
+        state = AdaptiveState()
+        state.forward_cost.add(1000.0)
+        assert state.remainder_pays_off
+
+    def test_costly_remainders_decline(self):
+        state = AdaptiveState()
+        state.forward_cost.add(1000.0)
+        state.overlap_cost.add(2500.0)
+        assert not state.remainder_pays_off
+
+    def test_cheap_remainders_accept(self):
+        state = AdaptiveState()
+        state.forward_cost.add(2000.0)
+        state.overlap_cost.add(1500.0)
+        assert state.remainder_pays_off
+
+    def test_estimates_track_new_evidence(self):
+        state = AdaptiveState()
+        state.forward_cost.add(1000.0)
+        state.overlap_cost.add(2500.0)
+        assert not state.remainder_pays_off
+        # The environment changes: remainders got cheap.
+        for _ in range(20):
+            state.overlap_cost.add(500.0)
+        assert state.remainder_pays_off

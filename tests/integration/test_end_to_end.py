@@ -1,0 +1,122 @@
+"""End-to-end shape assertions: the paper's qualitative findings.
+
+These run the quick-scale experiment pipeline and assert the *shape*
+of the results — who wins, in what order — rather than absolute
+numbers.  The full reproductions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.schemes import CachingScheme
+from repro.harness.config import ExperimentScale
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(ExperimentScale.quick().with_trace_length(400))
+
+
+@pytest.fixture(scope="module")
+def by_scheme(runner):
+    return {
+        scheme: runner.run(scheme, "array", cache_fraction=None)
+        for scheme in CachingScheme
+    }
+
+
+class TestResponseTimeOrdering:
+    def test_no_cache_is_slowest(self, by_scheme):
+        nc = by_scheme[CachingScheme.NO_CACHE].stats.average_response_ms
+        for scheme, result in by_scheme.items():
+            if scheme is not CachingScheme.NO_CACHE:
+                assert result.stats.average_response_ms < nc
+
+    def test_active_beats_passive(self, by_scheme):
+        pc = by_scheme[CachingScheme.PASSIVE].stats.average_response_ms
+        for scheme in (
+            CachingScheme.FULL_SEMANTIC,
+            CachingScheme.REGION_CONTAINMENT,
+            CachingScheme.CONTAINMENT_ONLY,
+        ):
+            assert by_scheme[scheme].stats.average_response_ms < pc
+
+    def test_full_semantic_is_slowest_active_scheme(self, by_scheme):
+        """The paper's headline: handling cache-intersecting queries
+        costs more than it saves (Figure 6, 'First' slowest)."""
+        full = by_scheme[
+            CachingScheme.FULL_SEMANTIC
+        ].stats.average_response_ms
+        for scheme in (
+            CachingScheme.REGION_CONTAINMENT,
+            CachingScheme.CONTAINMENT_ONLY,
+        ):
+            assert by_scheme[scheme].stats.average_response_ms < full
+
+
+class TestEfficiencyOrdering:
+    def test_efficiency_ranking_matches_paper(self, by_scheme):
+        """Figure 6's efficiency order: full > region-containment >
+        containment-only > passive > none."""
+        efficiency = {
+            scheme: result.stats.average_cache_efficiency
+            for scheme, result in by_scheme.items()
+        }
+        assert efficiency[CachingScheme.FULL_SEMANTIC] >= (
+            efficiency[CachingScheme.REGION_CONTAINMENT]
+        )
+        assert efficiency[CachingScheme.REGION_CONTAINMENT] >= (
+            efficiency[CachingScheme.CONTAINMENT_ONLY]
+        )
+        assert efficiency[CachingScheme.CONTAINMENT_ONLY] > (
+            efficiency[CachingScheme.PASSIVE]
+        )
+        assert efficiency[CachingScheme.PASSIVE] > 0.0
+        assert efficiency[CachingScheme.NO_CACHE] == 0.0
+
+    def test_active_efficiency_roughly_doubles_passive(self, by_scheme):
+        """Table 1's headline relation (AC about twice PC)."""
+        ac = by_scheme[
+            CachingScheme.FULL_SEMANTIC
+        ].stats.average_cache_efficiency
+        pc = by_scheme[CachingScheme.PASSIVE].stats.average_cache_efficiency
+        assert 1.4 <= ac / pc <= 2.6
+
+
+class TestCacheSizeEffects:
+    def test_efficiency_grows_with_cache_size(self, runner):
+        small = runner.run(
+            CachingScheme.FULL_SEMANTIC, "array", 1 / 6
+        ).stats.average_cache_efficiency
+        large = runner.run(
+            CachingScheme.FULL_SEMANTIC, "array", 1.0
+        ).stats.average_cache_efficiency
+        assert large >= small
+
+    def test_full_budget_means_no_evictions(self, runner):
+        result = runner.run(CachingScheme.PASSIVE, "array", 1.0)
+        proxy_evictions = [
+            record
+            for record in result.stats.records
+            if record.steps_ms.get("maintenance", 0.0) < 0
+        ]
+        assert not proxy_evictions  # sanity: maintenance is never negative
+        assert result.final_cache_bytes <= runner.total_result_bytes
+
+
+class TestDescriptionClaim:
+    def test_checking_always_under_100ms_real_time(self, runner):
+        """The paper's micro-claim, on real wall-clock time."""
+        for kind in ("array", "rtree"):
+            result = runner.run(CachingScheme.FULL_SEMANTIC, kind, None)
+            assert result.stats.max_check_wall_ms() < 100.0
+
+    def test_rtree_and_array_answer_identically(self, runner):
+        array_result = runner.run(CachingScheme.FULL_SEMANTIC, "array", None)
+        rtree_result = runner.run(CachingScheme.FULL_SEMANTIC, "rtree", None)
+        assert array_result.stats.average_cache_efficiency == (
+            pytest.approx(rtree_result.stats.average_cache_efficiency)
+        )
+        array_statuses = [r.status for r in array_result.stats.records]
+        rtree_statuses = [r.status for r in rtree_result.stats.records]
+        assert array_statuses == rtree_statuses

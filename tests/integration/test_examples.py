@@ -1,0 +1,53 @@
+"""The shipped examples run cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "exact" in output
+    assert "contained" in output
+    assert "cache now holds" in output
+
+
+def test_skyserver_radial():
+    output = run_example("skyserver_radial.py", "150")
+    for scheme in ("nc", "pc", "ac-full", "ac-region", "ac-containment"):
+        assert scheme in output
+
+
+def test_custom_function_template():
+    output = run_example("custom_function_template.py")
+    assert "contained" in output
+    assert "proxy cache" in output
+
+
+def test_http_deployment():
+    pytest.importorskip("flask")
+    output = run_example("http_deployment.py")
+    assert "cache status exact" in output
+    assert "Proxy stats" in output
+
+
+def test_adaptive_proxy_example():
+    output = run_example("adaptive_proxy.py")
+    assert "stop handling overlaps" in output
+    assert "keep handling overlaps" in output
+    assert "gds" in output

@@ -1,0 +1,76 @@
+"""The proxy caches several templates at once, without cross-talk.
+
+The framework registers one cache-description space per template;
+radial (3-d chord spheres) and rectangular (2-d sky boxes) entries
+must never be compared.  A mixed trace exercises both paths in one
+cache under one byte budget.
+"""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.schemes import CachingScheme
+from repro.core.stats import QueryStatus
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+from repro.workload.rect_generator import (
+    RectTraceConfig,
+    generate_rect_trace,
+    interleave,
+)
+from tests.conftest import SMALL_SKY
+
+
+@pytest.fixture(scope="module")
+def mixed_trace():
+    radial = generate_radial_trace(
+        RadialTraceConfig(n_queries=80, sky=SMALL_SKY)
+    )
+    rect = generate_rect_trace(RectTraceConfig(n_queries=80, sky=SMALL_SKY))
+    return interleave([radial, rect], seed=5)
+
+
+def ids(result):
+    key = result.schema.position("objID")
+    return {row[key] for row in result.rows}
+
+
+def test_mixed_trace_preserves_answers(origin, mixed_trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    for query in mixed_trace:
+        bound = origin.templates.bind(query.template_id, query.param_dict())
+        got = proxy.serve(bound).result
+        want = origin.execute_bound(bound).result
+        assert ids(got) == ids(want)
+
+
+def test_both_templates_get_active_hits(origin, mixed_trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    for query in mixed_trace:
+        bound = origin.templates.bind(query.template_id, query.param_dict())
+        proxy.serve(bound)
+    by_template: dict[str, set] = {}
+    for record in proxy.stats.records:
+        by_template.setdefault(record.template_id, set()).add(record.status)
+    assert len(by_template) == 2
+    for statuses in by_template.values():
+        assert statuses & {
+            QueryStatus.EXACT,
+            QueryStatus.CONTAINED,
+            QueryStatus.OVERLAP,
+            QueryStatus.REGION_CONTAINMENT,
+        }, "each template should see some cache answering"
+
+
+def test_mixed_trace_under_budget_preserves_answers(origin, mixed_trace):
+    proxy = FunctionProxy(
+        origin,
+        origin.templates,
+        scheme=CachingScheme.FULL_SEMANTIC,
+        cache_bytes=10_000,
+    )
+    for query in mixed_trace:
+        bound = origin.templates.bind(query.template_id, query.param_dict())
+        got = proxy.serve(bound).result
+        want = origin.execute_bound(bound).result
+        assert ids(got) == ids(want)
+    assert proxy.cache.current_bytes <= 10_000

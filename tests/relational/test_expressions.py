@@ -1,0 +1,196 @@
+"""Expression evaluation, including SQL three-valued logic."""
+
+import pytest
+
+from repro.relational.errors import ExecutionError
+from repro.relational.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    BinaryOperator,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    conjoin,
+)
+
+
+def lit(value):
+    return Literal(value)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert lit(42).evaluate({}) == 42
+        assert lit(None).evaluate({}) is None
+
+    def test_column_ref(self):
+        assert ColumnRef("ra").evaluate({"ra": 1.5}) == 1.5
+
+    def test_column_ref_case_insensitive(self):
+        assert ColumnRef("RA").evaluate({"ra": 1.5}) == 1.5
+
+    def test_unqualified_resolves_through_single_qualified(self):
+        env = {"p.ra": 1.5}
+        assert ColumnRef("ra").evaluate(env) == 1.5
+
+    def test_ambiguous_unqualified_raises(self):
+        env = {"p.ra": 1.5, "n.ra": 2.5}
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            ColumnRef("ra").evaluate(env)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            ColumnRef("nope").evaluate({})
+
+    def test_arithmetic(self):
+        expr = BinaryOp(BinaryOperator.ADD, lit(2), lit(3))
+        assert expr.evaluate({}) == 5
+
+    def test_division_by_zero_raises(self):
+        expr = BinaryOp(BinaryOperator.DIV, lit(1), lit(0))
+        with pytest.raises(ExecutionError, match="division by zero"):
+            expr.evaluate({})
+
+    def test_comparison(self):
+        expr = BinaryOp(BinaryOperator.LE, lit(2), lit(3))
+        assert expr.evaluate({}) is True
+
+    def test_negate(self):
+        assert Negate(lit(5)).evaluate({}) == -5
+        assert Negate(lit(None)).evaluate({}) is None
+
+
+class TestNullLogic:
+    """SQL three-valued (Kleene) logic with None as NULL."""
+
+    def test_comparison_with_null_is_null(self):
+        expr = BinaryOp(BinaryOperator.EQ, lit(None), lit(3))
+        assert expr.evaluate({}) is None
+
+    def test_and_short_circuits_false(self):
+        expr = And((lit(False), lit(None)))
+        assert expr.evaluate({}) is False
+
+    def test_and_with_null_and_true_is_null(self):
+        expr = And((lit(True), lit(None)))
+        assert expr.evaluate({}) is None
+
+    def test_or_short_circuits_true(self):
+        expr = Or((lit(None), lit(True)))
+        assert expr.evaluate({}) is True
+
+    def test_or_with_null_and_false_is_null(self):
+        expr = Or((lit(False), lit(None)))
+        assert expr.evaluate({}) is None
+
+    def test_not_null_is_null(self):
+        assert Not(lit(None)).evaluate({}) is None
+
+    def test_between_null_operand(self):
+        expr = Between(lit(None), lit(0), lit(10))
+        assert expr.evaluate({}) is None
+
+    def test_is_null(self):
+        assert IsNull(lit(None)).evaluate({}) is True
+        assert IsNull(lit(3)).evaluate({}) is False
+        assert IsNull(lit(3), negated=True).evaluate({}) is True
+
+    def test_in_list_with_null_choice(self):
+        # 2 IN (1, NULL) is NULL (unknown), per SQL.
+        expr = InList(lit(2), (lit(1), lit(None)))
+        assert expr.evaluate({}) is None
+
+    def test_in_list_hit_beats_null(self):
+        expr = InList(lit(1), (lit(1), lit(None)))
+        assert expr.evaluate({}) is True
+
+
+class TestBetweenAndIn:
+    def test_between_inclusive(self):
+        assert Between(lit(5), lit(5), lit(10)).evaluate({}) is True
+        assert Between(lit(10), lit(5), lit(10)).evaluate({}) is True
+        assert Between(lit(11), lit(5), lit(10)).evaluate({}) is False
+
+    def test_in_list(self):
+        expr = InList(lit("b"), (lit("a"), lit("b")))
+        assert expr.evaluate({}) is True
+
+
+class TestFuncCall:
+    def test_builtin_trig(self):
+        expr = FuncCall("cos", (lit(0.0),))
+        assert expr.evaluate({}) == pytest.approx(1.0)
+
+    def test_builtin_is_case_insensitive(self):
+        assert FuncCall("SQRT", (lit(9.0),)).evaluate({}) == pytest.approx(3.0)
+
+    def test_null_argument_yields_null(self):
+        assert FuncCall("cos", (lit(None),)).evaluate({}) is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError, match="unknown scalar function"):
+            FuncCall("fNothing", ()).evaluate({})
+
+    def test_registry_resolution(self):
+        from repro.udf.registry import FunctionRegistry, ScalarFunction
+
+        registry = FunctionRegistry()
+        registry.register_scalar(
+            ScalarFunction("double", ("x",), lambda x: 2 * x)
+        )
+        expr = FuncCall("double", (lit(21),))
+        assert expr.evaluate({"__functions__": registry}) == 42
+
+    def test_domain_error_is_wrapped(self):
+        with pytest.raises(ExecutionError):
+            FuncCall("sqrt", (lit(-1.0),)).evaluate({})
+
+
+class TestToSql:
+    def test_string_escaping(self):
+        assert lit("O'Brien").to_sql() == "'O''Brien'"
+
+    def test_null_literal(self):
+        assert lit(None).to_sql() == "NULL"
+
+    def test_nested_expression(self):
+        expr = And(
+            (
+                BinaryOp(BinaryOperator.LT, ColumnRef("g"), lit(20.5)),
+                Between(ColumnRef("r"), lit(1), lit(2)),
+            )
+        )
+        assert expr.to_sql() == "((g < 20.5) AND (r BETWEEN 1 AND 2))"
+
+    def test_column_refs_collects_all(self):
+        expr = And(
+            (
+                BinaryOp(BinaryOperator.LT, ColumnRef("p.g"), lit(1)),
+                Between(ColumnRef("r"), ColumnRef("lo"), lit(2)),
+            )
+        )
+        assert expr.column_refs() == {"p.g", "r", "lo"}
+
+
+class TestConjoin:
+    def test_empty_is_none(self):
+        assert conjoin([]) is None
+
+    def test_single_passes_through(self):
+        expr = lit(True)
+        assert conjoin([expr]) is expr
+
+    def test_skips_none_parts(self):
+        expr = lit(True)
+        assert conjoin([None, expr, None]) is expr
+
+    def test_multiple_becomes_and(self):
+        combined = conjoin([lit(True), lit(False)])
+        assert isinstance(combined, And)
+        assert combined.evaluate({}) is False

@@ -1,0 +1,75 @@
+"""Column type coercion and sizing."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.types import ColumnType, infer_type
+
+
+class TestCoerce:
+    def test_int_accepts_int(self):
+        assert ColumnType.INT.coerce(5) == 5
+
+    def test_int_rejects_bool(self):
+        # bool is an int subclass; the engine keeps them apart.
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce(1.5)
+
+    def test_float_widens_int(self):
+        value = ColumnType.FLOAT.coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(SchemaError):
+            ColumnType.FLOAT.coerce("3.0")
+
+    def test_str_accepts_str(self):
+        assert ColumnType.STR.coerce("abc") == "abc"
+
+    def test_str_rejects_number(self):
+        with pytest.raises(SchemaError):
+            ColumnType.STR.coerce(3)
+
+    def test_bool_accepts_bool(self):
+        assert ColumnType.BOOL.coerce(False) is False
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BOOL.coerce(1)
+
+    @pytest.mark.parametrize("ctype", list(ColumnType))
+    def test_none_passes_every_type(self, ctype):
+        assert ctype.coerce(None) is None
+
+
+class TestByteSize:
+    def test_numbers_are_eight_bytes(self):
+        assert ColumnType.INT.byte_size(123456) == 8
+        assert ColumnType.FLOAT.byte_size(1.5) == 8
+
+    def test_string_is_utf8_length(self):
+        assert ColumnType.STR.byte_size("abc") == 3
+        assert ColumnType.STR.byte_size("héllo") == 6
+
+    def test_bool_is_one_byte(self):
+        assert ColumnType.BOOL.byte_size(True) == 1
+
+    def test_null_is_four_bytes(self):
+        assert ColumnType.FLOAT.byte_size(None) == 4
+
+
+class TestInferType:
+    def test_infer_each_type(self):
+        assert infer_type(True) is ColumnType.BOOL
+        assert infer_type(3) is ColumnType.INT
+        assert infer_type(3.5) is ColumnType.FLOAT
+        assert infer_type("x") is ColumnType.STR
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            infer_type([1, 2])

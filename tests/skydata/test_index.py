@@ -1,0 +1,90 @@
+"""Grid index candidate sets vs brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skydata.generator import SkyCatalogConfig, build_photo_primary
+from repro.skydata.index import SkyGridIndex
+from repro.skydata.sphere import angular_distance_arcmin
+
+CONFIG = SkyCatalogConfig(
+    n_objects=1_500, ra_min=100.0, ra_max=106.0, dec_min=0.0, dec_max=6.0
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_photo_primary(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def index(table):
+    return SkyGridIndex(table, cell_deg=0.25)
+
+
+def test_rejects_bad_cell_size(table):
+    with pytest.raises(ValueError):
+        SkyGridIndex(table, cell_deg=0.0)
+
+
+def test_rect_candidates_are_superset_of_answers(table, index):
+    ra_pos = table.schema.position("ra")
+    dec_pos = table.schema.position("dec")
+    box = (101.0, 102.0, 1.0, 2.0)
+    candidates = set(index.candidates_in_rect(*box))
+    for row_index, row in enumerate(table.rows):
+        inside = (
+            box[0] <= row[ra_pos] <= box[1]
+            and box[2] <= row[dec_pos] <= box[3]
+        )
+        if inside:
+            assert row_index in candidates
+
+
+rect_boxes = st.tuples(
+    st.floats(min_value=100.0, max_value=105.0),
+    st.floats(min_value=0.1, max_value=1.0),
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.1, max_value=1.0),
+)
+
+
+@given(box=rect_boxes)
+@settings(max_examples=50, deadline=None)
+def test_rect_candidates_superset_property(box):
+    table = build_photo_primary(CONFIG)
+    index = SkyGridIndex(table)
+    ra_lo, ra_width, dec_lo, dec_width = box
+    ra_hi, dec_hi = ra_lo + ra_width, dec_lo + dec_width
+    ra_pos = table.schema.position("ra")
+    dec_pos = table.schema.position("dec")
+    candidates = set(
+        index.candidates_in_rect(ra_lo, ra_hi, dec_lo, dec_hi)
+    )
+    expected = {
+        i
+        for i, row in enumerate(table.rows)
+        if ra_lo <= row[ra_pos] <= ra_hi and dec_lo <= row[dec_pos] <= dec_hi
+    }
+    assert expected <= candidates
+
+
+def test_circle_candidates_cover_all_members(table, index):
+    ra_pos = table.schema.position("ra")
+    dec_pos = table.schema.position("dec")
+    center_ra, center_dec, radius = 103.0, 3.0, 45.0
+    candidates = set(
+        index.candidates_in_circle(center_ra, center_dec, radius)
+    )
+    for row_index, row in enumerate(table.rows):
+        distance = angular_distance_arcmin(
+            center_ra, center_dec, row[ra_pos], row[dec_pos]
+        )
+        if distance <= radius:
+            assert row_index in candidates
+
+
+def test_circle_prunes_far_cells(table, index):
+    few = list(index.candidates_in_circle(103.0, 3.0, 5.0))
+    assert len(few) < len(table)

@@ -1,0 +1,88 @@
+"""Celestial-sphere math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skydata.sphere import (
+    angular_distance_arcmin,
+    arcmin_to_chord,
+    chord_to_arcmin,
+    radec_to_unit,
+)
+
+ra_values = st.floats(min_value=0.0, max_value=360.0, allow_nan=False)
+dec_values = st.floats(min_value=-89.0, max_value=89.0, allow_nan=False)
+
+
+class TestUnitVector:
+    def test_known_directions(self):
+        assert radec_to_unit(0.0, 0.0) == pytest.approx((1.0, 0.0, 0.0))
+        assert radec_to_unit(90.0, 0.0) == pytest.approx((0.0, 1.0, 0.0))
+        assert radec_to_unit(0.0, 90.0) == pytest.approx((0.0, 0.0, 1.0))
+
+    @given(ra=ra_values, dec=dec_values)
+    @settings(max_examples=200, deadline=None)
+    def test_always_unit_length(self, ra, dec):
+        x, y, z = radec_to_unit(ra, dec)
+        assert math.sqrt(x * x + y * y + z * z) == pytest.approx(1.0)
+
+
+class TestChordConversion:
+    def test_inverse_pair(self):
+        for arcmin in (0.0, 1.0, 30.0, 600.0):
+            assert chord_to_arcmin(arcmin_to_chord(arcmin)) == pytest.approx(
+                arcmin
+            )
+
+    def test_antipodal_chord(self):
+        # 180 degrees = 10800 arcmin subtends the diameter.
+        assert arcmin_to_chord(10_800.0) == pytest.approx(2.0)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            arcmin_to_chord(-1.0)
+
+    def test_chord_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            chord_to_arcmin(2.5)
+
+    @given(
+        arcmin=st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_chord_is_monotone(self, arcmin):
+        assert arcmin_to_chord(arcmin) <= arcmin_to_chord(arcmin + 1.0)
+
+
+class TestAngularDistance:
+    def test_zero_for_same_point(self):
+        assert angular_distance_arcmin(10.0, 20.0, 10.0, 20.0) == (
+            pytest.approx(0.0)
+        )
+
+    def test_one_degree_of_dec(self):
+        assert angular_distance_arcmin(50.0, 0.0, 50.0, 1.0) == (
+            pytest.approx(60.0, rel=1e-9)
+        )
+
+    def test_ra_shrinks_with_declination(self):
+        at_equator = angular_distance_arcmin(10.0, 0.0, 11.0, 0.0)
+        at_sixty = angular_distance_arcmin(10.0, 60.0, 11.0, 60.0)
+        assert at_sixty == pytest.approx(at_equator / 2.0, rel=1e-3)
+
+    @given(ra1=ra_values, dec1=dec_values, ra2=ra_values, dec2=dec_values)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetric(self, ra1, dec1, ra2, dec2):
+        forward = angular_distance_arcmin(ra1, dec1, ra2, dec2)
+        backward = angular_distance_arcmin(ra2, dec2, ra1, dec1)
+        assert forward == pytest.approx(backward)
+
+    @given(ra1=ra_values, dec1=dec_values, ra2=ra_values, dec2=dec_values)
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_by_half_circle(self, ra1, dec1, ra2, dec2):
+        assert 0.0 <= angular_distance_arcmin(ra1, dec1, ra2, dec2) <= (
+            10_800.0 + 1e-6
+        )

@@ -1,0 +1,96 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.sqlparser.errors import ParseError
+from repro.sqlparser.tokens import TokenType, tokenize
+
+
+def kinds(text):
+    return [token.type for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]  # drop END
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:3])
+
+    def test_identifier_vs_keyword(self):
+        tokens = tokenize("selection")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "selection"
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.END
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42]
+        assert isinstance(values("42")[0], int)
+
+    def test_float(self):
+        assert values("42.5") == [42.5]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_scientific_notation(self):
+        assert values("1e3 2.5E-2") == [1000.0, 0.025]
+
+    def test_qualified_name_is_not_a_decimal(self):
+        # "p.objID" must stay identifier-dot-identifier.
+        tokens = tokenize("p.objID")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.IDENTIFIER, TokenType.PUNCT, TokenType.IDENTIFIER,
+        ]
+
+    def test_number_then_dot_identifier(self):
+        # "1.e" parses as 1 . e (not a malformed float).
+        tokens = tokenize("1.e")
+        assert tokens[0].value == 1
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_escaped_quote(self):
+        assert values("'O''Brien'") == ["O'Brien"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+
+class TestOperatorsAndParameters:
+    def test_two_char_operators(self):
+        assert values("<= >= <>") == ["<=", ">=", "<>"]
+
+    def test_bang_equals_normalizes(self):
+        assert values("!=") == ["<>"]
+
+    def test_parameter(self):
+        tokens = tokenize("$ra")
+        assert tokens[0].type is TokenType.PARAMETER
+        assert tokens[0].value == "ra"
+
+    def test_bare_dollar_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("$ + 1")
+
+    def test_line_comment_is_skipped(self):
+        assert values("1 -- comment here\n2") == [1, 2]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a ; b")

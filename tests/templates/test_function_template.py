@@ -1,0 +1,196 @@
+"""Function templates: regions, points, XML round-trip, validation."""
+
+import math
+
+import pytest
+
+from repro.geometry.regions import HyperRect, HyperSphere
+from repro.sqlparser.parser import parse_expression
+from repro.templates.errors import TemplateError
+from repro.templates.function_template import (
+    FunctionTemplate,
+    HalfspaceSpec,
+    Shape,
+)
+from repro.templates.skyserver_templates import (
+    radial_function_template,
+    rect_function_template,
+)
+
+
+class TestRadialTemplate:
+    def test_region_is_chord_sphere(self):
+        template = radial_function_template()
+        region = template.region_for(
+            {"ra": 0.0, "dec": 0.0, "radius": 60.0}
+        )
+        assert isinstance(region, HyperSphere)
+        assert region.center == pytest.approx((1.0, 0.0, 0.0))
+        # One degree subtends a chord of 2 sin(0.5 deg).
+        assert region.radius == pytest.approx(
+            2.0 * math.sin(math.radians(0.5))
+        )
+
+    def test_point_of_uses_cx_cy_cz(self):
+        template = radial_function_template()
+        point = template.point_of({"cx": 0.1, "cy": 0.2, "cz": 0.3})
+        assert point == (0.1, 0.2, 0.3)
+
+    def test_point_attribute_names(self):
+        assert radial_function_template().point_attribute_names() == {
+            "cx", "cy", "cz",
+        }
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(TemplateError, match="missing parameter"):
+            radial_function_template().region_for({"ra": 0.0, "dec": 0.0})
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(TemplateError, match="negative radius"):
+            radial_function_template().region_for(
+                {"ra": 0.0, "dec": 0.0, "radius": -5.0}
+            )
+
+    def test_membership_matches_angular_distance(self):
+        from repro.skydata.sphere import (
+            angular_distance_arcmin,
+            radec_to_unit,
+        )
+
+        template = radial_function_template()
+        center = {"ra": 164.0, "dec": 8.0, "radius": 25.0}
+        region = template.region_for(center)
+        for ra, dec in [(164.1, 8.1), (164.3, 8.0), (165.0, 9.0)]:
+            point = radec_to_unit(ra, dec)
+            inside_region = region.contains_point(point)
+            inside_angular = (
+                angular_distance_arcmin(164.0, 8.0, ra, dec) <= 25.0
+            )
+            assert inside_region == inside_angular
+
+
+class TestRectTemplate:
+    def test_region_is_sky_rect(self):
+        template = rect_function_template()
+        region = template.region_for(
+            {"ra_min": 10.0, "ra_max": 20.0, "dec_min": -5.0, "dec_max": 5.0}
+        )
+        assert region == HyperRect((10.0, -5.0), (20.0, 5.0))
+
+    def test_point_of(self):
+        template = rect_function_template()
+        assert template.point_of({"ra": 12.0, "dec": 1.0}) == (12.0, 1.0)
+
+
+class TestXmlRoundtrip:
+    @pytest.mark.parametrize(
+        "template",
+        [radial_function_template(), rect_function_template()],
+        ids=["radial", "rect"],
+    )
+    def test_roundtrip_preserves_semantics(self, template):
+        restored = FunctionTemplate.from_xml(template.to_xml())
+        assert restored.name == template.name
+        assert restored.params == template.params
+        assert restored.shape is template.shape
+        params = dict(
+            zip(template.params, (10.0, 5.0, 30.0, 40.0))
+        )
+        assert restored.region_for(params) == template.region_for(params)
+
+    def test_polytope_roundtrip(self):
+        template = FunctionTemplate(
+            name="fBand",
+            params=("w",),
+            shape=Shape.POLYTOPE,
+            dims=2,
+            point_exprs=(parse_expression("x"), parse_expression("y")),
+            low_exprs=(
+                parse_expression("-1 * $w"), parse_expression("-1 * $w"),
+            ),
+            high_exprs=(parse_expression("$w"), parse_expression("$w")),
+            halfspace_specs=(
+                HalfspaceSpec(
+                    normal=(parse_expression("1"), parse_expression("1")),
+                    offset=parse_expression("$w"),
+                ),
+            ),
+        )
+        restored = FunctionTemplate.from_xml(template.to_xml())
+        region = restored.region_for({"w": 2.0})
+        assert region.contains_point((0.5, 0.5))
+        assert not region.contains_point((1.5, 1.0))
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(TemplateError):
+            FunctionTemplate.from_xml("<oops")
+
+    def test_wrong_root_tag_raises(self):
+        with pytest.raises(TemplateError, match="FunctionTemplate"):
+            FunctionTemplate.from_xml("<Wrong/>")
+
+    def test_unknown_shape_raises(self):
+        xml = (
+            "<FunctionTemplate><Name>f</Name><Params/>"
+            "<Shape>blob</Shape><NumDimensions>2</NumDimensions>"
+            "</FunctionTemplate>"
+        )
+        with pytest.raises(TemplateError, match="unknown shape"):
+            FunctionTemplate.from_xml(xml)
+
+
+class TestValidation:
+    def test_sphere_needs_center_and_radius(self):
+        with pytest.raises(TemplateError, match="hypersphere"):
+            FunctionTemplate(
+                name="f",
+                params=("a",),
+                shape=Shape.HYPERSPHERE,
+                dims=2,
+                point_exprs=(
+                    parse_expression("x"), parse_expression("y"),
+                ),
+            )
+
+    def test_rect_needs_bounds(self):
+        with pytest.raises(TemplateError, match="hyperrect"):
+            FunctionTemplate(
+                name="f",
+                params=("a",),
+                shape=Shape.HYPERRECT,
+                dims=2,
+                point_exprs=(
+                    parse_expression("x"), parse_expression("y"),
+                ),
+                low_exprs=(parse_expression("$a"),),
+                high_exprs=(parse_expression("$a"),),
+            )
+
+    def test_point_expr_arity_checked(self):
+        with pytest.raises(TemplateError, match="point expressions"):
+            FunctionTemplate(
+                name="f",
+                params=(),
+                shape=Shape.HYPERRECT,
+                dims=2,
+                point_exprs=(parse_expression("x"),),
+                low_exprs=(
+                    parse_expression("0"), parse_expression("0"),
+                ),
+                high_exprs=(
+                    parse_expression("1"), parse_expression("1"),
+                ),
+            )
+
+    def test_non_numeric_template_expression_raises(self):
+        template = FunctionTemplate(
+            name="f",
+            params=("a",),
+            shape=Shape.HYPERRECT,
+            dims=1,
+            point_exprs=(parse_expression("x"),),
+            low_exprs=(parse_expression("$a"),),
+            high_exprs=(parse_expression("$a"),),
+        )
+        with pytest.raises(TemplateError, match="expected a number"):
+            template.region_for({"a": "not-a-number"})

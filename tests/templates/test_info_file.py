@@ -1,0 +1,67 @@
+"""Template info files: form binding and XML round-trip."""
+
+import pytest
+
+from repro.templates.errors import TemplateError
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.skyserver_templates import radial_info_file
+
+
+class TestBindForm:
+    def test_translates_and_coerces(self):
+        info = radial_info_file()
+        params = info.bind_form(
+            {"ra": "164.5", "dec": "8", "radius": "10.25"}
+        )
+        assert params["ra"] == 164.5
+        assert params["dec"] == 8  # integer-looking input stays int
+        assert params["radius"] == 10.25
+
+    def test_defaults_fill_missing_fields(self):
+        info = radial_info_file()
+        params = info.bind_form({"ra": "1", "dec": "2", "radius": "3"})
+        assert params["r_min"] == -9999.0
+        assert params["r_max"] == 9999.0
+
+    def test_form_overrides_default(self):
+        info = radial_info_file()
+        params = info.bind_form(
+            {"ra": "1", "dec": "2", "radius": "3", "min_mag": "15.0"}
+        )
+        assert params["r_min"] == 15.0
+
+    def test_unknown_fields_ignored(self):
+        info = radial_info_file()
+        params = info.bind_form(
+            {"ra": "1", "dec": "2", "radius": "3", "submit": "Search"}
+        )
+        assert "submit" not in params
+
+    def test_missing_required_field_raises(self):
+        info = radial_info_file()
+        with pytest.raises(TemplateError, match="radius"):
+            info.bind_form({"ra": "1", "dec": "2"})
+
+    def test_non_numeric_values_stay_strings(self):
+        info = TemplateInfoFile(
+            form_name="f", template_id="t", field_map={"name": "name"}
+        )
+        assert info.bind_form({"name": "NGC-1275"}) == {"name": "NGC-1275"}
+
+
+class TestXml:
+    def test_roundtrip(self):
+        info = radial_info_file()
+        restored = TemplateInfoFile.from_xml(info.to_xml())
+        assert restored.form_name == info.form_name
+        assert restored.template_id == info.template_id
+        assert dict(restored.field_map) == dict(info.field_map)
+        assert dict(restored.defaults) == dict(info.defaults)
+
+    def test_malformed_raises(self):
+        with pytest.raises(TemplateError):
+            TemplateInfoFile.from_xml("not xml at all")
+
+    def test_missing_required_elements_raise(self):
+        with pytest.raises(TemplateError):
+            TemplateInfoFile.from_xml("<TemplateInfo/>")

@@ -1,0 +1,84 @@
+"""Template manager registration and binding."""
+
+import pytest
+
+from repro.templates.errors import TemplateError
+from repro.templates.manager import TemplateManager
+from repro.templates.skyserver_templates import (
+    RADIAL_TEMPLATE_ID,
+    RECT_TEMPLATE_ID,
+    radial_function_template,
+    radial_info_file,
+    radial_query_template,
+    register_skyserver_templates,
+)
+
+
+@pytest.fixture()
+def manager():
+    manager = TemplateManager()
+    register_skyserver_templates(manager)
+    return manager
+
+
+class TestRegistration:
+    def test_lookup_is_case_insensitive(self, manager):
+        assert manager.query_template(RADIAL_TEMPLATE_ID.upper())
+        assert manager.function_template("fgetnearbyobjeq")
+        assert manager.info_file("radial")
+
+    def test_duplicate_function_template_rejected(self, manager):
+        with pytest.raises(TemplateError, match="already registered"):
+            manager.register_function_template(radial_function_template())
+
+    def test_duplicate_query_template_rejected(self, manager):
+        with pytest.raises(TemplateError, match="already registered"):
+            manager.register_query_template(radial_query_template())
+
+    def test_info_file_needs_known_template(self):
+        manager = TemplateManager()
+        with pytest.raises(TemplateError, match="unknown query template"):
+            manager.register_info_file(radial_info_file())
+
+    def test_unknown_lookups_raise(self, manager):
+        with pytest.raises(TemplateError):
+            manager.query_template("nope")
+        with pytest.raises(TemplateError):
+            manager.function_template("nope")
+        with pytest.raises(TemplateError):
+            manager.info_file("nope")
+
+    def test_ids_and_info_files_listed(self, manager):
+        from repro.templates.skyserver_templates import NEAREST_TEMPLATE_ID
+
+        assert set(manager.query_template_ids()) == {
+            RADIAL_TEMPLATE_ID, RECT_TEMPLATE_ID, NEAREST_TEMPLATE_ID,
+        }
+        assert len(manager.info_files()) == 3
+
+
+class TestBinding:
+    def test_bind_builds_statement_and_region(self, manager, radial_params):
+        bound = manager.bind(RADIAL_TEMPLATE_ID, radial_params)
+        assert "fGetNearbyObjEq(164.0, 8.0, 10.0)" in bound.sql
+        assert bound.region.dims == 3
+        assert bound.key_column == "objID"
+        assert bound.top is None
+
+    def test_cache_key_identity(self, manager, radial_params):
+        a = manager.bind(RADIAL_TEMPLATE_ID, radial_params)
+        b = manager.bind(RADIAL_TEMPLATE_ID, dict(radial_params))
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_differs_on_params(self, manager, radial_params):
+        a = manager.bind(RADIAL_TEMPLATE_ID, radial_params)
+        other = dict(radial_params, radius=11.0)
+        b = manager.bind(RADIAL_TEMPLATE_ID, other)
+        assert a.cache_key() != b.cache_key()
+
+    def test_bind_form_end_to_end(self, manager):
+        bound = manager.bind_form(
+            "Radial", {"ra": "164", "dec": "8", "radius": "10"}
+        )
+        assert bound.template_id == RADIAL_TEMPLATE_ID
+        assert bound.params["r_min"] == -9999.0

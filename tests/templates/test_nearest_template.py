@@ -1,0 +1,77 @@
+"""The Nearest-object template: TOP 1 by distance, safely cached."""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.skydata.sphere import angular_distance_arcmin
+from repro.templates.skyserver_templates import NEAREST_TEMPLATE_ID
+
+
+class TestExecution:
+    def test_returns_the_actual_nearest(self, origin, radial_params):
+        params = dict(radial_params, radius=20.0)
+        bound = origin.templates.bind(NEAREST_TEMPLATE_ID, params)
+        result = origin.execute_bound(bound).result
+        assert len(result) == 1
+        # Verify against the catalog.
+        table = origin.catalog.table("PhotoPrimary")
+        schema = table.schema
+        best = min(
+            (
+                angular_distance_arcmin(
+                    params["ra"], params["dec"],
+                    row[schema.position("ra")],
+                    row[schema.position("dec")],
+                ),
+                row[schema.position("objID")],
+            )
+            for row in table.rows
+        )
+        key = result.schema.position("objID")
+        assert result.rows[0][key] == best[1]
+
+    def test_empty_cone_returns_nothing(self, origin, radial_params):
+        params = dict(radial_params, radius=0.01)
+        bound = origin.templates.bind(NEAREST_TEMPLATE_ID, params)
+        result = origin.execute_bound(bound).result
+        assert len(result) <= 1
+
+    def test_form_binding_uses_default_radius(self, origin):
+        bound = origin.templates.bind_form(
+            "Nearest", {"ra": "164", "dec": "8"}
+        )
+        assert bound.params["radius"] == 3.0
+        assert bound.top == 1
+
+
+class TestCachingSafety:
+    def test_exact_repeat_hits(self, origin, radial_params):
+        proxy = FunctionProxy(origin, origin.templates)
+        params = dict(radial_params, radius=15.0)
+        bound = origin.templates.bind(NEAREST_TEMPLATE_ID, params)
+        proxy.serve(bound)
+        repeat = proxy.serve(bound)
+        assert repeat.record.status is QueryStatus.EXACT
+
+    def test_contained_nearest_is_not_answered_from_cache(
+        self, origin, radial_params
+    ):
+        """The nearest object of a wide cone is NOT necessarily the
+        nearest of a narrow one pointing slightly elsewhere — and the
+        cached single-row result cannot prove anything about a
+        sub-region.  The truncation guard must force a forward."""
+        proxy = FunctionProxy(origin, origin.templates)
+        wide = origin.templates.bind(
+            NEAREST_TEMPLATE_ID, dict(radial_params, radius=20.0)
+        )
+        first = proxy.serve(wide)
+        narrow_params = dict(
+            radial_params, radius=6.0, ra=radial_params["ra"] + 0.05
+        )
+        narrow = origin.templates.bind(NEAREST_TEMPLATE_ID, narrow_params)
+        response = proxy.serve(narrow)
+        assert response.record.contacted_origin
+        expected = origin.execute_bound(narrow).result
+        assert response.result == expected
+        assert first.result is not None

@@ -1,0 +1,85 @@
+"""Function registry semantics."""
+
+import pytest
+
+from repro.relational.schema import Schema
+from repro.relational.types import ColumnType
+from repro.udf.registry import (
+    FunctionRegistry,
+    ScalarFunction,
+    TableFunction,
+    UdfError,
+)
+
+
+def scalar(name="double", deterministic=True):
+    return ScalarFunction(
+        name, ("x",), lambda x: 2 * x, deterministic=deterministic
+    )
+
+
+def table_function(name="fRows", deterministic=True):
+    return TableFunction(
+        name,
+        ("n",),
+        Schema.of(("v", ColumnType.INT)),
+        lambda catalog, args: [(i,) for i in range(args[0])],
+        deterministic=deterministic,
+    )
+
+
+class TestRegistration:
+    def test_register_and_resolve_case_insensitive(self):
+        registry = FunctionRegistry()
+        registry.register_scalar(scalar())
+        assert registry.has_scalar("DOUBLE")
+        assert registry.scalar("Double").name == "double"
+
+    def test_shared_namespace_conflict(self):
+        registry = FunctionRegistry()
+        registry.register_scalar(scalar("f"))
+        with pytest.raises(UdfError, match="already registered"):
+            registry.register_table(table_function("F"))
+
+    def test_unknown_lookups_raise(self):
+        registry = FunctionRegistry()
+        with pytest.raises(UdfError):
+            registry.scalar("nope")
+        with pytest.raises(UdfError):
+            registry.table("nope")
+        with pytest.raises(UdfError):
+            registry.is_deterministic("nope")
+
+
+class TestCalls:
+    def test_call_scalar(self):
+        registry = FunctionRegistry()
+        registry.register_scalar(scalar())
+        assert registry.call_scalar("double", [21]) == 42
+
+    def test_scalar_arity_checked(self):
+        registry = FunctionRegistry()
+        registry.register_scalar(scalar())
+        with pytest.raises(UdfError, match="expects 1"):
+            registry.call_scalar("double", [1, 2])
+
+    def test_call_table(self):
+        registry = FunctionRegistry()
+        registry.register_table(table_function())
+        rows = registry.call_table("fRows", None, [3])
+        assert rows == [(0,), (1,), (2,)]
+
+    def test_table_arity_checked(self):
+        registry = FunctionRegistry()
+        registry.register_table(table_function())
+        with pytest.raises(UdfError, match="expects 1"):
+            registry.call_table("fRows", None, [])
+
+
+class TestDeterminism:
+    def test_flags_are_reported(self):
+        registry = FunctionRegistry()
+        registry.register_scalar(scalar("s", deterministic=False))
+        registry.register_table(table_function("t", deterministic=True))
+        assert not registry.is_deterministic("s")
+        assert registry.is_deterministic("t")

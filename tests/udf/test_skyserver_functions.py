@@ -1,0 +1,144 @@
+"""SkyServer function library vs brute force over the catalog."""
+
+import pytest
+
+from repro.skydata.sphere import angular_distance_arcmin
+from repro.udf.registry import UdfError
+
+
+@pytest.fixture(scope="module")
+def photo_primary(origin):
+    return origin.catalog.table("PhotoPrimary")
+
+
+@pytest.fixture(scope="module")
+def functions(origin):
+    return origin.catalog.functions
+
+
+def brute_force_circle(table, ra, dec, radius):
+    schema = table.schema
+    ra_pos, dec_pos, id_pos = (
+        schema.position("ra"), schema.position("dec"),
+        schema.position("objID"),
+    )
+    return {
+        row[id_pos]
+        for row in table.rows
+        if angular_distance_arcmin(ra, dec, row[ra_pos], row[dec_pos])
+        <= radius
+    }
+
+
+class TestNearbyObjEq:
+    def test_matches_brute_force(self, origin, photo_primary, functions):
+        rows = functions.call_table(
+            "fGetNearbyObjEq", origin.catalog, [164.0, 8.0, 20.0]
+        )
+        got = {row[0] for row in rows}
+        assert got == brute_force_circle(photo_primary, 164.0, 8.0, 20.0)
+        assert got  # the fixture window is dense enough to be non-trivial
+
+    def test_sorted_by_distance(self, origin, functions):
+        rows = functions.call_table(
+            "fGetNearbyObjEq", origin.catalog, [164.0, 8.0, 30.0]
+        )
+        distances = [row[-1] for row in rows]
+        assert distances == sorted(distances)
+
+    def test_zero_radius(self, origin, functions):
+        rows = functions.call_table(
+            "fGetNearbyObjEq", origin.catalog, [164.0, 8.0, 0.0]
+        )
+        assert rows == []
+
+    def test_negative_radius_raises(self, origin, functions):
+        with pytest.raises(UdfError):
+            functions.call_table(
+                "fGetNearbyObjEq", origin.catalog, [164.0, 8.0, -1.0]
+            )
+
+
+class TestNearbyObjXYZ:
+    def test_agrees_with_eq_variant(self, origin, functions):
+        from repro.skydata.sphere import radec_to_unit
+
+        ra, dec, radius = 163.0, 7.5, 15.0
+        eq_rows = functions.call_table(
+            "fGetNearbyObjEq", origin.catalog, [ra, dec, radius]
+        )
+        xyz = radec_to_unit(ra, dec)
+        xyz_rows = functions.call_table(
+            "fGetNearbyObjXYZ", origin.catalog, [*xyz, radius]
+        )
+        assert {r[0] for r in eq_rows} == {r[0] for r in xyz_rows}
+
+    def test_zero_vector_raises(self, origin, functions):
+        with pytest.raises(UdfError):
+            functions.call_table(
+                "fGetNearbyObjXYZ", origin.catalog, [0, 0, 0, 10.0]
+            )
+
+
+class TestObjFromRect:
+    def test_matches_brute_force(self, origin, photo_primary, functions):
+        args = [163.0, 164.0, 7.0, 8.0]
+        rows = functions.call_table(
+            "fGetObjFromRect", origin.catalog, args
+        )
+        schema = photo_primary.schema
+        ra_pos, dec_pos, id_pos = (
+            schema.position("ra"), schema.position("dec"),
+            schema.position("objID"),
+        )
+        expected = {
+            row[id_pos]
+            for row in photo_primary.rows
+            if 163.0 <= row[ra_pos] <= 164.0 and 7.0 <= row[dec_pos] <= 8.0
+        }
+        assert {row[0] for row in rows} == expected
+        assert expected
+
+    def test_empty_rect_raises(self, origin, functions):
+        with pytest.raises(UdfError):
+            functions.call_table(
+                "fGetObjFromRect", origin.catalog, [164.0, 163.0, 7.0, 8.0]
+            )
+
+    def test_ordered_by_objid(self, origin, functions):
+        rows = functions.call_table(
+            "fGetObjFromRect", origin.catalog, [162.0, 165.0, 6.0, 9.0]
+        )
+        ids = [row[0] for row in rows]
+        assert ids == sorted(ids)
+
+
+class TestScalars:
+    def test_photo_flags(self, functions):
+        assert functions.call_scalar("fPhotoFlags", ["SATURATED"]) == 0x1
+        assert functions.call_scalar("fPhotoFlags", ["bright"]) == 0x20
+
+    def test_photo_flags_unknown_raises(self, functions):
+        with pytest.raises(UdfError):
+            functions.call_scalar("fPhotoFlags", ["NOT_A_FLAG"])
+
+    def test_photo_type(self, functions):
+        assert functions.call_scalar("fPhotoType", ["GALAXY"]) == 3
+        assert functions.call_scalar("fPhotoType", ["star"]) == 6
+
+    def test_distance_arcmin(self, functions):
+        # One degree of declination is 60 arcminutes.
+        distance = functions.call_scalar(
+            "fDistanceArcMinEq", [100.0, 10.0, 100.0, 11.0]
+        )
+        assert distance == pytest.approx(60.0, rel=1e-6)
+
+
+class TestDeterminismFlags:
+    def test_spatial_functions_are_deterministic(self, functions):
+        for name in ("fGetNearbyObjEq", "fGetObjFromRect",
+                     "fGetNearbyObjXYZ"):
+            assert functions.is_deterministic(name)
+
+    def test_random_sample_is_not(self, functions):
+        assert not functions.is_deterministic("fRandomSample")

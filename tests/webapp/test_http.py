@@ -1,0 +1,190 @@
+"""HTTP deployment: origin app, proxy app, and the HTTP origin client."""
+
+import threading
+from wsgiref.simple_server import make_server
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.relational.result import ResultTable
+from repro.webapp.http_origin import HttpOriginClient, HttpOriginError
+from repro.webapp.origin_app import create_origin_app
+from repro.webapp.proxy_app import create_proxy_app
+
+
+@pytest.fixture(scope="module")
+def origin_client(origin):
+    return create_origin_app(origin).test_client()
+
+
+@pytest.fixture()
+def proxy_client(origin):
+    proxy = FunctionProxy(origin, origin.templates)
+    return create_proxy_app(proxy).test_client()
+
+
+class TestOriginApp:
+    def test_search_form_returns_xml(self, origin_client):
+        response = origin_client.get(
+            "/search/Radial?ra=164&dec=8&radius=10"
+        )
+        assert response.status_code == 200
+        assert "X-Server-Ms" in response.headers
+        result = ResultTable.from_xml(response.get_data(as_text=True))
+        assert "objID" in result.column_names
+
+    def test_unknown_form_is_400(self, origin_client):
+        response = origin_client.get("/search/NoSuchForm?x=1")
+        assert response.status_code == 400
+        assert "error" in response.get_json()
+
+    def test_missing_field_is_400(self, origin_client):
+        response = origin_client.get("/search/Radial?ra=164")
+        assert response.status_code == 400
+
+    def test_free_sql(self, origin_client):
+        response = origin_client.post(
+            "/sql",
+            data="SELECT TOP 3 objID, ra, dec FROM PhotoPrimary",
+        )
+        assert response.status_code == 200
+        result = ResultTable.from_xml(response.get_data(as_text=True))
+        assert len(result) == 3
+
+    def test_bad_sql_is_400(self, origin_client):
+        response = origin_client.post("/sql", data="DROP TABLE x")
+        assert response.status_code == 400
+
+    def test_free_sql_supports_aggregates(self, origin_client):
+        response = origin_client.post(
+            "/sql",
+            data="SELECT type, COUNT(*) AS n FROM PhotoPrimary "
+            "GROUP BY type ORDER BY type",
+        )
+        assert response.status_code == 200
+        result = ResultTable.from_xml(response.get_data(as_text=True))
+        assert result.column_names == ("type", "n")
+        assert sum(row[1] for row in result.rows) > 0
+
+    def test_remainder_header_charges_surcharge(self, origin_client):
+        sql = (
+            "SELECT p.objID, p.cx, p.cy, p.cz "
+            "FROM fGetNearbyObjEq(164.0, 8.0, 10.0) n "
+            "JOIN PhotoPrimary p ON n.objID = p.objID"
+        )
+        plain = origin_client.post("/sql", data=sql)
+        remainder = origin_client.post(
+            "/sql", data=sql, headers={"X-Remainder-Holes": "2"}
+        )
+        assert float(remainder.headers["X-Server-Ms"]) > float(
+            plain.headers["X-Server-Ms"]
+        )
+
+    def test_templates_endpoint(self, origin_client):
+        payload = origin_client.get("/templates").get_json()
+        ids = {t["template_id"] for t in payload["query_templates"]}
+        assert "skyserver.radial" in ids
+        assert payload["info_files"]
+
+    def test_health(self, origin_client):
+        payload = origin_client.get("/health").get_json()
+        assert "PhotoPrimary" in payload["tables"]
+        assert payload["data_version"] == 1
+
+    def test_responses_carry_data_version(self, origin_client):
+        response = origin_client.get(
+            "/search/Radial?ra=164&dec=8&radius=5"
+        )
+        assert response.headers["X-Data-Version"] == "1"
+
+
+class TestProxyApp:
+    def test_cache_status_header_progression(self, proxy_client):
+        first = proxy_client.get("/search/Radial?ra=164&dec=8&radius=10")
+        second = proxy_client.get("/search/Radial?ra=164&dec=8&radius=10")
+        assert first.headers["X-Cache-Status"] == (
+            QueryStatus.DISJOINT.value
+        )
+        assert second.headers["X-Cache-Status"] == QueryStatus.EXACT.value
+        assert float(second.headers["X-Cache-Efficiency"]) == 1.0
+
+    def test_stats_endpoint(self, proxy_client):
+        proxy_client.get("/search/Radial?ra=164&dec=8&radius=10")
+        payload = proxy_client.get("/stats").get_json()
+        assert payload["queries"] == 1
+        assert payload["scheme"] == "ac-full"
+
+    def test_cache_clear(self, proxy_client):
+        proxy_client.get("/search/Radial?ra=164&dec=8&radius=10")
+        cleared = proxy_client.post("/cache/clear").get_json()
+        assert cleared["removed"] == 1
+        payload = proxy_client.get("/stats").get_json()
+        assert payload["cache_entries"] == 0
+
+    def test_bad_form_is_400(self, proxy_client):
+        assert proxy_client.get("/search/Nope?x=1").status_code == 400
+
+
+class TestHttpOriginClient:
+    @pytest.fixture(scope="class")
+    def live_origin_url(self, origin):
+        server = make_server("127.0.0.1", 0, create_origin_app(origin))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_port}"
+        server.shutdown()
+
+    def test_bootstrap_and_query(self, live_origin_url, origin,
+                                 radial_params):
+        client = HttpOriginClient(live_origin_url)
+        assert set(client.templates.query_template_ids()) == set(
+            origin.templates.query_template_ids()
+        )
+        bound = client.templates.bind("skyserver.radial", radial_params)
+        response = client.execute_bound(bound)
+        expected = origin.execute_bound(
+            origin.templates.bind("skyserver.radial", radial_params)
+        ).result
+        assert response.result == expected
+        assert response.server_ms > 0
+
+    def test_proxy_over_http_answers_containment(
+        self, live_origin_url, radial_params
+    ):
+        client = HttpOriginClient(live_origin_url)
+        proxy = FunctionProxy(client, client.templates)
+        big = client.templates.bind("skyserver.radial", radial_params)
+        proxy.serve(big)
+        small = client.templates.bind(
+            "skyserver.radial", dict(radial_params, radius=4.0)
+        )
+        response = proxy.serve(small)
+        assert response.record.status is QueryStatus.CONTAINED
+
+    def test_rejected_sql_raises(self, live_origin_url):
+        client = HttpOriginClient(live_origin_url)
+        from repro.sqlparser.parser import parse_select
+
+        with pytest.raises(HttpOriginError):
+            client.execute_statement(
+                parse_select("SELECT x FROM NoSuchTable")
+            )
+
+    def test_client_tracks_data_version(self, live_origin_url, origin,
+                                        radial_params):
+        client = HttpOriginClient(live_origin_url)
+        assert client.data_version == origin.data_version
+        origin.bump_data_version()
+        try:
+            bound = client.templates.bind(
+                "skyserver.radial", radial_params
+            )
+            client.execute_bound(bound)
+            assert client.data_version == origin.data_version
+        finally:
+            # Keep the shared session origin's version stable for
+            # other tests (proxies snapshot it at construction).
+            origin.data_version = 1

@@ -1,0 +1,80 @@
+"""The default trace matches the paper's workload profile.
+
+This test pins the calibration DESIGN.md promises: with an unlimited
+cache, roughly half the queries are fully answerable (the paper says
+51%), the overlap mass sits near 9%, and the exact-repeat mass sits
+near the passive-cache efficiency of Table 1 (~31%).  Tolerances are
+generous — the point is to catch calibration regressions, not to chase
+decimals.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.config import ExperimentScale
+from repro.workload.analyzer import analyze_trace
+from repro.workload.generator import generate_radial_trace
+from repro.templates.manager import TemplateManager
+from repro.templates.skyserver_templates import register_skyserver_templates
+
+
+@pytest.fixture(scope="module")
+def manager():
+    manager = TemplateManager()
+    register_skyserver_templates(manager)
+    return manager
+
+
+@pytest.fixture(scope="module")
+def profile(manager):
+    scale = ExperimentScale.quick()
+    trace = generate_radial_trace(
+        dataclasses.replace(scale.trace, n_queries=1_500)
+    )
+    return analyze_trace(trace, manager)
+
+
+class TestCalibration:
+    def test_fully_answerable_near_half(self, profile):
+        assert 0.44 <= profile.fully_answerable <= 0.60
+
+    def test_exact_mass_near_passive_efficiency(self, profile):
+        assert 0.25 <= profile.exact <= 0.37
+
+    def test_containment_mass(self, profile):
+        assert 0.15 <= profile.contained <= 0.30
+
+    def test_overlap_mass_near_nine_percent(self, profile):
+        assert 0.05 <= profile.overlap <= 0.14
+
+    def test_fractions_partition_the_trace(self, profile):
+        total = (
+            profile.exact + profile.contained + profile.overlap
+            + profile.disjoint
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestAnalyzer:
+    def test_empty_trace(self, manager):
+        from repro.workload.trace import Trace
+
+        profile = analyze_trace(Trace(), manager)
+        assert profile.n_queries == 0
+
+    def test_repeated_single_query(self, manager):
+        from repro.workload.trace import Trace, TraceQuery
+
+        query = TraceQuery.of(
+            "skyserver.radial",
+            {"ra": 164.0, "dec": 8.0, "radius": 5.0,
+             "r_min": -9999.0, "r_max": 9999.0},
+        )
+        profile = analyze_trace(Trace([query, query, query]), manager)
+        assert profile.exact == pytest.approx(2 / 3)
+        assert profile.disjoint == pytest.approx(1 / 3)
+
+    def test_profile_str_is_readable(self, profile):
+        text = str(profile)
+        assert "fully answerable" in text

@@ -1,0 +1,127 @@
+"""Generator moves produce the promised region relations."""
+
+import dataclasses
+
+import pytest
+
+from repro.geometry.relations import RegionRelation, relate
+from repro.templates.manager import TemplateManager
+from repro.templates.skyserver_templates import register_skyserver_templates
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+
+
+@pytest.fixture(scope="module")
+def manager():
+    manager = TemplateManager()
+    register_skyserver_templates(manager)
+    return manager
+
+
+def regions_of(trace, manager):
+    return [
+        manager.bind(q.template_id, q.param_dict()).region for q in trace
+    ]
+
+
+class TestConfigValidation:
+    def test_rejects_probability_overflow(self):
+        with pytest.raises(ValueError):
+            RadialTraceConfig(p_repeat=0.7, p_zoom=0.5)
+
+    def test_rejects_bad_radius_range(self):
+        with pytest.raises(ValueError):
+            RadialTraceConfig(radius_min_arcmin=5.0, radius_max_arcmin=1.0)
+
+    def test_rejects_zero_queries(self):
+        with pytest.raises(ValueError):
+            RadialTraceConfig(n_queries=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        config = RadialTraceConfig(n_queries=50)
+        assert (
+            generate_radial_trace(config).queries
+            == generate_radial_trace(config).queries
+        )
+
+    def test_different_seed_differs(self):
+        a = RadialTraceConfig(n_queries=50)
+        b = dataclasses.replace(a, seed=a.seed + 1)
+        assert (
+            generate_radial_trace(a).queries
+            != generate_radial_trace(b).queries
+        )
+
+
+class TestMoveGeometry:
+    def test_zoom_only_trace_is_all_contained(self, manager):
+        config = RadialTraceConfig(
+            n_queries=60, p_repeat=0.0, p_zoom=1.0, p_pan=0.0,
+            p_zoom_out=0.0,
+        )
+        trace = generate_radial_trace(config)
+        regions = regions_of(trace, manager)
+        # Every query after the first fresh one must be contained in
+        # some earlier region (its zoom parent).
+        for i, region in enumerate(regions[1:], start=1):
+            relations = [relate(region, earlier)
+                         for earlier in regions[:i]]
+            assert any(
+                r in (RegionRelation.CONTAINED, RegionRelation.EQUAL)
+                for r in relations
+            )
+
+    def test_repeat_only_trace_is_all_exact(self):
+        config = RadialTraceConfig(
+            n_queries=40, p_repeat=1.0, p_zoom=0.0, p_pan=0.0,
+            p_zoom_out=0.0,
+        )
+        trace = generate_radial_trace(config)
+        assert trace.distinct_count() == 1
+
+    def test_pan_produces_overlap_with_parent(self, manager):
+        config = RadialTraceConfig(
+            n_queries=40, p_repeat=0.0, p_zoom=0.0, p_pan=1.0,
+            p_zoom_out=0.0,
+        )
+        trace = generate_radial_trace(config)
+        regions = regions_of(trace, manager)
+        overlap_count = 0
+        for i, region in enumerate(regions[1:], start=1):
+            if any(
+                relate(region, earlier) is RegionRelation.OVERLAP
+                for earlier in regions[:i]
+            ):
+                overlap_count += 1
+        # Pans overlap their parent by construction; a tiny slack
+        # covers coordinate-rounding edge cases.
+        assert overlap_count >= 0.9 * (len(regions) - 1)
+
+    def test_zoom_out_contains_parent(self, manager):
+        config = RadialTraceConfig(
+            n_queries=40, p_repeat=0.0, p_zoom=0.0, p_pan=0.0,
+            p_zoom_out=1.0,
+        )
+        trace = generate_radial_trace(config)
+        regions = regions_of(trace, manager)
+        containing = 0
+        for i, region in enumerate(regions[1:], start=1):
+            if any(
+                relate(region, earlier) in
+                (RegionRelation.CONTAINS, RegionRelation.EQUAL)
+                for earlier in regions[:i]
+            ):
+                containing += 1
+        assert containing >= 0.9 * (len(regions) - 1)
+
+    def test_fresh_queries_stay_inside_window(self, manager):
+        config = RadialTraceConfig(
+            n_queries=100, p_repeat=0.0, p_zoom=0.0, p_pan=0.0,
+            p_zoom_out=0.0,
+        )
+        sky = config.sky
+        for query in generate_radial_trace(config):
+            params = query.param_dict()
+            assert sky.ra_min <= params["ra"] <= sky.ra_max
+            assert sky.dec_min <= params["dec"] <= sky.dec_max

@@ -1,0 +1,54 @@
+"""The browser emulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.schemes import CachingScheme
+from repro.harness.config import ExperimentScale
+from repro.workload.generator import generate_radial_trace
+from repro.workload.rbe import BrowserEmulator
+
+
+@pytest.fixture()
+def trace():
+    scale = ExperimentScale.quick()
+    return generate_radial_trace(
+        dataclasses.replace(scale.trace, n_queries=40)
+    )
+
+
+def test_run_replays_whole_trace(origin, trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    stats = BrowserEmulator(proxy).run(trace)
+    assert len(stats) == len(trace)
+
+
+def test_limit_replays_prefix(origin, trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    stats = BrowserEmulator(proxy).run(trace, limit=10)
+    assert len(stats) == 10
+
+
+def test_client_time_added_on_top_of_proxy_time(origin, trace):
+    proxy = FunctionProxy(origin, origin.templates,
+                          scheme=CachingScheme.NO_CACHE)
+    stats = BrowserEmulator(proxy).run(trace, limit=5)
+    for record in stats.records:
+        assert "client" in record.steps_ms
+        assert record.response_ms >= record.steps_ms["client"]
+
+
+def test_progress_callback_fires(origin):
+    scale = ExperimentScale.quick()
+    trace = generate_radial_trace(
+        dataclasses.replace(scale.trace, n_queries=1_000)
+    )
+    proxy = FunctionProxy(origin, origin.templates,
+                          scheme=CachingScheme.PASSIVE)
+    calls = []
+    BrowserEmulator(proxy).run(
+        trace, progress=lambda done, total: calls.append((done, total))
+    )
+    assert calls and calls[0] == (500, 1_000)

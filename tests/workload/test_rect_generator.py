@@ -1,0 +1,126 @@
+"""Rectangular-form trace generation and mixed-template traces."""
+
+import dataclasses
+
+import pytest
+
+from repro.geometry.relations import RegionRelation, relate
+from repro.templates.manager import TemplateManager
+from repro.templates.skyserver_templates import (
+    RADIAL_TEMPLATE_ID,
+    RECT_TEMPLATE_ID,
+    register_skyserver_templates,
+)
+from repro.workload.generator import RadialTraceConfig, generate_radial_trace
+from repro.workload.rect_generator import (
+    RectTraceConfig,
+    generate_rect_trace,
+    interleave,
+)
+
+
+@pytest.fixture(scope="module")
+def manager():
+    manager = TemplateManager()
+    register_skyserver_templates(manager)
+    return manager
+
+
+def regions_of(trace, manager):
+    return [
+        manager.bind(q.template_id, q.param_dict()).region for q in trace
+    ]
+
+
+class TestConfig:
+    def test_rejects_bad_sides(self):
+        with pytest.raises(ValueError):
+            RectTraceConfig(side_min_deg=1.0, side_max_deg=0.5)
+
+    def test_rejects_probability_overflow(self):
+        with pytest.raises(ValueError):
+            RectTraceConfig(p_repeat=0.9, p_zoom=0.2)
+
+
+class TestMoves:
+    def test_deterministic(self):
+        config = RectTraceConfig(n_queries=40)
+        assert (
+            generate_rect_trace(config).queries
+            == generate_rect_trace(config).queries
+        )
+
+    def test_all_queries_are_rect_template(self):
+        for query in generate_rect_trace(RectTraceConfig(n_queries=20)):
+            assert query.template_id == RECT_TEMPLATE_ID
+            params = query.param_dict()
+            assert params["ra_min"] < params["ra_max"]
+            assert params["dec_min"] < params["dec_max"]
+
+    def test_zoom_only_trace_is_all_contained(self, manager):
+        config = RectTraceConfig(
+            n_queries=50, p_repeat=0.0, p_zoom=1.0, p_pan=0.0,
+            p_zoom_out=0.0,
+        )
+        regions = regions_of(generate_rect_trace(config), manager)
+        for i, region in enumerate(regions[1:], start=1):
+            assert any(
+                relate(region, earlier)
+                in (RegionRelation.CONTAINED, RegionRelation.EQUAL)
+                for earlier in regions[:i]
+            )
+
+    def test_zoom_out_only_trace_contains_parents(self, manager):
+        config = RectTraceConfig(
+            n_queries=40, p_repeat=0.0, p_zoom=0.0, p_pan=0.0,
+            p_zoom_out=1.0,
+        )
+        regions = regions_of(generate_rect_trace(config), manager)
+        containing = sum(
+            1
+            for i, region in enumerate(regions[1:], start=1)
+            if any(
+                relate(region, earlier)
+                in (RegionRelation.CONTAINS, RegionRelation.EQUAL)
+                for earlier in regions[:i]
+            )
+        )
+        assert containing >= 0.9 * (len(regions) - 1)
+
+    def test_pan_only_trace_overlaps(self, manager):
+        config = RectTraceConfig(
+            n_queries=40, p_repeat=0.0, p_zoom=0.0, p_pan=1.0,
+            p_zoom_out=0.0,
+        )
+        regions = regions_of(generate_rect_trace(config), manager)
+        overlapping = sum(
+            1
+            for i, region in enumerate(regions[1:], start=1)
+            if any(
+                relate(region, earlier) is RegionRelation.OVERLAP
+                for earlier in regions[:i]
+            )
+        )
+        assert overlapping >= 0.9 * (len(regions) - 1)
+
+
+class TestInterleave:
+    def test_preserves_order_and_content(self):
+        radial = generate_radial_trace(RadialTraceConfig(n_queries=30))
+        rect = generate_rect_trace(RectTraceConfig(n_queries=20))
+        merged = interleave([radial, rect], seed=1)
+        assert len(merged) == 50
+        radial_part = [
+            q for q in merged if q.template_id == RADIAL_TEMPLATE_ID
+        ]
+        rect_part = [q for q in merged if q.template_id == RECT_TEMPLATE_ID]
+        assert radial_part == list(radial)
+        assert rect_part == list(rect)
+
+    def test_deterministic_by_seed(self):
+        radial = generate_radial_trace(RadialTraceConfig(n_queries=15))
+        rect = generate_rect_trace(RectTraceConfig(n_queries=15))
+        assert (
+            interleave([radial, rect], seed=3).queries
+            == interleave([radial, rect], seed=3).queries
+        )
