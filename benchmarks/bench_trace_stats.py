@@ -11,9 +11,12 @@ from repro.harness.trace_stats import run_trace_stats
 from repro.workload.analyzer import analyze_trace
 
 
-def test_trace_profile(runner, record_result, benchmark):
+def test_trace_profile(runner, record_result, record_json, benchmark):
     result = run_trace_stats(runner)
     record_result("trace_stats", result.render())
+    # Machine-readable twin of the table, via the metrics registry,
+    # so future PRs can diff the trace profile numerically.
+    record_json("trace_stats", result.snapshot())
 
     profile = result.profile
     assert 0.40 <= profile.fully_answerable <= 0.65

@@ -14,6 +14,7 @@ minutes.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -46,7 +47,9 @@ def scale() -> ExperimentScale:
 
 @pytest.fixture(scope="session")
 def runner(scale) -> ExperimentRunner:
-    return ExperimentRunner(scale)
+    # Per-run metrics snapshots land next to the reproduction tables.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return ExperimentRunner(scale, snapshot_dir=RESULTS_DIR)
 
 
 @pytest.fixture(scope="session")
@@ -58,5 +61,18 @@ def record_result():
         print()
         print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Persist a machine-readable snapshot under results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     return write

@@ -98,6 +98,7 @@ class CacheManager:
         costs: ProxyCostModel | None = None,
         result_store=None,
         policy=None,
+        observer=None,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise CacheError(f"negative cache budget: {max_bytes}")
@@ -109,6 +110,10 @@ class CacheManager:
         self.costs = costs or ProxyCostModel()
         self.result_store = result_store or MemoryResultStore()
         self.policy = policy or LruPolicy()
+        #: Optional observability hook with a ``cache_event(kind,
+        #: n_bytes, current_bytes, entries)`` method (see
+        #: :class:`repro.obs.instrument.ProxyInstrumentation`).
+        self.observer = observer
         self._entries: dict[int, CacheEntry] = {}
         self._by_key: dict[tuple, int] = {}
         self._ids = itertools.count(1)
@@ -187,6 +192,7 @@ class CacheManager:
         self.insertions += 1
         report.stored_bytes = size
         report.description_work += self.description.add(entry)
+        self._notify("insert", size)
         return entry, report
 
     def clear(self) -> int:
@@ -196,6 +202,8 @@ class CacheManager:
         for entry in list(self._entries.values()):
             self._remove(entry)
             removed += 1
+        if removed:
+            self._notify("clear", 0)
         return removed
 
     def remove(self, entry: CacheEntry) -> MaintenanceReport:
@@ -207,6 +215,7 @@ class CacheManager:
         report = MaintenanceReport()
         if entry.entry_id in self._entries:
             report.description_work += self._remove(entry)
+            self._notify("remove", entry.byte_size)
         return report
 
     # ----------------------------------------------------------- private
@@ -219,7 +228,14 @@ class CacheManager:
             work += self._remove(victim)
             report.evicted_entries += 1
             self.evictions += 1
+            self._notify("evict", victim.byte_size)
         return work
+
+    def _notify(self, kind: str, n_bytes: int) -> None:
+        if self.observer is not None:
+            self.observer.cache_event(
+                kind, n_bytes, self.current_bytes, len(self._entries)
+            )
 
     def _remove(self, entry: CacheEntry) -> float:
         del self._entries[entry.entry_id]

@@ -30,11 +30,20 @@ Soundness guards beyond the paper's text:
   only;
 * queries on templates whose embedded function is non-deterministic are
   tunneled, never cached (paper property 1).
+
+Observability: every query runs under a
+:class:`~repro.obs.instrument.QueryObservation` — the one mechanism
+that accumulates the simulated per-step charges (feeding
+:class:`~repro.core.stats.QueryRecord` and ``TraceStats``), mirrors
+each step as a nested span when tracing is enabled, and updates the
+proxy's metric families ("the proxy servlet records timing information
+in each step of query processing").  The default instrumentation uses
+a :class:`~repro.obs.spans.NullTracer`, so the hot path pays only the
+step-charge dict updates.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -47,6 +56,7 @@ from repro.core.schemes import CachingScheme
 from repro.core.stats import QueryRecord, QueryStatus, TraceStats
 from repro.geometry.relations import RegionRelation, relate
 from repro.network.link import Topology
+from repro.obs.instrument import ProxyInstrumentation, QueryObservation
 from repro.relational.result import ResultTable
 from repro.server.origin import OriginServer
 from repro.templates.manager import BoundQuery, TemplateManager
@@ -79,6 +89,7 @@ class FunctionProxy:
         max_holes: int = 16,
         result_store=None,
         replacement_policy=None,
+        instrumentation: ProxyInstrumentation | None = None,
     ) -> None:
         if max_holes < 1:
             raise ValueError("max_holes must be at least 1")
@@ -86,13 +97,15 @@ class FunctionProxy:
         self.templates = templates
         self.scheme = scheme
         self.costs = costs or ProxyCostModel()
-        self.topology = topology or Topology()
+        self.obs = instrumentation or ProxyInstrumentation()
+        self.topology = (topology or Topology()).instrumented(self.obs)
         self.cache = CacheManager(
             description or ArrayDescription(self.costs),
             max_bytes=cache_bytes,
             costs=self.costs,
             result_store=result_store,
             policy=replacement_policy,
+            observer=self.obs,
         )
         self.evaluator = LocalEvaluator()
         self.max_holes = max_holes
@@ -101,42 +114,55 @@ class FunctionProxy:
         self._seen_data_version = getattr(origin, "data_version", None)
         self.invalidations = 0
 
+    @property
+    def metrics(self):
+        """The proxy's metrics registry (``GET /metrics`` source)."""
+        return self.obs.registry
+
+    @property
+    def tracer(self):
+        """The proxy's span tracer (``GET /trace/recent`` source)."""
+        return self.obs.tracer
+
     # ------------------------------------------------------------ public
     def serve_form(
         self, form_name: str, form_values: Mapping[str, str]
     ) -> ProxyResponse:
         """Serve a raw HTML form request (the HTTP listener's path)."""
-        bound = self.templates.bind_form(form_name, form_values)
+        with self.tracer.span("bind", form=form_name):
+            bound = self.templates.bind_form(form_name, form_values)
         return self.serve(bound)
 
     def serve(self, bound: BoundQuery) -> ProxyResponse:
         """Serve one bound query; appends a record to ``stats``."""
         self._query_index += 1
         self._check_data_version()
-        steps: dict[str, float] = {"parse": self.costs.parse_ms}
         policy = self.scheme.policy
-
-        deterministic = self._is_deterministic(bound)
-        if not policy.caches or not deterministic:
-            response = self._tunnel(bound, steps)
-        else:
-            response = self._serve_cached(bound, steps, policy)
+        with self.obs.observe_query(
+            self._query_index, bound.template_id
+        ) as observation:
+            observation.charge("parse", self.costs.parse_ms)
+            deterministic = self._is_deterministic(bound)
+            if not policy.caches or not deterministic:
+                response = self._tunnel(bound, observation)
+            else:
+                response = self._serve_cached(bound, observation, policy)
         self.stats.add(response.record)
         return response
 
     # --------------------------------------------------------- dispatch
-    def _serve_cached(self, bound, steps, policy) -> ProxyResponse:
+    def _serve_cached(self, bound, observation, policy) -> ProxyResponse:
         exact = self.cache.exact_match(bound)
         if exact is not None:
-            return self._serve_exact(bound, exact, steps)
+            return self._serve_exact(bound, exact, observation)
         if not policy.handles_containment:
             return self._forward_and_cache(
-                bound, steps, QueryStatus.FORWARDED
+                bound, observation, QueryStatus.FORWARDED
             )
-        return self._serve_active(bound, steps, policy)
+        return self._serve_active(bound, observation, policy)
 
-    def _serve_active(self, bound, steps, policy) -> ProxyResponse:
-        candidates, relations = self._check_description(bound, steps)
+    def _serve_active(self, bound, observation, policy) -> ProxyResponse:
+        candidates, relations = self._check_description(bound, observation)
 
         contained_in = [
             entry
@@ -145,7 +171,7 @@ class FunctionProxy:
             in (RegionRelation.CONTAINED, RegionRelation.EQUAL)
         ]
         if contained_in:
-            return self._serve_contained(bound, contained_in, steps)
+            return self._serve_contained(bound, contained_in, observation)
 
         subsumed = [
             entry
@@ -162,16 +188,16 @@ class FunctionProxy:
             bound, subsumed, overlapping
         ):
             return self._serve_overlap(
-                bound, subsumed, overlapping, steps
+                bound, subsumed, overlapping, observation
             )
         if policy.handles_region_containment and subsumed:
-            return self._serve_overlap(bound, subsumed, [], steps)
+            return self._serve_overlap(bound, subsumed, [], observation)
         status = (
             QueryStatus.DISJOINT
             if not (subsumed or overlapping)
             else QueryStatus.FORWARDED
         )
-        return self._forward_and_cache(bound, steps, status)
+        return self._forward_and_cache(bound, observation, status)
 
     def _attempt_overlap(self, bound, subsumed, overlapping) -> bool:
         """Whether to handle this cache-intersecting query via probe +
@@ -181,7 +207,7 @@ class FunctionProxy:
         return self.scheme.policy.handles_overlap
 
     # ------------------------------------------------------ description
-    def _check_description(self, bound: BoundQuery, steps):
+    def _check_description(self, bound: BoundQuery, observation):
         """Probe the cache description and run exact relation checks.
 
         Returns ``(usable_entries, relations)`` where relations[i] is
@@ -190,21 +216,25 @@ class FunctionProxy:
         probe is recorded (the paper's "< 100 ms" claim is about real
         time, not modelled time).
         """
-        wall_start = time.perf_counter()
-        candidates, probe_ms = self.cache.description.candidates(
-            bound.template_id, bound.region
-        )
-        signature = self._signature(bound)
-        usable = [
-            entry
-            for entry in candidates
-            if entry.signature == signature and not entry.truncated
-        ]
-        relations = [relate(bound.region, entry.region) for entry in usable]
-        steps["check"] = steps.get("check", 0.0) + probe_ms + (
-            self.costs.check_per_candidate_ms * len(usable)
-        )
-        steps["_check_wall"] = (time.perf_counter() - wall_start) * 1000.0
+        with observation.phase("check") as check:
+            candidates, probe_ms = self.cache.description.candidates(
+                bound.template_id, bound.region
+            )
+            signature = self._signature(bound)
+            usable = [
+                entry
+                for entry in candidates
+                if entry.signature == signature and not entry.truncated
+            ]
+            with self.tracer.span("relate", pairs=len(usable)):
+                relations = [
+                    relate(bound.region, entry.region) for entry in usable
+                ]
+            check.charge(
+                probe_ms + self.costs.check_per_candidate_ms * len(usable)
+            )
+            check.annotate(candidates=len(candidates), usable=len(usable))
+        observation.check_wall_ms += check.wall_ms
         return usable, relations
 
     def _is_deterministic(self, bound: BoundQuery) -> bool:
@@ -217,42 +247,49 @@ class FunctionProxy:
             return False
 
     # ------------------------------------------------------ case (a)
-    def _serve_exact(self, bound, entry: CacheEntry, steps) -> ProxyResponse:
+    def _serve_exact(
+        self, bound, entry: CacheEntry, observation
+    ) -> ProxyResponse:
         self.cache.touch(entry)
-        steps["read"] = self.costs.read_per_tuple_ms * len(entry.result)
         result = entry.result
+        observation.charge(
+            "read", self.costs.read_per_tuple_ms * len(result)
+        )
         return self._respond(
             bound,
             result,
             QueryStatus.EXACT,
-            steps,
+            observation,
             tuples_from_cache=len(result),
             contacted_origin=False,
         )
 
     # ------------------------------------------------------ case (b)
-    def _serve_contained(self, bound, entries, steps) -> ProxyResponse:
+    def _serve_contained(self, bound, entries, observation) -> ProxyResponse:
         # Any subsuming entry works; scan the smallest result.
         entry = min(entries, key=lambda e: e.row_count)
         self.cache.touch(entry)
-        outcome = self.evaluator.select_in_region(bound, [entry])
-        steps["read"] = self.costs.read_per_tuple_ms * outcome.tuples_read
-        steps["local_eval"] = self.costs.eval_per_tuple_ms * (
-            outcome.tuples_evaluated
+        with observation.phase("local_eval", entries=1) as local_eval:
+            outcome = self.evaluator.select_in_region(bound, [entry])
+            local_eval.charge(
+                self.costs.eval_per_tuple_ms * outcome.tuples_evaluated
+            )
+        observation.charge(
+            "read", self.costs.read_per_tuple_ms * outcome.tuples_read
         )
         result = self.evaluator.finalize(bound, outcome.result)
         return self._respond(
             bound,
             result,
             QueryStatus.CONTAINED,
-            steps,
+            observation,
             tuples_from_cache=len(result),
             contacted_origin=False,
         )
 
     # ------------------------------------------------------ case (c)
     def _serve_overlap(
-        self, bound, subsumed, overlapping, steps
+        self, bound, subsumed, overlapping, observation
     ) -> ProxyResponse:
         # The entries used as remainder holes, largest results first to
         # maximize the cached share, capped to keep the remainder SQL sane.
@@ -266,25 +303,35 @@ class FunctionProxy:
         for entry in used:
             self.cache.touch(entry)
 
-        probe = self.evaluator.select_in_region(bound, used)
-        steps["read"] = self.costs.read_per_tuple_ms * probe.tuples_read
-        steps["local_eval"] = self.costs.eval_per_tuple_ms * (
-            probe.tuples_evaluated
+        with observation.phase("local_eval", entries=len(used)) as local_eval:
+            probe = self.evaluator.select_in_region(bound, used)
+            local_eval.charge(
+                self.costs.eval_per_tuple_ms * probe.tuples_evaluated
+            )
+        observation.charge(
+            "read", self.costs.read_per_tuple_ms * probe.tuples_read
         )
 
-        remainder = build_remainder(bound, [e.region for e in used])
-        origin_response = self.origin.execute_remainder(
-            remainder.statement, remainder.n_holes
-        )
-        steps["origin"] = origin_response.server_ms
-        steps["transfer"] = self.topology.origin_round_trip_ms(
-            origin_response.result.byte_size()
+        with observation.phase("remainder_build", record=False) as build:
+            remainder = build_remainder(bound, [e.region for e in used])
+            build.annotate(holes=remainder.n_holes)
+        with observation.phase("origin", kind="remainder") as origin_fetch:
+            origin_response = self.origin.execute_remainder(
+                remainder.statement, remainder.n_holes
+            )
+            origin_fetch.charge(origin_response.server_ms)
+        observation.charge(
+            "transfer",
+            self.topology.origin_round_trip_ms(
+                origin_response.result.byte_size()
+            ),
         )
 
-        merged = probe.result.merge_dedup(
-            origin_response.result, bound.key_column
-        )
-        steps["merge"] = self.costs.merge_per_tuple_ms * len(merged)
+        with observation.phase("merge") as merge:
+            merged = probe.result.merge_dedup(
+                origin_response.result, bound.key_column
+            )
+            merge.charge(self.costs.merge_per_tuple_ms * len(merged))
         result = self.evaluator.finalize(bound, merged)
 
         # Count the cached contribution that survived into the answer.
@@ -299,17 +346,23 @@ class FunctionProxy:
 
         # Cache the merged full-region result and consolidate subsumed
         # entries into it (the paper's region-containment maintenance).
-        truncated = self._is_truncated(bound, origin_response.result)
-        entry, report = self.cache.store(
-            bound, merged, self._signature(bound), truncated
-        )
-        maintenance = report.charge_ms(self.costs)
-        if entry is not None:
-            for victim in used_subsumed:
-                maintenance += self.cache.remove(victim).charge_ms(
-                    self.costs
-                )
-        steps["maintenance"] = steps.get("maintenance", 0.0) + maintenance
+        with observation.phase("maintenance") as admit:
+            truncated = self._is_truncated(bound, origin_response.result)
+            entry, report = self.cache.store(
+                bound, merged, self._signature(bound), truncated
+            )
+            maintenance = report.charge_ms(self.costs)
+            if entry is not None:
+                for victim in used_subsumed:
+                    maintenance += self.cache.remove(victim).charge_ms(
+                        self.costs
+                    )
+            admit.charge(maintenance)
+            admit.annotate(
+                admitted=entry is not None,
+                evicted=report.evicted_entries,
+                consolidated=len(used_subsumed) if entry is not None else 0,
+            )
 
         status = (
             QueryStatus.REGION_CONTAINMENT
@@ -320,48 +373,56 @@ class FunctionProxy:
             bound,
             result,
             status,
-            steps,
+            observation,
             tuples_from_cache=from_cache,
             contacted_origin=True,
             origin_bytes=origin_response.result.byte_size(),
         )
 
     # ------------------------------------------------------ case (d)
-    def _forward_and_cache(self, bound, steps, status) -> ProxyResponse:
-        origin_response = self.origin.execute_bound(bound)
-        steps["origin"] = origin_response.server_ms
-        steps["transfer"] = self.topology.origin_round_trip_ms(
-            origin_response.result.byte_size()
-        )
+    def _forward_and_cache(self, bound, observation, status) -> ProxyResponse:
+        with observation.phase("origin", kind="forward") as origin_fetch:
+            origin_response = self.origin.execute_bound(bound)
+            origin_fetch.charge(origin_response.server_ms)
         result = origin_response.result
-        truncated = self._is_truncated(bound, result)
-        _entry, report = self.cache.store(
-            bound, result, self._signature(bound), truncated
+        observation.charge(
+            "transfer",
+            self.topology.origin_round_trip_ms(result.byte_size()),
         )
-        steps["maintenance"] = steps.get("maintenance", 0.0) + (
-            report.charge_ms(self.costs)
-        )
+        with observation.phase("maintenance") as admit:
+            truncated = self._is_truncated(bound, result)
+            entry, report = self.cache.store(
+                bound, result, self._signature(bound), truncated
+            )
+            admit.charge(report.charge_ms(self.costs))
+            admit.annotate(
+                admitted=entry is not None, evicted=report.evicted_entries
+            )
         return self._respond(
             bound,
             result,
             status,
-            steps,
+            observation,
             tuples_from_cache=0,
             contacted_origin=True,
             origin_bytes=result.byte_size(),
         )
 
-    def _tunnel(self, bound, steps) -> ProxyResponse:
-        origin_response = self.origin.execute_bound(bound)
-        steps["origin"] = origin_response.server_ms
-        steps["transfer"] = self.topology.origin_round_trip_ms(
-            origin_response.result.byte_size()
+    def _tunnel(self, bound, observation) -> ProxyResponse:
+        with observation.phase("origin", kind="tunnel") as origin_fetch:
+            origin_response = self.origin.execute_bound(bound)
+            origin_fetch.charge(origin_response.server_ms)
+        observation.charge(
+            "transfer",
+            self.topology.origin_round_trip_ms(
+                origin_response.result.byte_size()
+            ),
         )
         return self._respond(
             bound,
             origin_response.result,
             QueryStatus.NO_CACHE,
-            steps,
+            observation,
             tuples_from_cache=0,
             contacted_origin=True,
             origin_bytes=origin_response.result.byte_size(),
@@ -398,12 +459,12 @@ class FunctionProxy:
         bound,
         result,
         status,
-        steps,
+        observation: QueryObservation,
         tuples_from_cache: int,
         contacted_origin: bool,
         origin_bytes: int = 0,
     ) -> ProxyResponse:
-        check_wall_ms = steps.pop("_check_wall", 0.0)
+        steps = observation.steps
         record = QueryRecord(
             index=self._query_index,
             template_id=bound.template_id,
@@ -415,8 +476,14 @@ class FunctionProxy:
             origin_bytes=origin_bytes,
             contacted_origin=contacted_origin,
             steps_ms=dict(steps),
-            check_wall_ms=check_wall_ms,
+            check_wall_ms=observation.check_wall_ms,
             cache_bytes_after=self.cache.current_bytes,
             cache_entries_after=len(self.cache),
         )
+        observation.annotate(
+            status=status.value,
+            response_sim_ms=round(record.response_ms, 3),
+            tuples=record.tuples_total,
+        )
+        self.obs.observe_record(record)
         return ProxyResponse(result=result, record=record)

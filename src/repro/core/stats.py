@@ -135,6 +135,30 @@ class TraceStats:
             return 0.0
         return max(r.check_wall_ms for r in self.records)
 
+    def check_wall_percentile(self, fraction: float) -> float:
+        """Percentile of the *real* description-check wall clock,
+        over the queries that actually ran a check."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"percentile fraction out of range: {fraction}")
+        checked = sorted(
+            r.check_wall_ms for r in self.records if "check" in r.steps_ms
+        )
+        if not checked:
+            return 0.0
+        position = min(
+            len(checked) - 1, max(0, round(fraction * (len(checked) - 1)))
+        )
+        return checked[position]
+
+    def check_wall_summary(self) -> dict[str, float]:
+        """p50/p95/max of the description-check wall clock — the
+        figures backing the paper's "always under 100 ms" claim."""
+        return {
+            "p50": self.check_wall_percentile(0.50),
+            "p95": self.check_wall_percentile(0.95),
+            "max": self.max_check_wall_ms(),
+        }
+
     def first(self, n: int) -> "TraceStats":
         """Stats over the first ``n`` queries (Figure 5 uses the first
         10,000 of the trace)."""

@@ -1,8 +1,16 @@
-"""Shared experiment machinery: build once, run many configurations."""
+"""Shared experiment machinery: build once, run many configurations.
+
+Each run carries the proxy's full metrics-registry snapshot; when the
+runner is built with a ``snapshot_dir``, the snapshot is also written
+as JSON next to the benchmark results, so performance trajectories can
+be diffed across PRs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.description import ArrayDescription, RTreeDescription
 from repro.core.proxy import FunctionProxy
@@ -25,6 +33,16 @@ class RunResult:
     stats: TraceStats
     final_cache_bytes: int
     final_cache_entries: int
+    metrics_snapshot: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        """A filesystem-safe tag for this configuration."""
+        fraction = (
+            "unlimited"
+            if self.cache_fraction is None
+            else str(self.cache_fraction).replace(".", "_")
+        )
+        return f"{self.scheme.value}-{self.description_kind}-{fraction}"
 
 
 class ExperimentRunner:
@@ -39,8 +57,13 @@ class ExperimentRunner:
     query.
     """
 
-    def __init__(self, scale: ExperimentScale) -> None:
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        snapshot_dir: str | Path | None = None,
+    ) -> None:
         self.scale = scale
+        self.snapshot_dir = None if snapshot_dir is None else Path(snapshot_dir)
         self._origin: OriginServer | None = None
         self._trace: Trace | None = None
         self._total_result_bytes: int | None = None
@@ -114,11 +137,26 @@ class ExperimentRunner:
         emulator = BrowserEmulator(proxy)
         limit = measure_queries or self.scale.measure_queries
         stats = emulator.run(self.trace, limit=limit)
-        return RunResult(
+        result = RunResult(
             scheme=scheme,
             description_kind=description_kind,
             cache_fraction=cache_fraction,
             stats=stats,
             final_cache_bytes=proxy.cache.current_bytes,
             final_cache_entries=len(proxy.cache),
+            metrics_snapshot=proxy.metrics.snapshot(),
         )
+        self._write_snapshot(result)
+        return result
+
+    def _write_snapshot(self, result: RunResult) -> Path | None:
+        """Persist the run's metrics snapshot beside benchmark results."""
+        if self.snapshot_dir is None:
+            return None
+        self.snapshot_dir.mkdir(parents=True, exist_ok=True)
+        path = self.snapshot_dir / f"metrics-{result.label()}.json"
+        path.write_text(
+            json.dumps(result.metrics_snapshot, indent=2, sort_keys=True)
+            + "\n"
+        )
+        return path

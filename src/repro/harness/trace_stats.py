@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.harness.config import ExperimentScale
 from repro.harness.render import render_table
 from repro.harness.runner import ExperimentRunner
+from repro.obs.metrics import MetricsRegistry
 from repro.workload.analyzer import TraceProfile, analyze_trace
 
 
@@ -43,6 +44,35 @@ class TraceStatsResult:
             headers,
             rows,
         )
+
+    def to_registry(self) -> MetricsRegistry:
+        """The profile as a metrics registry (gauges per disposition)."""
+        registry = MetricsRegistry()
+        registry.gauge(
+            "trace_queries", "Queries in the analyzed trace."
+        ).set(self.profile.n_queries)
+        registry.gauge(
+            "trace_distinct_queries", "Distinct queries in the trace."
+        ).set(self.distinct_queries)
+        fractions = registry.gauge(
+            "trace_disposition_fraction",
+            "Unlimited-cache disposition fractions (Section 4.1).",
+            ("disposition",),
+        )
+        profile = self.profile
+        for disposition, value in (
+            ("fully_answerable", profile.fully_answerable),
+            ("exact", profile.exact),
+            ("contained", profile.contained),
+            ("overlap", profile.overlap),
+            ("disjoint", profile.disjoint),
+        ):
+            fractions.labels(disposition=disposition).set(value)
+        return registry
+
+    def snapshot(self) -> dict:
+        """A JSON-able metrics snapshot, for cross-PR perf diffing."""
+        return self.to_registry().snapshot()
 
 
 def run_trace_stats(

@@ -1,8 +1,15 @@
-"""Network links: latency + bandwidth delay models."""
+"""Network links: latency + bandwidth delay models.
+
+A :class:`Topology` may carry a *transfer recorder* — an object with a
+``record_transfer(hop, n_bytes, ms)`` method (see
+:class:`repro.obs.instrument.ProxyInstrumentation`) — that is notified
+of every simulated round trip, feeding per-hop byte counters and
+latency histograms without changing the returned delays.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -48,15 +55,29 @@ class Topology:
         latency_ms=150.0, bandwidth_bytes_per_ms=250.0
     )
     request_bytes: int = 600
+    recorder: object = field(default=None, compare=False, repr=False)
+
+    def instrumented(self, recorder) -> "Topology":
+        """A copy of this topology that reports transfers to
+        ``recorder.record_transfer(hop, n_bytes, ms)``."""
+        return replace(self, recorder=recorder)
 
     def origin_round_trip_ms(self, response_bytes: int) -> float:
         """Proxy -> origin request plus origin -> proxy response."""
-        return self.proxy_origin.transfer_ms(
+        ms = self.proxy_origin.transfer_ms(
             self.request_bytes
         ) + self.proxy_origin.transfer_ms(response_bytes)
+        self._record("origin", self.request_bytes + response_bytes, ms)
+        return ms
 
     def client_round_trip_ms(self, response_bytes: int) -> float:
         """Browser -> proxy request plus proxy -> browser response."""
-        return self.client_proxy.transfer_ms(
+        ms = self.client_proxy.transfer_ms(
             self.request_bytes
         ) + self.client_proxy.transfer_ms(response_bytes)
+        self._record("client", self.request_bytes + response_bytes, ms)
+        return ms
+
+    def _record(self, hop: str, n_bytes: int, ms: float) -> None:
+        if self.recorder is not None:
+            self.recorder.record_transfer(hop, n_bytes, ms)

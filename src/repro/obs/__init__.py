@@ -1,0 +1,52 @@
+"""Observability: structured spans, a metrics registry, and hooks.
+
+The paper's evaluation leans on internal timing visibility ("the proxy
+servlet records timing information in each step of query processing")
+and a real-time micro-claim (description checks "always under 100
+milliseconds").  This package is the one mechanism behind all of that:
+
+* :mod:`repro.obs.spans` — a span tracer that nests each query's
+  lifecycle (parse → bind → check → relate → probe → remainder →
+  origin → merge → admit) with wall-clock and simulated durations,
+  exportable as JSONL;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with Prometheus text-format exposition;
+* :mod:`repro.obs.instrument` — the proxy/origin instrumentation
+  bundles threaded through :mod:`repro.core.proxy`,
+  :mod:`repro.core.cache`, :mod:`repro.server.origin`, and
+  :mod:`repro.network.link`, surfaced over HTTP (``GET /metrics``,
+  ``GET /trace/recent``) and snapshotted by the harness.
+
+Everything is stdlib-only, and tracing is off by default: the
+:class:`~repro.obs.spans.NullTracer` records nothing and costs a
+no-op method call per step.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.spans import NULL_SPAN, NullTracer, Span, SpanTracer
+from repro.obs.instrument import (
+    OriginInstrumentation,
+    ProxyInstrumentation,
+    QueryObservation,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullTracer",
+    "OriginInstrumentation",
+    "ProxyInstrumentation",
+    "QueryObservation",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,303 @@
+"""Instrumentation bundles wired through the proxy and origin.
+
+:class:`ProxyInstrumentation` owns one metrics registry and one tracer
+per proxy and defines every proxy-side metric family (query-status
+counters, per-step latency histograms, cache occupancy gauges, origin
+byte counters, the real-wall-clock description-check histogram).  It
+also implements the two hook interfaces the lower layers call:
+
+* the cache observer (:meth:`ProxyInstrumentation.cache_event`) that
+  :class:`repro.core.cache.CacheManager` notifies on insert / evict /
+  remove / clear;
+* the transfer recorder (:meth:`ProxyInstrumentation.record_transfer`)
+  that :class:`repro.network.link.Topology` notifies per round trip.
+
+:class:`QueryObservation` is the per-query handle that replaced the
+proxy's bespoke ``steps_ms`` dict: one mechanism accumulates the
+simulated step charges (which still feed
+:class:`repro.core.stats.QueryRecord` and ``TraceStats``), mirrors
+each step as a span under the query's root span, and measures the
+real wall clock of phases that do real work (the description check).
+With the default :class:`~repro.obs.spans.NullTracer` a step costs a
+dict update plus a no-op call.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NullTracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.stats import QueryRecord
+
+#: Buckets for simulated per-step / per-response latencies (ms).
+SIM_MS_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Buckets for the *real* description-check wall clock (ms) — sized
+#: around the paper's "always under 100 milliseconds" claim.
+CHECK_WALL_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
+
+#: Buckets for payload sizes (bytes).
+BYTES_BUCKETS = (
+    512.0, 2048.0, 8192.0, 32768.0, 131072.0, 524288.0, 2097152.0,
+)
+
+
+class _PhaseHandle:
+    """What an instrumented phase yields: charge sim time, annotate."""
+
+    __slots__ = ("name", "span", "sim_ms", "wall_ms")
+
+    def __init__(self, name: str, span) -> None:
+        self.name = name
+        self.span = span
+        self.sim_ms = 0.0
+        self.wall_ms = 0.0
+
+    def charge(self, sim_ms: float) -> None:
+        """Add simulated milliseconds to this phase's step charge."""
+        self.sim_ms += sim_ms
+
+    def annotate(self, **attrs) -> None:
+        self.span.annotate(**attrs)
+
+
+class QueryObservation:
+    """One query's lifecycle: step charges + nested spans.
+
+    The proxy opens one observation per query (it is a context manager
+    whose scope is the root ``query`` span), charges each processing
+    step to it, and reads back ``steps`` / ``check_wall_ms`` when
+    building the :class:`~repro.core.stats.QueryRecord`.
+    """
+
+    __slots__ = ("steps", "check_wall_ms", "_tracer", "_root")
+
+    def __init__(self, tracer, *, index: int, template_id: str) -> None:
+        self.steps: dict[str, float] = {}
+        self.check_wall_ms = 0.0
+        self._tracer = tracer
+        self._root = tracer.span("query", index=index, template=template_id)
+
+    def __enter__(self) -> "QueryObservation":
+        self._root.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return self._root.__exit__(exc_type, exc, tb)
+
+    def charge(self, step: str, sim_ms: float, **attrs) -> None:
+        """Record a purely simulated step (no interesting wall time)."""
+        self.steps[step] = self.steps.get(step, 0.0) + sim_ms
+        self._tracer.event(step, sim_ms=sim_ms, **attrs)
+
+    @contextmanager
+    def phase(
+        self, step: str, record: bool = True, **attrs
+    ) -> Iterator[_PhaseHandle]:
+        """A step that does real work: spans it and times the wall.
+
+        Wall time is measured here (not only in the span) so it is
+        available even under the null tracer — the description-check
+        wall clock backs the paper's "< 100 ms" claim regardless of
+        whether tracing is on.  ``record=False`` spans a stage without
+        adding a step key to the record (auxiliary stages that carry
+        no simulated charge of their own, e.g. remainder building).
+        """
+        start = time.perf_counter()
+        with self._tracer.span(step, **attrs) as span:
+            handle = _PhaseHandle(step, span)
+            try:
+                yield handle
+            finally:
+                handle.wall_ms = (time.perf_counter() - start) * 1000.0
+                span.charge(handle.sim_ms)
+                span.annotate(wall_ms=round(handle.wall_ms, 6))
+        if record:
+            self.steps[step] = self.steps.get(step, 0.0) + handle.sim_ms
+
+    def annotate(self, **attrs) -> None:
+        self._root.annotate(**attrs)
+
+    def charge_root(self, sim_ms: float) -> None:
+        self._root.charge(sim_ms)
+
+
+class ProxyInstrumentation:
+    """The proxy's metric families, tracer, and lower-layer hooks."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        r = self.registry
+        self.queries = r.counter(
+            "proxy_queries_total",
+            "Queries served, by disposition status and template.",
+            ("status", "template"),
+        )
+        self.step_ms = r.histogram(
+            "proxy_step_sim_ms",
+            "Simulated latency charged per query-processing step.",
+            ("step",),
+            buckets=SIM_MS_BUCKETS,
+        )
+        self.response_ms = r.histogram(
+            "proxy_response_sim_ms",
+            "Simulated proxy-side response time per query.",
+            buckets=SIM_MS_BUCKETS,
+        )
+        self.check_wall_ms = r.histogram(
+            "proxy_check_wall_ms",
+            "Real wall-clock time of the cache-description check "
+            "(the paper's under-100-ms claim).",
+            buckets=CHECK_WALL_BUCKETS_MS,
+        )
+        self.cache_bytes = r.gauge(
+            "proxy_cache_bytes", "Bytes of results currently cached."
+        )
+        self.cache_entries = r.gauge(
+            "proxy_cache_entries", "Cached query results currently held."
+        )
+        self.cache_insertions = r.counter(
+            "proxy_cache_insertions_total", "Results admitted to the cache."
+        )
+        self.cache_evictions = r.counter(
+            "proxy_cache_evictions_total",
+            "Entries evicted by the replacement policy.",
+        )
+        self.cache_removals = r.counter(
+            "proxy_cache_removals_total",
+            "Entries consolidated away by region containment.",
+        )
+        self.cache_invalidations = r.counter(
+            "proxy_cache_invalidations_total",
+            "Whole-cache flushes (origin data-version changes).",
+        )
+        self.origin_requests = r.counter(
+            "proxy_origin_requests_total",
+            "Queries that had to contact the origin server.",
+        )
+        self.origin_bytes = r.counter(
+            "proxy_origin_bytes_total",
+            "Result bytes shipped from the origin to the proxy.",
+        )
+        self.tuples_served = r.counter(
+            "proxy_tuples_served_total",
+            "Result tuples returned to clients, by source.",
+            ("source",),
+        )
+        self.transfer_ms = r.histogram(
+            "proxy_network_transfer_ms",
+            "Simulated network round-trip time, by hop.",
+            ("hop",),
+            buckets=SIM_MS_BUCKETS,
+        )
+        self.transfer_bytes = r.counter(
+            "proxy_network_bytes_total",
+            "Bytes carried across the network, by hop.",
+            ("hop",),
+        )
+
+    # --------------------------------------------------------- per query
+    def observe_query(
+        self, index: int, template_id: str
+    ) -> QueryObservation:
+        return QueryObservation(
+            self.tracer, index=index, template_id=template_id
+        )
+
+    def observe_record(self, record: "QueryRecord") -> None:
+        """Fold one finished query record into the metric families."""
+        self.queries.labels(
+            status=record.status.value, template=record.template_id
+        ).inc()
+        for step, sim_ms in record.steps_ms.items():
+            self.step_ms.labels(step=step).observe(sim_ms)
+        self.response_ms.observe(record.response_ms)
+        if "check" in record.steps_ms:
+            self.check_wall_ms.observe(record.check_wall_ms)
+        self.cache_bytes.set(record.cache_bytes_after)
+        self.cache_entries.set(record.cache_entries_after)
+        if record.contacted_origin:
+            self.origin_requests.inc()
+            self.origin_bytes.inc(record.origin_bytes)
+        self.tuples_served.labels(source="cache").inc(
+            record.tuples_from_cache
+        )
+        self.tuples_served.labels(source="origin").inc(
+            record.tuples_total - record.tuples_from_cache
+        )
+
+    # ------------------------------------------------- cache observation
+    def cache_event(
+        self, kind: str, n_bytes: int, current_bytes: int, entries: int
+    ) -> None:
+        """Cache-manager hook; ``kind`` is insert/evict/remove/clear."""
+        if kind == "insert":
+            self.cache_insertions.inc()
+        elif kind == "evict":
+            self.cache_evictions.inc()
+        elif kind == "remove":
+            self.cache_removals.inc()
+        elif kind == "clear":
+            self.cache_invalidations.inc()
+        self.cache_bytes.set(current_bytes)
+        self.cache_entries.set(entries)
+
+    # ----------------------------------------------- network observation
+    def record_transfer(self, hop: str, n_bytes: int, ms: float) -> None:
+        """Topology hook; ``hop`` is ``origin`` or ``client``."""
+        self.transfer_ms.labels(hop=hop).observe(ms)
+        self.transfer_bytes.labels(hop=hop).inc(n_bytes)
+
+
+class OriginInstrumentation:
+    """The origin server's metric families and tracer."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+        r = self.registry
+        self.requests = r.counter(
+            "origin_requests_total",
+            "Requests executed, by kind (form, sql, remainder).",
+            ("kind",),
+        )
+        self.server_ms = r.histogram(
+            "origin_server_sim_ms",
+            "Simulated server cost per request, by kind.",
+            ("kind",),
+            buckets=SIM_MS_BUCKETS,
+        )
+        self.result_bytes = r.histogram(
+            "origin_result_bytes",
+            "Serialized result size per request, by kind.",
+            ("kind",),
+            buckets=BYTES_BUCKETS,
+        )
+        self.data_version = r.gauge(
+            "origin_data_version", "Current base-data version."
+        )
+        self.data_version.set(1)
+
+    def observe(self, kind: str, result_bytes: int, server_ms: float) -> None:
+        self.requests.labels(kind=kind).inc()
+        self.server_ms.labels(kind=kind).observe(server_ms)
+        self.result_bytes.labels(kind=kind).observe(result_bytes)

@@ -1,0 +1,223 @@
+"""Structured spans: nested per-query lifecycle timing.
+
+A *span* is one named stage of work with a wall-clock duration, an
+accumulated simulated-clock charge, free-form attributes, and child
+spans.  The tracer keeps an open-span stack (``span()`` nests under
+whatever is currently open) and a bounded ring buffer of finished root
+spans for the ``/trace/recent`` endpoint and JSONL export.
+
+Two tracers share the interface:
+
+* :class:`SpanTracer` — records everything;
+* :class:`NullTracer` — the off switch: ``span()`` hands back a shared
+  do-nothing span, so instrumented code pays one method call and no
+  allocation per stage.  This is the default on the hot path.
+
+Tracers are not thread-safe; each proxy/origin owns its own (matching
+the single-threaded replay harness and Flask test deployments).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One stage of work; a context manager bound to its tracer."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "wall_ms",
+        "sim_ms",
+        "_tracer",
+        "_start",
+    )
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.wall_ms = 0.0
+        self.sim_ms = 0.0
+        self._tracer = tracer
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_ms = (self._tracer._clock() - self._start) * 1000.0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._pop(self)
+        return False
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach attributes (status, counts, ...) to this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def charge(self, sim_ms: float) -> "Span":
+        """Accumulate simulated-clock milliseconds onto this span."""
+        self.sim_ms += sim_ms
+        return self
+
+    def to_dict(self) -> dict:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "wall_ms": round(self.wall_ms, 6),
+            "sim_ms": round(self.sim_ms, 6),
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} wall={self.wall_ms:.3f}ms "
+            f"sim={self.sim_ms:.3f}ms children={len(self.children)}>"
+        )
+
+
+class SpanTracer:
+    """Records nested spans; keeps the last ``capacity`` root spans."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self.spans_started = 0
+
+    # ------------------------------------------------------------ record
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; nests under the currently open span when entered."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, sim_ms: float = 0.0, **attrs: Any) -> None:
+        """A zero-wall-duration child span (an instantaneous charge)."""
+        with self.span(name, **attrs) as span:
+            span.charge(sim_ms)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+        self.spans_started += 1
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits by unwinding to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._finished.append(span)
+
+    # ------------------------------------------------------------ export
+    def recent(self, n: int | None = None) -> list[dict]:
+        """The most recent finished root spans, oldest first.
+
+        ``n`` bounds the result; zero and negative values yield [].
+        """
+        roots = list(self._finished)
+        if n is not None:
+            roots = roots[-n:] if n > 0 else []
+        return [root.to_dict() for root in roots]
+
+    def iter_jsonl(self) -> Iterator[str]:
+        for root in self._finished:
+            yield json.dumps(root.to_dict(), sort_keys=True)
+
+    def export_jsonl(self) -> str:
+        """Finished root spans as JSON Lines (one root per line)."""
+        lines = list(self.iter_jsonl())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path) -> int:
+        """Append finished roots to ``path``; returns spans written."""
+        lines = list(self.iter_jsonl())
+        if lines:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+        return len(lines)
+
+    def clear(self) -> None:
+        self._finished.clear()
+
+
+class _NullSpan:
+    """The shared do-nothing span the :class:`NullTracer` hands out."""
+
+    __slots__ = ()
+    name = ""
+    wall_ms = 0.0
+    sim_ms = 0.0
+    attrs: dict = {}
+    children: list = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def charge(self, sim_ms: float) -> "_NullSpan":
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+#: The singleton no-op span.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: emits nothing, stores nothing."""
+
+    enabled = False
+    spans_started = 0
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, sim_ms: float = 0.0, **attrs: Any) -> None:
+        return None
+
+    def recent(self, n: int | None = None) -> list[dict]:
+        return []
+
+    def iter_jsonl(self) -> Iterator[str]:
+        return iter(())
+
+    def export_jsonl(self) -> str:
+        return ""
+
+    def write_jsonl(self, path) -> int:
+        return 0
+
+    def clear(self) -> None:
+        return None

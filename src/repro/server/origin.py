@@ -1,9 +1,17 @@
-"""The origin server."""
+"""The origin server.
+
+Each origin carries an
+:class:`~repro.obs.instrument.OriginInstrumentation` — request counts,
+simulated server cost and result-size histograms by request kind, and
+a data-version gauge — surfaced by the origin web app's ``/metrics``.
+Pass a bundle with a real tracer to also span every execution.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.instrument import OriginInstrumentation
 from repro.relational.catalog import Catalog
 from repro.relational.errors import RelationalError
 from repro.relational.executor import Executor
@@ -40,11 +48,13 @@ class OriginServer:
         catalog: Catalog,
         templates: TemplateManager,
         costs: ServerCostModel | None = None,
+        instrumentation: OriginInstrumentation | None = None,
     ) -> None:
         self.catalog = catalog
         self.templates = templates
         self.costs = costs or ServerCostModel()
         self.executor = Executor(catalog)
+        self.instrumentation = instrumentation or OriginInstrumentation()
         self.queries_served = 0
         self.remainders_served = 0
         self.data_version = 1
@@ -60,6 +70,7 @@ class OriginServer:
         on data release).
         """
         self.data_version += 1
+        self.instrumentation.data_version.set(self.data_version)
         return self.data_version
 
     @staticmethod
@@ -80,17 +91,32 @@ class OriginServer:
         return server
 
     # ----------------------------------------------------------- serving
+    def _execute(self, statement: SelectStatement, kind: str, **attrs):
+        """Execute one statement under an ``origin.<kind>`` span."""
+        with self.instrumentation.tracer.span(
+            f"origin.{kind}", **attrs
+        ) as span:
+            result = self.executor.execute(statement)
+            span.annotate(rows=len(result))
+        return result
+
+    def _respond(self, result, kind: str, server_ms: float) -> OriginResponse:
+        self.instrumentation.observe(kind, result.byte_size(), server_ms)
+        return OriginResponse(result, server_ms)
+
     def execute_bound(self, bound: BoundQuery) -> OriginResponse:
         """Execute a concrete template query (a form submission)."""
-        result = self.executor.execute(bound.statement)
+        result = self._execute(
+            bound.statement, "form", template=bound.template_id
+        )
         self.queries_served += 1
-        return OriginResponse(result, self.costs.query_ms(len(result)))
+        return self._respond(result, "form", self.costs.query_ms(len(result)))
 
     def execute_statement(self, statement: SelectStatement) -> OriginResponse:
         """Execute a parsed statement through the free-SQL facility."""
-        result = self.executor.execute(statement)
+        result = self._execute(statement, "sql")
         self.queries_served += 1
-        return OriginResponse(result, self.costs.query_ms(len(result)))
+        return self._respond(result, "sql", self.costs.query_ms(len(result)))
 
     def execute_sql(self, sql: str) -> OriginResponse:
         """Execute raw SQL text (the public free-SQL search page).
@@ -105,11 +131,11 @@ class OriginServer:
     ) -> OriginResponse:
         """Execute a remainder query (a rewritten query with excluded
         regions); costed separately per the model's surcharge."""
-        result = self.executor.execute(statement)
+        result = self._execute(statement, "remainder", holes=n_holes)
         self.queries_served += 1
         self.remainders_served += 1
-        return OriginResponse(
-            result, self.costs.remainder_ms(len(result), n_holes)
+        return self._respond(
+            result, "remainder", self.costs.remainder_ms(len(result), n_holes)
         )
 
     def execute_form(self, form_name: str, form_values) -> OriginResponse:

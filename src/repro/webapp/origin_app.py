@@ -16,12 +16,18 @@ Routes:
     The site's registered templates, for proxy bootstrap: query
     template SQL, function template XML, and info file XML.
 
+``GET /metrics`` / ``GET /trace/recent``
+    The origin's observability surface: request counters and cost
+    histograms by kind in Prometheus text format, and recent execution
+    spans (when the origin's tracer is enabled).
+
 Every response carries ``X-Server-Ms``: the simulated server cost the
 caller should charge to its clock.
 """
 
 from __future__ import annotations
 
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.relational.errors import RelationalError
 from repro.server.origin import OriginServer
 from repro.sqlparser.errors import ParseError
@@ -95,6 +101,20 @@ def create_origin_app(origin: OriginServer):
         for info in manager.info_files():
             payload["info_files"].append(info.to_xml())
         return payload
+
+    @app.get("/metrics")
+    def metrics():
+        return (
+            origin.instrumentation.registry.exposition(),
+            200,
+            {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+        )
+
+    @app.get("/trace/recent")
+    def trace_recent():
+        tracer = origin.instrumentation.tracer
+        limit = request.args.get("n", default=20, type=int)
+        return {"enabled": tracer.enabled, "spans": tracer.recent(limit)}
 
     @app.get("/health")
     def health():

@@ -10,7 +10,18 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 
 ``GET /stats``
     Aggregate trace statistics: average response time, average cache
-    efficiency, status fractions, cache occupancy.
+    efficiency, status fractions, cache occupancy, and the p50/p95/max
+    real wall clock of the cache-description check (the paper's
+    "always under 100 milliseconds" claim).
+
+``GET /metrics``
+    The proxy's metrics registry in Prometheus text format: query
+    status counters, per-step latency histograms, cache occupancy
+    gauges, origin/network byte counters.
+
+``GET /trace/recent?n=20``
+    The most recent finished query spans as JSON (empty unless the
+    proxy was built with an enabled tracer).
 
 ``POST /cache/clear``
     Drops every cached entry (for experiment hygiene between runs).
@@ -19,6 +30,7 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 from __future__ import annotations
 
 from repro.core.proxy import FunctionProxy
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.relational.errors import RelationalError
 from repro.sqlparser.errors import ParseError
 from repro.templates.errors import TemplateError
@@ -72,6 +84,23 @@ def create_proxy_app(proxy: FunctionProxy):
             "cache_bytes": proxy.cache.current_bytes,
             "cache_entries": len(proxy.cache),
             "scheme": proxy.scheme.value,
+            "check_wall_ms": trace_stats.check_wall_summary(),
+        }
+
+    @app.get("/metrics")
+    def metrics():
+        return (
+            proxy.metrics.exposition(),
+            200,
+            {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+        )
+
+    @app.get("/trace/recent")
+    def trace_recent():
+        limit = request.args.get("n", default=20, type=int)
+        return {
+            "enabled": proxy.tracer.enabled,
+            "spans": proxy.tracer.recent(limit),
         }
 
     @app.post("/cache/clear")

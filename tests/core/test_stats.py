@@ -107,3 +107,25 @@ class TestTraceStats:
             [record(check_wall=0.5), record(check_wall=2.5)]
         )
         assert stats.max_check_wall_ms() == 2.5
+
+    def test_check_wall_summary_ignores_unchecked_queries(self):
+        # Exact matches never run a description check; their zero
+        # check_wall_ms must not drag the percentiles down.
+        checked = [
+            record(steps={"check": 1.0}, check_wall=float(v))
+            for v in (1, 2, 3, 4, 5)
+        ]
+        unchecked = [record(steps={"read": 1.0}, check_wall=0.0)] * 5
+        stats = TraceStats(checked + unchecked)
+        summary = stats.check_wall_summary()
+        assert summary["p50"] == 3.0
+        assert summary["p95"] == 5.0
+        assert summary["max"] == 5.0
+
+    def test_check_wall_summary_empty(self):
+        summary = TraceStats().check_wall_summary()
+        assert summary == {"p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_check_wall_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            TraceStats().check_wall_percentile(-0.1)

@@ -1,0 +1,179 @@
+"""Metrics registry: instruments, bucket edges, exposition format."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricError,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_labels_create_children(self, registry):
+        counter = registry.counter("queries_total", "", ("status",))
+        counter.labels(status="exact").inc()
+        counter.labels(status="exact").inc()
+        counter.labels(status="overlap").inc()
+        assert counter.labels(status="exact").value == 2
+        assert counter.labels(status="overlap").value == 1
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("c_total").inc(-1)
+
+    def test_unlabeled_use_of_labeled_family_rejected(self, registry):
+        counter = registry.counter("c_total", "", ("status",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        counter = registry.counter("c_total", "", ("status",))
+        with pytest.raises(MetricError):
+            counter.labels(nope="x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("occupancy_bytes", "Bytes.")
+        gauge.set(100)
+        gauge.inc(20)
+        gauge.dec(50)
+        assert gauge.value == pytest.approx(70.0)
+
+
+class TestHistogramBuckets:
+    def test_edge_values_are_inclusive(self, registry):
+        histogram = registry.histogram("ms", "", buckets=(1.0, 5.0, 10.0))
+        for value in (1.0, 5.0, 10.0):  # exactly on each edge
+            histogram.observe(value)
+        child = histogram.labels()
+        assert child.counts == [1, 1, 1, 0]  # le semantics: v <= bound
+        assert child.cumulative() == [1, 2, 3, 3]
+
+    def test_overflow_lands_in_inf(self, registry):
+        histogram = registry.histogram("ms", "", buckets=(1.0, 5.0))
+        histogram.observe(5.0001)
+        histogram.observe(99.0)
+        assert histogram.labels().counts == [0, 0, 2]
+
+    def test_sum_and_count(self, registry):
+        histogram = registry.histogram("ms", "", buckets=(10.0,))
+        histogram.observe(2.0)
+        histogram.observe(30.0)
+        child = histogram.labels()
+        assert child.count == 2
+        assert child.sum == pytest.approx(32.0)
+
+    def test_buckets_sorted_and_deduped(self, registry):
+        histogram = registry.histogram(
+            "ms", "", buckets=(10.0, 1.0, float("inf"))
+        )
+        assert histogram.buckets == (1.0, 10.0)  # +Inf is implicit
+        with pytest.raises(MetricError):
+            registry.histogram("dupes", "", buckets=(1.0, 1.0))
+        with pytest.raises(MetricError):
+            registry.histogram("empty", "", buckets=())
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self, registry):
+        first = registry.counter("c_total", "Help.", ("a",))
+        second = registry.counter("c_total", "Help.", ("a",))
+        assert first is second
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("c_total")
+        with pytest.raises(MetricError):
+            registry.gauge("c_total")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("c_total", "", ("a",))
+        with pytest.raises(MetricError):
+            registry.counter("c_total", "", ("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("2bad")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "", ("bad-label",))
+
+    def test_snapshot_is_json_able(self, registry):
+        registry.counter("c_total", "C.", ("k",)).labels(k="v").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_ms", "", buckets=(1.0,)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["c_total"]["values"]['{k="v"}'] == 3
+        assert snapshot["g"]["values"][""] == 1.5
+        assert snapshot["h_ms"]["values"][""]["buckets"] == {
+            "1": 1, "+Inf": 1
+        }
+
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? -?[0-9.+eEInf]+$"
+)
+
+
+class TestExposition:
+    def test_full_format(self, registry):
+        queries = registry.counter(
+            "proxy_queries_total", "Queries by status.", ("status",)
+        )
+        queries.labels(status="exact").inc(3)
+        registry.gauge("proxy_cache_bytes", "Occupancy.").set(2048)
+        histogram = registry.histogram(
+            "proxy_step_sim_ms", "Step latency.", ("step",), buckets=(1.0, 5.0)
+        )
+        histogram.labels(step="check").observe(0.5)
+        histogram.labels(step="check").observe(7.0)
+
+        text = registry.exposition()
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert "# HELP proxy_queries_total Queries by status." in lines
+        assert "# TYPE proxy_queries_total counter" in lines
+        assert 'proxy_queries_total{status="exact"} 3' in lines
+        assert "# TYPE proxy_cache_bytes gauge" in lines
+        assert "proxy_cache_bytes 2048" in lines
+        assert "# TYPE proxy_step_sim_ms histogram" in lines
+        assert 'proxy_step_sim_ms_bucket{step="check",le="1"} 1' in lines
+        assert 'proxy_step_sim_ms_bucket{step="check",le="5"} 1' in lines
+        assert 'proxy_step_sim_ms_bucket{step="check",le="+Inf"} 2' in lines
+        assert 'proxy_step_sim_ms_sum{step="check"} 7.5' in lines
+        assert 'proxy_step_sim_ms_count{step="check"} 2' in lines
+
+        # Every non-comment line must parse as a valid sample.
+        for line in lines:
+            if not line.startswith("#"):
+                assert SAMPLE_LINE.match(line), line
+
+    def test_label_values_escaped(self, registry):
+        counter = registry.counter("c_total", "", ("q",))
+        counter.labels(q='say "hi"\n\\end').inc()
+        [line] = [
+            ln for ln in registry.exposition().splitlines()
+            if not ln.startswith("#")
+        ]
+        assert line == 'c_total{q="say \\"hi\\"\\n\\\\end"} 1'
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.exposition() == ""
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")

@@ -1,0 +1,139 @@
+"""Span tracer: nesting, ordering, ring buffer, JSONL, null mode."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import NULL_SPAN, NullTracer, SpanTracer
+
+
+class FakeClock:
+    """A deterministic perf_counter: advances a fixed step per call."""
+
+    def __init__(self, step_s: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step_s
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestSpanTracer:
+    def test_nesting_and_ordering(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("query", index=1):
+            with tracer.span("check"):
+                with tracer.span("relate"):
+                    pass
+            with tracer.span("origin"):
+                pass
+        [root] = tracer.recent()
+        assert root["name"] == "query"
+        assert root["attrs"] == {"index": 1}
+        children = [child["name"] for child in root["children"]]
+        assert children == ["check", "origin"]
+        assert root["children"][0]["children"][0]["name"] == "relate"
+
+    def test_wall_clock_measured(self):
+        tracer = SpanTracer(clock=FakeClock(step_s=0.001))
+        with tracer.span("work"):
+            pass
+        [root] = tracer.recent()
+        # One clock call on enter, one on exit: exactly one step = 1 ms.
+        assert root["wall_ms"] == pytest.approx(1.0)
+
+    def test_charge_accumulates_simulated_ms(self):
+        tracer = SpanTracer()
+        with tracer.span("origin") as span:
+            span.charge(100.0)
+            span.charge(50.0)
+        [root] = tracer.recent()
+        assert root["sim_ms"] == pytest.approx(150.0)
+
+    def test_event_is_a_zero_duration_child(self):
+        tracer = SpanTracer(clock=FakeClock(step_s=0.0))
+        with tracer.span("query"):
+            tracer.event("parse", sim_ms=2.0)
+        [root] = tracer.recent()
+        [child] = root["children"]
+        assert child["name"] == "parse"
+        assert child["sim_ms"] == 2.0
+        assert child["wall_ms"] == 0.0
+
+    def test_exception_annotates_and_unwinds(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("query"):
+                with tracer.span("origin"):
+                    raise RuntimeError("origin down")
+        [root] = tracer.recent()
+        assert root["attrs"]["error"] == "RuntimeError"
+        assert root["children"][0]["attrs"]["error"] == "RuntimeError"
+
+    def test_ring_buffer_keeps_most_recent(self):
+        tracer = SpanTracer(capacity=3)
+        for i in range(10):
+            with tracer.span("query", index=i):
+                pass
+        roots = tracer.recent()
+        assert [r["attrs"]["index"] for r in roots] == [7, 8, 9]
+        assert [r["attrs"]["index"] for r in tracer.recent(2)] == [8, 9]
+
+    def test_recent_nonpositive_limits_yield_nothing(self):
+        tracer = SpanTracer()
+        with tracer.span("query"):
+            pass
+        assert tracer.recent(0) == []
+        assert tracer.recent(-5) == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        tracer = SpanTracer()
+        for i in range(3):
+            with tracer.span("query", index=i):
+                with tracer.span("check"):
+                    pass
+        lines = tracer.export_jsonl().splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert [p["attrs"]["index"] for p in parsed] == [0, 1, 2]
+
+        path = tmp_path / "trace.spans.jsonl"
+        assert tracer.write_jsonl(path) == 3
+        assert tracer.write_jsonl(path) == 3  # appends
+        assert len(path.read_text().splitlines()) == 6
+
+    def test_clear(self):
+        tracer = SpanTracer()
+        with tracer.span("query"):
+            pass
+        tracer.clear()
+        assert tracer.recent() == []
+
+
+class TestNullTracer:
+    def test_emits_nothing_and_adds_no_spans(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("query", index=1) as span:
+            span.charge(10.0).annotate(status="exact")
+            with tracer.span("check"):
+                tracer.event("parse", sim_ms=2.0)
+        assert tracer.spans_started == 0
+        assert tracer.recent() == []
+        assert tracer.export_jsonl() == ""
+        assert list(tracer.iter_jsonl()) == []
+
+    def test_hands_out_the_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b") is NULL_SPAN
+
+    def test_write_jsonl_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert NullTracer().write_jsonl(path) == 0
+        assert not path.exists()

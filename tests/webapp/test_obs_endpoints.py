@@ -1,0 +1,152 @@
+"""The observability surface of both Flask apps.
+
+``/metrics`` (Prometheus text format) and ``/trace/recent`` on the
+proxy and origin apps, plus the extended ``/stats`` percentiles.
+Skips cleanly when Flask is not installed.
+"""
+
+import re
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.core.proxy import FunctionProxy
+from repro.obs import ProxyInstrumentation, SpanTracer
+from repro.webapp.origin_app import create_origin_app
+from repro.webapp.proxy_app import create_proxy_app
+
+RADIAL = "/search/Radial?ra=164&dec=8&radius=10"
+
+#: A valid Prometheus sample line: name{labels} value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})? "
+    r"(-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    assert text.endswith("\n")
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert SAMPLE_LINE.match(line), f"bad sample line: {line!r}"
+
+
+@pytest.fixture()
+def traced_proxy(origin):
+    return FunctionProxy(
+        origin,
+        origin.templates,
+        instrumentation=ProxyInstrumentation(tracer=SpanTracer()),
+    )
+
+
+@pytest.fixture()
+def proxy_client(traced_proxy):
+    return create_proxy_app(traced_proxy).test_client()
+
+
+@pytest.fixture()
+def origin_client(origin):
+    return create_origin_app(origin).test_client()
+
+
+class TestProxyMetricsEndpoint:
+    def test_prometheus_round_trip(self, proxy_client):
+        proxy_client.get(RADIAL)
+        proxy_client.get(RADIAL)
+        response = proxy_client.get("/metrics")
+        assert response.status_code == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.get_data(as_text=True)
+        assert_valid_exposition(text)
+        lines = text.splitlines()
+        assert "# TYPE proxy_queries_total counter" in lines
+        assert (
+            'proxy_queries_total{status="disjoint",'
+            'template="skyserver.radial"} 1' in lines
+        )
+        assert (
+            'proxy_queries_total{status="exact",'
+            'template="skyserver.radial"} 1' in lines
+        )
+        assert "# TYPE proxy_step_sim_ms histogram" in lines
+        assert any(
+            line.startswith('proxy_step_sim_ms_bucket{step="origin"')
+            for line in lines
+        )
+        assert "# TYPE proxy_cache_bytes gauge" in lines
+        assert any(line.startswith("proxy_cache_bytes ") for line in lines)
+        assert any(line.startswith("proxy_cache_entries ") for line in lines)
+
+    def test_metrics_track_cache_clear(self, proxy_client):
+        proxy_client.get(RADIAL)
+        proxy_client.post("/cache/clear")
+        text = proxy_client.get("/metrics").get_data(as_text=True)
+        assert "proxy_cache_entries 0" in text.splitlines()
+        assert "proxy_cache_invalidations_total 1" in text.splitlines()
+
+
+class TestProxyTraceEndpoint:
+    def test_recent_spans_round_trip(self, proxy_client):
+        proxy_client.get(RADIAL)
+        proxy_client.get(RADIAL)
+        payload = proxy_client.get("/trace/recent").get_json()
+        assert payload["enabled"] is True
+        queries = [s for s in payload["spans"] if s["name"] == "query"]
+        assert [q["attrs"]["status"] for q in queries] == [
+            "disjoint", "exact"
+        ]
+        assert all("wall_ms" in span for span in payload["spans"])
+
+    def test_limit_parameter(self, proxy_client):
+        for _ in range(3):
+            proxy_client.get(RADIAL)
+        payload = proxy_client.get("/trace/recent?n=2").get_json()
+        assert len(payload["spans"]) == 2
+
+    def test_disabled_tracer_reports_empty(self, origin):
+        client = create_proxy_app(
+            FunctionProxy(origin, origin.templates)
+        ).test_client()
+        client.get(RADIAL)
+        payload = client.get("/trace/recent").get_json()
+        assert payload == {"enabled": False, "spans": []}
+
+
+class TestStatsPercentiles:
+    def test_check_wall_summary_in_stats(self, proxy_client):
+        proxy_client.get(RADIAL)
+        proxy_client.get("/search/Radial?ra=164&dec=8&radius=4")
+        payload = proxy_client.get("/stats").get_json()
+        summary = payload["check_wall_ms"]
+        assert set(summary) == {"p50", "p95", "max"}
+        assert 0.0 < summary["p50"] <= summary["max"]
+        # The paper's claim: description checking stays under 100 ms.
+        assert summary["max"] < 100.0
+
+
+class TestOriginObsEndpoints:
+    def test_metrics_round_trip(self, origin_client):
+        origin_client.get(RADIAL)
+        response = origin_client.get("/metrics")
+        assert response.status_code == 200
+        assert response.headers["Content-Type"].startswith("text/plain")
+        text = response.get_data(as_text=True)
+        assert_valid_exposition(text)
+        lines = text.splitlines()
+        assert "# TYPE origin_requests_total counter" in lines
+        assert any(
+            line.startswith('origin_requests_total{kind="form"}')
+            for line in lines
+        )
+        assert any(
+            line.startswith("origin_data_version ") for line in lines
+        )
+
+    def test_trace_recent_disabled_by_default(self, origin_client):
+        payload = origin_client.get("/trace/recent").get_json()
+        assert payload["enabled"] is False
+        assert payload["spans"] == []
