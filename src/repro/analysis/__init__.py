@@ -1,0 +1,73 @@
+"""Static cacheability analysis: a diagnostics engine for templates.
+
+The paper's correctness argument rests on four statically-checkable
+properties (Section 3.1): determinism, spatial region selection
+semantics, semantics-preserving joins, and result attribute
+availability.  A template that silently violates one produces *wrong
+cache answers* at runtime; this package verifies all four — and more —
+at admission time and turns every violation into a structured
+:class:`Diagnostic` with a stable code, a severity, a source span, and
+a fix hint.
+
+Two prongs:
+
+* **Domain analyzer** (``analyze_*``) — pass pipelines over function
+  template XML, query templates, and info files (codes ``FP1xx`` /
+  ``FP2xx``).  Wired into :class:`repro.templates.manager.TemplateManager`
+  registration (strict mode rejects, permissive mode degrades the
+  template to pass-through), the Flask apps' ``GET /analyze``, and the
+  offline CLI ``python -m repro.analysis``.
+* **Repository lint** (:mod:`repro.analysis.pylint_rules`) — custom AST
+  rules enforcing repo invariants (codes ``FP3xx``), driven by
+  ``tools/lint.py`` in CI.
+
+Diagnostic counts feed the metrics registry as
+``analysis_diagnostics_total{code=...,severity=...}``.
+"""
+
+from repro.analysis.analyzer import (
+    analyze_function_template,
+    analyze_function_template_xml,
+    analyze_info_file,
+    analyze_info_file_xml,
+    analyze_manager,
+    analyze_path,
+    analyze_query_template,
+)
+from repro.analysis.codes import CODES, CodeInfo, code_info, severity_of
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    merge_reports,
+    span_at,
+    span_of,
+    whole_span,
+)
+from repro.analysis.pylint_rules import ALL_RULES, lint_file, run_lint
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "analyze_function_template",
+    "analyze_function_template_xml",
+    "analyze_info_file",
+    "analyze_info_file_xml",
+    "analyze_manager",
+    "analyze_path",
+    "analyze_query_template",
+    "code_info",
+    "lint_file",
+    "merge_reports",
+    "run_lint",
+    "severity_of",
+    "span_at",
+    "span_of",
+    "whole_span",
+]

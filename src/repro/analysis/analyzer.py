@@ -1,0 +1,181 @@
+"""Entry points of the static cacheability analyzer.
+
+Each ``analyze_*`` function builds a :class:`PassContext`, runs the
+relevant pass pipeline, and returns an :class:`AnalysisReport`.  The
+callers are:
+
+* :class:`repro.templates.manager.TemplateManager` — at registration,
+  rejecting (strict mode) or degrading (permissive mode) artifacts
+  with error diagnostics;
+* the Flask apps' ``GET /analyze`` endpoints and their startup report;
+* the offline CLI, ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import xml.etree.ElementTree as ET
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import AnalysisReport, merge_reports
+from repro.analysis.passes import (
+    FUNCTION_TEMPLATE_PASSES,
+    FunctionCatalog,
+    PassContext,
+    analyze_function_template_text,
+    analyze_query_template_passes,
+    check_info_file,
+)
+from repro.templates.function_template import FunctionTemplate
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.query_template import QueryTemplate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.templates.manager import TemplateManager
+
+
+def analyze_function_template(
+    template: FunctionTemplate,
+    registry: FunctionCatalog | None = None,
+) -> AnalysisReport:
+    """Semantic passes (FP107–FP111) over a constructed template.
+
+    Spans anchor into the template's XML serialization, which is also
+    what a registered template round-trips through.
+    """
+    ctx = PassContext(
+        subject=template.name,
+        text=template.to_xml(),
+        source=f"{template.name}.xml",
+        registry=registry,
+    )
+    for semantic_pass in FUNCTION_TEMPLATE_PASSES:
+        semantic_pass(template, ctx)
+    return ctx.report
+
+
+def analyze_function_template_xml(
+    text: str,
+    source: str = "<function-template>",
+    registry: FunctionCatalog | None = None,
+) -> AnalysisReport:
+    """Structural + semantic passes (FP101–FP111) over raw XML text."""
+    ctx = PassContext(
+        subject=source, text=text, source=source, registry=registry
+    )
+    analyze_function_template_text(ctx)
+    return ctx.report
+
+
+def analyze_query_template(
+    template: QueryTemplate,
+    registry: FunctionCatalog | None = None,
+) -> AnalysisReport:
+    """Property passes (FP202–FP211) over a parsed query template."""
+    ctx = PassContext(
+        subject=template.template_id,
+        text=template.sql,
+        source=f"{template.template_id}.sql",
+        registry=registry,
+    )
+    analyze_query_template_passes(template, ctx)
+    return ctx.report
+
+
+def analyze_info_file(
+    info: TemplateInfoFile,
+    template: QueryTemplate | None,
+) -> AnalysisReport:
+    """Binding passes (FP212–FP214) over an info file.
+
+    ``template`` is the query template the info file names, or None
+    when it is not registered (FP212).
+    """
+    ctx = PassContext(subject=info.form_name)
+    check_info_file(info, template, ctx)
+    return ctx.report
+
+
+def analyze_info_file_xml(
+    text: str, source: str = "<info-file>"
+) -> AnalysisReport:
+    """Structural checks over raw info-file XML (FP101 / FP102).
+
+    Cross-references (FP212–FP214) need a template registry, so the
+    offline linter only validates the document shape.
+    """
+    ctx = PassContext(subject=source, text=text, source=source)
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        ctx.emit("FP101", f"info file XML is not well-formed: {exc}")
+        return ctx.report
+    if root.tag != "TemplateInfo":
+        ctx.emit(
+            "FP102",
+            f"expected root element <TemplateInfo>, got <{root.tag}>",
+            span=ctx.span(f"<{root.tag}"),
+        )
+        return ctx.report
+    for tag in ("FormName", "TemplateId"):
+        element = root.find(tag)
+        if element is None or not (element.text or "").strip():
+            ctx.emit("FP102", f"missing or empty <{tag}> element")
+    fields = root.find("Fields")
+    if fields is not None:
+        for field_el in fields.findall("Field"):
+            if not field_el.get("name") or not field_el.get("param"):
+                ctx.emit(
+                    "FP102",
+                    "<Field> needs both a name and a param attribute",
+                    span=ctx.span("<Field"),
+                )
+    return ctx.report
+
+
+def analyze_manager(
+    manager: "TemplateManager",
+    registry: FunctionCatalog | None = None,
+) -> AnalysisReport:
+    """Analyze everything registered with a template manager."""
+    reports: list[AnalysisReport] = []
+    for function_template in manager.function_templates():
+        reports.append(
+            analyze_function_template(function_template, registry)
+        )
+    for template_id in manager.query_template_ids():
+        reports.append(
+            analyze_query_template(
+                manager.query_template(template_id), registry
+            )
+        )
+    for info in manager.info_files():
+        try:
+            template: QueryTemplate | None = manager.query_template(
+                info.template_id
+            )
+        except Exception:
+            template = None
+        reports.append(analyze_info_file(info, template))
+    return merge_reports(reports)
+
+
+def analyze_path(path: str | pathlib.Path) -> AnalysisReport:
+    """Lint one template/info XML file (or a directory of them).
+
+    The document kind is sniffed from the root element; files that are
+    neither function templates nor info files get an FP102.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        return merge_reports(
+            analyze_path(child) for child in sorted(path.rglob("*.xml"))
+        )
+    text = path.read_text(encoding="utf-8")
+    source = str(path)
+    stripped = text.lstrip()
+    if stripped.startswith("<?"):
+        stripped = stripped.split("?>", 1)[-1].lstrip()
+    if stripped.startswith("<TemplateInfo"):
+        return analyze_info_file_xml(text, source)
+    return analyze_function_template_xml(text, source)

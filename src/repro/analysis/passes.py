@@ -1,0 +1,657 @@
+"""The domain analysis passes.
+
+Each pass inspects one registered artifact — a function template, a
+query template, or an info file — and emits :class:`Diagnostic` objects
+into a shared :class:`PassContext`.  Passes never raise on bad input:
+the point of the analyzer is to report *all* problems of an artifact at
+once, where the constructors in :mod:`repro.templates` fail fast on the
+first.
+
+The pipeline entry points live in :mod:`repro.analysis.analyzer`; this
+module holds the individual checks and the expression-walking helpers
+they share.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from repro.analysis.codes import severity_of
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    span_at,
+    span_of,
+)
+from repro.relational.expressions import (
+    SCALAR_BUILTINS,
+    Expression,
+    FuncCall,
+)
+from repro.sqlparser.ast import FunctionSource, Parameter, SelectStatement
+from repro.sqlparser.parser import parse_expression
+from repro.templates.function_template import FunctionTemplate, Shape
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.query_template import QueryTemplate
+
+
+class FunctionCatalog(Protocol):
+    """What determinism checks need from a UDF registry."""
+
+    def has_scalar(self, name: str) -> bool: ...
+
+    def has_table(self, name: str) -> bool: ...
+
+    def is_deterministic(self, name: str) -> bool: ...
+
+
+@dataclass
+class PassContext:
+    """Shared state of one analysis run over one artifact.
+
+    ``text``/``source`` anchor spans when the artifact has a textual
+    form at hand (template XML, query SQL); passes that find nothing to
+    anchor emit span-less diagnostics.
+    """
+
+    subject: str
+    text: str = ""
+    source: str = ""
+    registry: FunctionCatalog | None = None
+    report: AnalysisReport = field(default_factory=AnalysisReport)
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        span: SourceSpan | None = None,
+        hint: str = "",
+        severity: Severity | None = None,
+    ) -> None:
+        self.report.add(
+            Diagnostic(
+                code=code,
+                severity=severity if severity is not None else severity_of(
+                    code
+                ),
+                message=message,
+                subject=self.subject,
+                span=span,
+                hint=hint,
+            )
+        )
+
+    def span(self, needle: str) -> SourceSpan | None:
+        """Best-effort span of ``needle`` in the artifact's text."""
+        if not self.text:
+            return None
+        return span_of(self.text, needle, self.source or self.subject)
+
+
+# ------------------------------------------------------------------ walking
+def iter_expression_nodes(expr: Expression) -> Iterator[Expression]:
+    """Every node of an expression tree, root first."""
+    yield expr
+    for attr in vars(expr).values():
+        if isinstance(attr, Expression):
+            yield from iter_expression_nodes(attr)
+        elif isinstance(attr, tuple):
+            for element in attr:
+                if isinstance(element, Expression):
+                    yield from iter_expression_nodes(element)
+
+
+def parameter_refs(expr: Expression) -> set[str]:
+    """All ``$``-parameter names referenced by ``expr``."""
+    return {
+        node.name
+        for node in iter_expression_nodes(expr)
+        if isinstance(node, Parameter)
+    }
+
+
+def function_calls(expr: Expression) -> list[FuncCall]:
+    """All scalar function calls inside ``expr``."""
+    return [
+        node
+        for node in iter_expression_nodes(expr)
+        if isinstance(node, FuncCall)
+    ]
+
+
+def region_expressions(template: FunctionTemplate) -> list[Expression]:
+    """Every expression that shapes the template's region."""
+    exprs: list[Expression] = []
+    exprs.extend(template.center_exprs)
+    if template.radius_expr is not None:
+        exprs.append(template.radius_expr)
+    exprs.extend(template.low_exprs)
+    exprs.extend(template.high_exprs)
+    for spec in template.halfspace_specs:
+        exprs.extend(spec.normal)
+        exprs.append(spec.offset)
+    return exprs
+
+
+def statement_expressions(statement: SelectStatement) -> list[Expression]:
+    """Every expression of a statement the scalar-determinism pass scans."""
+    exprs: list[Expression] = [
+        item.expression for item in statement.select_items
+    ]
+    if isinstance(statement.source, FunctionSource):
+        exprs.extend(statement.source.args)
+    for join in statement.joins:
+        exprs.append(join.condition)
+    if statement.where is not None:
+        exprs.append(statement.where)
+    exprs.extend(statement.group_by)
+    exprs.extend(item.expression for item in statement.order_by)
+    return exprs
+
+
+# ------------------------------------------- function template (semantics)
+def check_region_parameter_binding(
+    template: FunctionTemplate, ctx: PassContext
+) -> None:
+    """FP107 / FP108: region expressions vs. declared parameters."""
+    declared = set(template.params)
+    referenced: set[str] = set()
+    for expr in region_expressions(template):
+        referenced |= parameter_refs(expr)
+    for name in sorted(referenced - declared):
+        ctx.emit(
+            "FP107",
+            f"region expression references ${name}, which is not a "
+            f"declared parameter of {template.name}",
+            span=ctx.span(f"${name}"),
+            hint=f"add {name!r} to the template's <Params>",
+        )
+    for name in sorted(declared - referenced):
+        ctx.emit(
+            "FP108",
+            f"parameter {name!r} is declared but no region expression "
+            "uses it; every binding of it selects the same region",
+            span=ctx.span(name),
+            hint="drop the parameter or use it in a region expression",
+        )
+
+
+def check_point_expressions(
+    template: FunctionTemplate, ctx: PassContext
+) -> None:
+    """FP109: point expressions range over result attributes only."""
+    for expr in template.point_exprs:
+        for name in sorted(parameter_refs(expr)):
+            ctx.emit(
+                "FP109",
+                f"point expression {expr.to_sql()} references ${name}; "
+                "point expressions must be computable from a result "
+                "tuple alone (paper property 4)",
+                span=ctx.span(f"${name}"),
+                hint="rewrite the point expression over result columns",
+            )
+
+
+def check_expression_determinism(
+    template: FunctionTemplate, ctx: PassContext
+) -> None:
+    """FP110 / FP111: scalar calls in template expressions.
+
+    Builtins (:data:`SCALAR_BUILTINS`) are all deterministic; a
+    registered UDF is checked against its declared determinism flag;
+    an unknown function is flagged as a warning — it would fail at
+    evaluation time anyway, but the analyzer says so up front.
+    """
+    exprs = region_expressions(template) + list(template.point_exprs)
+    seen: set[str] = set()
+    for expr in exprs:
+        for call in function_calls(expr):
+            key = call.name.lower()
+            if key in seen or key in SCALAR_BUILTINS:
+                continue
+            seen.add(key)
+            registry = ctx.registry
+            if registry is not None and registry.has_scalar(call.name):
+                if not registry.is_deterministic(call.name):
+                    ctx.emit(
+                        "FP110",
+                        f"template expression calls {call.name}, which is "
+                        "registered as non-deterministic "
+                        "(paper property 1)",
+                        span=ctx.span(call.name),
+                        hint="region expressions must be deterministic",
+                    )
+            else:
+                ctx.emit(
+                    "FP111",
+                    f"template expression calls unknown scalar function "
+                    f"{call.name}; determinism cannot be verified",
+                    span=ctx.span(call.name),
+                    hint="register the function or use a builtin",
+                )
+
+
+FUNCTION_TEMPLATE_PASSES = (
+    check_region_parameter_binding,
+    check_point_expressions,
+    check_expression_determinism,
+)
+
+
+# ------------------------------------------- function template (XML layer)
+_SHAPE_ELEMENTS = {
+    Shape.HYPERSPHERE: ("CenterCoordinate", "Radius"),
+    Shape.HYPERRECT: ("LowBound", "HighBound"),
+    Shape.POLYTOPE: ("LowBound", "HighBound", "Halfspaces"),
+}
+
+
+def _offset_of(text: str, line: int, column: int) -> int:
+    """Character offset of a 1-based (line, column) position."""
+    lines = text.split("\n")
+    offset = sum(len(item) + 1 for item in lines[: line - 1])
+    return offset + max(0, column)
+
+
+def _check_expr_container(
+    root: ET.Element,
+    tag: str,
+    expected: int | None,
+    ctx: PassContext,
+    required: bool,
+    parent_label: str = "",
+) -> None:
+    """Shared FP102 / FP105 / FP106 logic for one ``<Expr>`` container."""
+    container = root.find(tag)
+    label = f"{parent_label}<{tag}>" if parent_label else f"<{tag}>"
+    if container is None:
+        if required:
+            ctx.emit(
+                "FP102",
+                f"missing {label} element",
+                span=ctx.span(f"<{root.tag}") if ctx.text else None,
+                hint=f"declare {label} with one <Expr> per dimension",
+            )
+        return
+    exprs = container.findall("Expr")
+    if expected is not None and len(exprs) != expected:
+        ctx.emit(
+            "FP105",
+            f"{label} has {len(exprs)} <Expr> element(s), expected "
+            f"{expected} (one per dimension)",
+            span=ctx.span(f"<{tag}>"),
+            hint="match the expression count to <NumDimensions>",
+        )
+    for child in exprs:
+        text = (child.text or "").strip()
+        if not text:
+            ctx.emit(
+                "FP102",
+                f"empty <Expr> inside {label}",
+                span=ctx.span(f"<{tag}>"),
+            )
+            continue
+        try:
+            parse_expression(text)
+        except Exception as exc:
+            ctx.emit(
+                "FP106",
+                f"cannot parse expression {text!r} in {label}: {exc}",
+                span=ctx.span(text),
+            )
+
+
+def analyze_function_template_text(ctx: PassContext) -> None:
+    """The structural pass pipeline over raw function-template XML.
+
+    Emits FP101–FP106 structural findings with spans into the XML, and
+    — when the document is structurally sound — constructs the template
+    and runs the semantic passes (FP107–FP111) over it.
+    """
+    text = ctx.text
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        line, column = exc.position
+        offset = _offset_of(text, line, column)
+        ctx.emit(
+            "FP101",
+            f"template XML is not well-formed: {exc}",
+            span=span_at(
+                text, offset, offset + 1, ctx.source or ctx.subject
+            ),
+        )
+        return
+    if root.tag != "FunctionTemplate":
+        ctx.emit(
+            "FP102",
+            f"expected root element <FunctionTemplate>, got <{root.tag}>",
+            span=ctx.span(f"<{root.tag}"),
+        )
+        return
+
+    def text_of(tag: str) -> str | None:
+        element = root.find(tag)
+        if element is None or not (element.text or "").strip():
+            return None
+        return (element.text or "").strip()
+
+    name = text_of("Name")
+    if name is None:
+        ctx.emit("FP102", "missing or empty <Name> element")
+    else:
+        ctx.subject = name
+    if root.find("Params") is None:
+        ctx.emit(
+            "FP102",
+            "missing <Params> element",
+            hint="declare the function's parameters, one <Param> each",
+        )
+
+    shape: Shape | None = None
+    shape_text = text_of("Shape")
+    if shape_text is None:
+        ctx.emit("FP102", "missing or empty <Shape> element")
+    else:
+        try:
+            shape = Shape(shape_text)
+        except ValueError:
+            known = ", ".join(s.value for s in Shape)
+            ctx.emit(
+                "FP103",
+                f"unknown shape {shape_text!r}; expected one of {known}",
+                span=ctx.span(shape_text),
+            )
+
+    dims: int | None = None
+    dims_text = text_of("NumDimensions")
+    if dims_text is None:
+        ctx.emit("FP102", "missing or empty <NumDimensions> element")
+    else:
+        try:
+            dims = int(dims_text)
+        except ValueError:
+            dims = None
+        if dims is None or dims < 1:
+            ctx.emit(
+                "FP104",
+                f"<NumDimensions> must be a positive integer, "
+                f"got {dims_text!r}",
+                span=ctx.span(dims_text),
+            )
+            dims = None
+
+    _check_expr_container(root, "PointCoordinate", dims, ctx, required=True)
+    if shape is not None:
+        needed = _SHAPE_ELEMENTS[shape]
+        if "CenterCoordinate" in needed:
+            _check_expr_container(
+                root, "CenterCoordinate", dims, ctx, required=True
+            )
+        if "Radius" in needed:
+            radius_text = text_of("Radius")
+            if radius_text is None:
+                ctx.emit(
+                    "FP102",
+                    "hypersphere template is missing <Radius>",
+                )
+            else:
+                try:
+                    parse_expression(radius_text)
+                except Exception as exc:
+                    ctx.emit(
+                        "FP106",
+                        f"cannot parse radius expression "
+                        f"{radius_text!r}: {exc}",
+                        span=ctx.span(radius_text),
+                    )
+        if "LowBound" in needed:
+            _check_expr_container(root, "LowBound", dims, ctx, required=True)
+            _check_expr_container(root, "HighBound", dims, ctx, required=True)
+        if "Halfspaces" in needed:
+            faces = root.find("Halfspaces")
+            if faces is None or not faces.findall("Halfspace"):
+                ctx.emit(
+                    "FP102",
+                    "polytope template needs <Halfspaces> with at least "
+                    "one <Halfspace>",
+                )
+            else:
+                for face in faces.findall("Halfspace"):
+                    _check_expr_container(
+                        face, "Normal", dims, ctx,
+                        required=True, parent_label="<Halfspace>",
+                    )
+                    offset_el = face.find("Offset")
+                    if offset_el is None or not (
+                        (offset_el.text or "").strip()
+                    ):
+                        ctx.emit(
+                            "FP102", "<Halfspace> is missing <Offset>",
+                        )
+
+    if ctx.report.has_errors:
+        return
+    try:
+        template = FunctionTemplate.from_xml(text)
+    except Exception as exc:  # a structural case the checks above missed
+        ctx.emit("FP102", f"template cannot be constructed: {exc}")
+        return
+    for semantic_pass in FUNCTION_TEMPLATE_PASSES:
+        semantic_pass(template, ctx)
+
+
+# --------------------------------------------------------- query templates
+def _select_list_span(ctx: PassContext) -> SourceSpan | None:
+    """The span of the select list in the template's SQL text."""
+    if not ctx.text:
+        return None
+    lowered = ctx.text.lower()
+    start = lowered.find("select")
+    stop = lowered.find(" from ")
+    if start < 0 or stop < 0 or stop <= start:
+        return None
+    return span_at(
+        ctx.text, start, stop, ctx.source or ctx.subject
+    )
+
+
+def check_from_clause(template: QueryTemplate, ctx: PassContext) -> bool:
+    """FP202 / FP203 / FP204: the spatial-region-selection property.
+
+    Returns False when the FROM clause is not even a function call, in
+    which case the downstream passes have nothing to inspect.
+    """
+    source = template.statement.source
+    if not isinstance(source, FunctionSource):
+        ctx.emit(
+            "FP202",
+            "FROM must call a table-valued function "
+            "(spatial region selection semantics, paper property 2)",
+            span=ctx.span(source.to_sql()),
+            hint="the FROM clause must be fTemplate($params...)",
+        )
+        return False
+    declared = template.function_template
+    if source.name.lower() != declared.name.lower():
+        ctx.emit(
+            "FP203",
+            f"FROM calls {source.name!r} but the function template is "
+            f"for {declared.name!r}",
+            span=ctx.span(source.name),
+        )
+    if len(source.args) != len(declared.params):
+        ctx.emit(
+            "FP204",
+            f"{source.name} takes {len(declared.params)} arguments, "
+            f"the template passes {len(source.args)}",
+            span=ctx.span(source.name),
+        )
+    return True
+
+
+def check_joins(template: QueryTemplate, ctx: PassContext) -> None:
+    """FP205: semantics-preserving joins (paper property 3)."""
+    for join in template.statement.joins:
+        if not QueryTemplate._is_semantics_preserving_join(join.condition):
+            ctx.emit(
+                "FP205",
+                f"join ON {join.condition.to_sql()} is not a plain "
+                "equi-join (semantics-preserving join, paper property 3)",
+                span=ctx.span("JOIN"),
+                hint="joins may only filter or expand tuples via "
+                "column = column",
+            )
+
+
+def check_select_list(template: QueryTemplate, ctx: PassContext) -> None:
+    """FP206 / FP207: result attribute availability (paper property 4)."""
+    statement = template.statement
+    if statement.star:
+        return
+    available = {
+        item.output_name().lower() for item in statement.select_items
+    }
+    for item in statement.select_items:
+        name = item.output_name().lower()
+        if "." in name:
+            available.add(name.split(".")[-1])
+    needed = {
+        name.split(".")[-1]
+        for name in template.function_template.point_attribute_names()
+    }
+    missing = sorted(needed - available)
+    if missing:
+        ctx.emit(
+            "FP206",
+            f"point attribute(s) {', '.join(missing)} not in the select "
+            "list (result attribute availability, paper property 4)",
+            span=_select_list_span(ctx),
+            hint="select every column the point expressions read, so "
+            "cached tuples can be re-evaluated spatially",
+        )
+    if template.key_column.lower() not in available:
+        ctx.emit(
+            "FP207",
+            f"key column {template.key_column!r} not in the select list",
+            span=_select_list_span(ctx),
+            hint="the key column deduplicates merged results",
+        )
+
+
+def check_top(template: QueryTemplate, ctx: PassContext) -> None:
+    """FP208: TOP-N templates produce truncated region answers."""
+    if template.statement.top is not None:
+        ctx.emit(
+            "FP208",
+            f"TOP {template.statement.top} truncates region answers; "
+            "cached results serve exact-match reuse only",
+            span=ctx.span("TOP"),
+        )
+
+
+def check_against_registry(
+    template: QueryTemplate, ctx: PassContext
+) -> None:
+    """FP209 / FP210 / FP211: determinism (paper property 1).
+
+    Needs a function registry; without one the pass is skipped (the
+    proxy re-checks determinism per query anyway and tunnels when in
+    doubt).  Partial registries — e.g. the HTTP proxy's remote-origin
+    stub, which only answers ``is_deterministic`` — get only the checks
+    they can answer.
+    """
+    registry = ctx.registry
+    if registry is None:
+        return
+    has_table = getattr(registry, "has_table", None)
+    has_scalar = getattr(registry, "has_scalar", None)
+    source = template.statement.source
+    if isinstance(source, FunctionSource) and callable(has_table):
+        if not has_table(source.name):
+            ctx.emit(
+                "FP209",
+                f"function {source.name!r} is not registered at the "
+                "origin",
+                span=ctx.span(source.name),
+            )
+        elif not registry.is_deterministic(source.name):
+            ctx.emit(
+                "FP210",
+                f"function {source.name!r} is non-deterministic and "
+                "cannot be actively cached (paper property 1)",
+                span=ctx.span(source.name),
+            )
+    if not callable(has_scalar):
+        return
+    seen: set[str] = set()
+    for expr in statement_expressions(template.statement):
+        for call in function_calls(expr):
+            key = call.name.lower()
+            if key in seen or key in SCALAR_BUILTINS:
+                continue
+            seen.add(key)
+            if has_scalar(call.name):
+                if not registry.is_deterministic(call.name):
+                    ctx.emit(
+                        "FP211",
+                        f"scalar function {call.name} in the query "
+                        "template is non-deterministic "
+                        "(paper property 1)",
+                        span=ctx.span(call.name),
+                    )
+            else:
+                ctx.emit(
+                    "FP111",
+                    f"query template calls unknown scalar function "
+                    f"{call.name}; determinism cannot be verified",
+                    span=ctx.span(call.name),
+                )
+
+
+def analyze_query_template_passes(
+    template: QueryTemplate, ctx: PassContext
+) -> None:
+    """The full query-template pipeline (FP202–FP211)."""
+    if not check_from_clause(template, ctx):
+        return
+    check_joins(template, ctx)
+    check_select_list(template, ctx)
+    check_top(template, ctx)
+    check_against_registry(template, ctx)
+
+
+# -------------------------------------------------------------- info files
+def check_info_file(
+    info: TemplateInfoFile,
+    template: QueryTemplate | None,
+    ctx: PassContext,
+) -> None:
+    """FP212 / FP213 / FP214: form-to-template binding consistency."""
+    if template is None:
+        ctx.emit(
+            "FP212",
+            f"info file {info.form_name!r} references unknown query "
+            f"template {info.template_id!r}",
+        )
+        return
+    declared = set(template.parameter_names)
+    bound = set(info.field_map.values()) | set(info.defaults)
+    for name in sorted(declared - bound):
+        ctx.emit(
+            "FP213",
+            f"template parameter {name!r} has no form field and no "
+            "default; every form submission would fail to bind",
+            hint=f"map a form field to {name!r} or add a <Default>",
+        )
+    for name in sorted(set(info.field_map.values()) - declared):
+        ctx.emit(
+            "FP214",
+            f"form field maps to {name!r}, which the query template "
+            "does not declare",
+            hint="stale field mapping? the value is silently ignored",
+        )

@@ -1,0 +1,350 @@
+"""Custom AST lint rules enforcing repository invariants (FP3xx).
+
+Three invariants the generic tools cannot express:
+
+* **FP301 — simulated time only.**  Experiment results must be
+  reproducible, so nothing outside ``network/clock.py`` (the simulated
+  clock) and ``obs/`` (real-wall-clock observability, explicitly about
+  real time) may read the wall clock.  Code that legitimately needs a
+  stopwatch imports :mod:`repro.obs.wallclock`.
+* **FP302 — no float equality outside ``geometry/``.**  Region
+  coordinates carry floating-point error; ``geometry/`` owns the
+  epsilon discipline (``EPSILON``-tolerant comparisons) and everything
+  else must go through it.  Comparing against a float literal with
+  ``==``/``!=`` elsewhere is almost always a tolerance bug.
+* **FP303 — typed error hierarchies.**  Inside ``templates/``,
+  ``sqlparser/``, and ``relational/`` every raised exception must come
+  from an ``errors`` module (the package's own or a lower layer's), so
+  callers can catch one root type per layer.  ``NotImplementedError``
+  (abstract methods) and ``AssertionError`` (unreachable guards) are
+  idiomatic and allowed.
+
+``run_lint`` walks Python files, applies every rule, and returns an
+:class:`AnalysisReport`; ``tools/lint.py`` is the CI driver.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from typing import Callable, Iterator, Sequence
+
+from repro.analysis.codes import severity_of
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    SourceSpan,
+)
+
+#: Wall-clock reading callables of the ``time`` module.
+WALL_CLOCK_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Wall-clock reading methods of ``datetime.datetime`` / ``datetime.date``.
+WALL_CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+#: Exceptions any package may raise regardless of hierarchy.
+ALLOWED_BUILTIN_RAISES = frozenset(
+    {"NotImplementedError", "AssertionError", "SystemExit"}
+)
+
+#: Packages whose raises must come from an errors module.
+ERROR_HIERARCHY_PACKAGES = frozenset(
+    {"templates", "sqlparser", "relational"}
+)
+
+
+def _repro_parts(path: pathlib.PurePath) -> tuple[str, ...]:
+    """Path segments below the ``repro`` package, or () outside it."""
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        return tuple(parts[parts.index("repro") + 1:])
+    return ()
+
+
+def _node_span(
+    node: ast.AST, text: str, source: str
+) -> SourceSpan:
+    """A span for an AST node, from its line/column position."""
+    lines = text.split("\n")
+    lineno = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    start = sum(len(line) + 1 for line in lines[: lineno - 1]) + col
+    end_lineno = getattr(node, "end_lineno", lineno) or lineno
+    end_col = getattr(node, "end_col_offset", col) or col
+    end = sum(len(line) + 1 for line in lines[: end_lineno - 1]) + end_col
+    snippet = text[start:end]
+    if len(snippet) > 80:
+        snippet = snippet[:77] + "..."
+    return SourceSpan(
+        source=source,
+        start=start,
+        end=max(start, end),
+        line=lineno,
+        column=col + 1,
+        snippet=snippet,
+    )
+
+
+class ModuleUnderLint:
+    """One parsed Python file plus the import aliases the rules need."""
+
+    def __init__(self, path: pathlib.Path, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.repro_parts = _repro_parts(path)
+        # module alias -> real module name ("import time as t")
+        self.module_aliases: dict[str, str] = {}
+        # bare name -> (module, original name) ("from time import time")
+        self.imported_names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[
+                        alias.asname or alias.name.split(".")[0]
+                    ] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    self.imported_names[alias.asname or alias.name] = (
+                        module,
+                        alias.name,
+                    )
+
+    def diagnostic(
+        self, code: str, message: str, node: ast.AST, hint: str = ""
+    ) -> Diagnostic:
+        source = self.path.as_posix()
+        return Diagnostic(
+            code=code,
+            severity=severity_of(code),
+            message=message,
+            subject=source,
+            span=_node_span(node, self.text, source),
+            hint=hint,
+        )
+
+
+LintRule = Callable[[ModuleUnderLint], Iterator[Diagnostic]]
+
+
+# ------------------------------------------------------------------- FP301
+def _is_wall_clock_call(module: ModuleUnderLint, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        imported = module.imported_names.get(func.id)
+        if imported is not None:
+            origin_module, origin_name = imported
+            if origin_module == "time" and (
+                origin_name in WALL_CLOCK_TIME_FUNCS
+            ):
+                return True
+            if origin_module == "datetime" and origin_name in (
+                "datetime", "date"
+            ):
+                return False  # the class itself, not a clock read
+        return False
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            real_module = module.module_aliases.get(value.id)
+            if real_module == "time" and func.attr in WALL_CLOCK_TIME_FUNCS:
+                return True
+            # "from datetime import datetime; datetime.now()"
+            imported = module.imported_names.get(value.id)
+            if (
+                imported is not None
+                and imported[0] == "datetime"
+                and func.attr in WALL_CLOCK_DATETIME_FUNCS
+            ):
+                return True
+        # "import datetime; datetime.datetime.now()"
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and module.module_aliases.get(value.value.id) == "datetime"
+            and func.attr in WALL_CLOCK_DATETIME_FUNCS
+        ):
+            return True
+    return False
+
+
+def wall_clock_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP301: wall-clock reads outside network/clock.py and obs/."""
+    parts = module.repro_parts
+    if parts and (parts[0] == "obs" or parts == ("network", "clock.py")):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and _is_wall_clock_call(module, node):
+            yield module.diagnostic(
+                "FP301",
+                "wall-clock call; experiment code must use the simulated "
+                "clock (repro.network.clock) or repro.obs.wallclock",
+                node,
+                hint="import Stopwatch from repro.obs.wallclock for "
+                "real-time measurement",
+            )
+
+
+# ------------------------------------------------------------------- FP302
+def _float_operand(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.operand, ast.Constant
+    ):
+        return isinstance(node.operand.value, float)
+    return False
+
+
+def float_equality_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP302: ``==``/``!=`` against float literals outside geometry/."""
+    parts = module.repro_parts
+    if parts and parts[0] == "geometry":
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _float_operand(left) or _float_operand(right):
+                yield module.diagnostic(
+                    "FP302",
+                    "float equality comparison; coordinates need the "
+                    "EPSILON tolerance that repro.geometry owns",
+                    node,
+                    hint="compare via repro.geometry (regions/relations) "
+                    "or an explicit tolerance",
+                )
+
+
+# ------------------------------------------------------------------- FP303
+def _allowed_exception_names(module: ModuleUnderLint) -> set[str]:
+    allowed = set(ALLOWED_BUILTIN_RAISES)
+    for name, (origin_module, _) in module.imported_names.items():
+        if origin_module == "errors" or origin_module.endswith(".errors"):
+            allowed.add(name)
+    # Classes defined in this module deriving (transitively) from an
+    # allowed name are allowed too; declaration order covers chains.
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            base_names = {
+                base.id
+                for base in node.bases
+                if isinstance(base, ast.Name)
+            }
+            if base_names & allowed:
+                allowed.add(node.name)
+    return allowed
+
+
+def _is_errors_module(module: ModuleUnderLint) -> bool:
+    return module.path.name == "errors.py"
+
+
+def error_hierarchy_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP303: raises in templates/, sqlparser/, relational/."""
+    parts = module.repro_parts
+    if (
+        len(parts) < 2
+        or parts[0] not in ERROR_HIERARCHY_PACKAGES
+        or _is_errors_module(module)
+    ):
+        return
+    allowed = _allowed_exception_names(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            name = exc.id
+            # Lower-case names are re-raised variables; the original
+            # raise site is where the hierarchy is enforced.
+            if not name[:1].isupper() or name in allowed:
+                continue
+            yield module.diagnostic(
+                "FP303",
+                f"raises {name}, which does not come from an errors "
+                f"module; {parts[0]}/ callers catch the layer's error "
+                "root",
+                node,
+                hint=f"raise a repro.{parts[0]}.errors exception (or a "
+                "lower layer's errors-module exception)",
+            )
+        elif isinstance(exc, ast.Attribute):
+            value = exc.value
+            from_errors = isinstance(value, ast.Name) and (
+                module.module_aliases.get(value.id, "").endswith("errors")
+                or value.id == "errors"
+            )
+            if not from_errors:
+                yield module.diagnostic(
+                    "FP303",
+                    f"raises {ast.unparse(exc)}, which does not come "
+                    "from an errors module",
+                    node,
+                )
+
+
+ALL_RULES: tuple[LintRule, ...] = (
+    wall_clock_rule,
+    float_equality_rule,
+    error_hierarchy_rule,
+)
+
+
+# ------------------------------------------------------------------ driver
+def lint_file(
+    path: pathlib.Path, rules: Sequence[LintRule] = ALL_RULES
+) -> AnalysisReport:
+    """Run every rule over one Python file."""
+    report = AnalysisReport()
+    text = path.read_text(encoding="utf-8")
+    try:
+        module = ModuleUnderLint(path, text)
+    except SyntaxError as exc:
+        report.add(
+            Diagnostic(
+                code="FP304",
+                severity=severity_of("FP304"),
+                message=f"cannot parse {path}: {exc}",
+                subject=path.as_posix(),
+            )
+        )
+        return report
+    for rule in rules:
+        for diagnostic in rule(module):
+            report.add(diagnostic)
+    return report
+
+
+def run_lint(
+    paths: Sequence[str | pathlib.Path],
+    rules: Sequence[LintRule] = ALL_RULES,
+) -> AnalysisReport:
+    """Lint files and directories (recursing into ``*.py``)."""
+    report = AnalysisReport()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                report.extend(lint_file(child, rules))
+        else:
+            report.extend(lint_file(path, rules))
+    return report

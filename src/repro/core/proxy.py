@@ -29,7 +29,10 @@ Soundness guards beyond the paper's text:
 * entries whose producing query was TOP-N truncated serve exact matches
   only;
 * queries on templates whose embedded function is non-deterministic are
-  tunneled, never cached (paper property 1).
+  tunneled, never cached (paper property 1);
+* queries on templates the static analyzer admitted *degraded* (the
+  template manager's permissive mode) are likewise tunneled, never
+  cached — a property violation means cached answers could be wrong.
 
 Observability: every query runs under a
 :class:`~repro.obs.instrument.QueryObservation` — the one mechanism
@@ -98,6 +101,11 @@ class FunctionProxy:
         self.scheme = scheme
         self.costs = costs or ProxyCostModel()
         self.obs = instrumentation or ProxyInstrumentation()
+        # Diagnostics from templates registered before this proxy existed,
+        # then a live feed for everything registered after.
+        for diagnostic in templates.analysis_diagnostics():
+            self.obs.record_diagnostic(diagnostic)
+        templates.add_analysis_observer(self.obs.record_diagnostic)
         self.topology = (topology or Topology()).instrumented(self.obs)
         self.cache = CacheManager(
             description or ArrayDescription(self.costs),
@@ -143,7 +151,8 @@ class FunctionProxy:
         ) as observation:
             observation.charge("parse", self.costs.parse_ms)
             deterministic = self._is_deterministic(bound)
-            if not policy.caches or not deterministic:
+            degraded = self.templates.is_degraded(bound.template_id)
+            if not policy.caches or not deterministic or degraded:
                 response = self._tunnel(bound, observation)
             else:
                 response = self._serve_cached(bound, observation, policy)

@@ -13,7 +13,6 @@ without pytest.
 from __future__ import annotations
 
 import sys
-import time
 
 from repro.harness.ablations import (
     run_description_ablation,
@@ -25,6 +24,7 @@ from repro.harness.fig6 import run_fig6
 from repro.harness.runner import ExperimentRunner
 from repro.harness.table1 import run_table1
 from repro.harness.trace_stats import run_trace_stats
+from repro.obs.wallclock import Stopwatch
 
 
 def main(argv: list[str]) -> int:
@@ -52,11 +52,11 @@ def main(argv: list[str]) -> int:
         ("remainder ablation", lambda: run_remainder_ablation(scale)),
     ]
     for label, run in experiments:
-        start = time.time()
+        watch = Stopwatch()
         result = run()
         print()
         print(result.render())
-        print(f"[{label}: {time.time() - start:.1f}s]")
+        print(f"[{label}: {watch.elapsed_s:.1f}s]")
     return 0
 
 

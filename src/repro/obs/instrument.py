@@ -210,6 +210,19 @@ class ProxyInstrumentation:
             "Bytes carried across the network, by hop.",
             ("hop",),
         )
+        self.analysis_diagnostics = r.counter(
+            "analysis_diagnostics_total",
+            "Static-analysis diagnostics raised at template admission, "
+            "by diagnostic code and severity.",
+            ("code", "severity"),
+        )
+
+    # ------------------------------------------------- analysis observation
+    def record_diagnostic(self, diagnostic) -> None:
+        """Template-manager analysis hook; counts one diagnostic."""
+        self.analysis_diagnostics.labels(
+            code=diagnostic.code, severity=diagnostic.severity.value
+        ).inc()
 
     # --------------------------------------------------------- per query
     def observe_query(

@@ -1,6 +1,31 @@
 """Template-layer errors."""
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.diagnostics import AnalysisReport
+
 
 class TemplateError(ValueError):
     """Malformed template XML, failed validation of the four properties,
     or an unresolvable template reference."""
+
+
+class TemplateAnalysisError(TemplateError):
+    """A template rejected by the static cacheability analyzer.
+
+    Carries the full :class:`~repro.analysis.diagnostics.AnalysisReport`
+    so callers can surface every violation (code, span, hint), not just
+    the flattened message.
+    """
+
+    def __init__(self, subject: str, report: "AnalysisReport") -> None:
+        self.subject = subject
+        self.report = report
+        messages = "; ".join(
+            f"[{diagnostic.code}] {diagnostic.message}"
+            for diagnostic in report.errors
+        )
+        super().__init__(f"template {subject!r}: {messages}")

@@ -9,14 +9,20 @@ cache manager and query processor operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.geometry.regions import Region
 from repro.sqlparser.ast import SelectStatement
-from repro.templates.errors import TemplateError
+from repro.templates.errors import TemplateAnalysisError, TemplateError
 from repro.templates.function_template import FunctionTemplate
 from repro.templates.info_file import TemplateInfoFile
 from repro.templates.query_template import QueryTemplate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+
+#: Valid values for :class:`TemplateManager`'s ``analysis_mode``.
+ANALYSIS_MODES = ("strict", "permissive", "off")
 
 
 @dataclass(frozen=True)
@@ -61,12 +67,84 @@ class BoundQuery:
 
 
 class TemplateManager:
-    """Registry of templates and info files; builds bound queries."""
+    """Registry of templates and info files; builds bound queries.
 
-    def __init__(self) -> None:
+    Every registration runs the static cacheability analyzer
+    (:mod:`repro.analysis`) according to ``analysis_mode``:
+
+    * ``"strict"`` (default) — error diagnostics reject the template
+      with :class:`TemplateAnalysisError`.
+    * ``"permissive"`` — the template is admitted but *degraded to
+      pass-through*: :meth:`is_degraded` reports it and the proxy
+      tunnels its queries instead of caching them.
+    * ``"off"`` — no analysis (trusted bulk loads, offline tools).
+
+    All diagnostics (including warnings) are kept in
+    :meth:`analysis_diagnostics` and streamed to observers registered
+    via :meth:`add_analysis_observer`, which is how they reach the
+    metrics registry.
+    """
+
+    def __init__(self, analysis_mode: str = "strict") -> None:
+        if analysis_mode not in ANALYSIS_MODES:
+            raise TemplateError(
+                f"analysis_mode must be one of {ANALYSIS_MODES}, "
+                f"not {analysis_mode!r}"
+            )
+        self.analysis_mode = analysis_mode
         self._function_templates: dict[str, FunctionTemplate] = {}
         self._query_templates: dict[str, QueryTemplate] = {}
         self._info_files: dict[str, TemplateInfoFile] = {}
+        self._degraded_functions: set[str] = set()
+        self._degraded_templates: set[str] = set()
+        self._analysis_log: list[Diagnostic] = []
+        self._observers: list[Callable[[Diagnostic], None]] = []
+
+    # -------------------------------------------------- analysis plumbing
+    def _record_report(self, report: "AnalysisReport") -> None:
+        for diagnostic in report:
+            self._analysis_log.append(diagnostic)
+            for observer in self._observers:
+                observer(diagnostic)
+
+    def _admit(self, subject: str, report: "AnalysisReport") -> bool:
+        """Record a report; True iff the subject may cache.
+
+        Strict mode raises on errors; permissive mode returns False so
+        the caller marks the subject degraded.
+        """
+        self._record_report(report)
+        if not report.has_errors:
+            return True
+        if self.analysis_mode == "strict":
+            raise TemplateAnalysisError(subject, report)
+        return False
+
+    def add_analysis_observer(
+        self, observer: Callable[["Diagnostic"], None]
+    ) -> None:
+        """Stream every future diagnostic to ``observer``."""
+        self._observers.append(observer)
+
+    def analysis_diagnostics(self) -> list["Diagnostic"]:
+        """Every diagnostic recorded by registrations so far."""
+        return list(self._analysis_log)
+
+    def is_degraded(self, template_id: str) -> bool:
+        """True if a query template was admitted degraded-to-pass-through.
+
+        A template is degraded either directly (its own analysis found
+        errors) or transitively (its function template's did).
+        """
+        key = template_id.lower()
+        if key in self._degraded_templates:
+            return True
+        template = self._query_templates.get(key)
+        return (
+            template is not None
+            and template.function_template.name.lower()
+            in self._degraded_functions
+        )
 
     # ------------------------------------------------------ registration
     def register_function_template(self, template: FunctionTemplate) -> None:
@@ -75,6 +153,12 @@ class TemplateManager:
             raise TemplateError(
                 f"function template {template.name!r} already registered"
             )
+        if self.analysis_mode != "off":
+            from repro.analysis.analyzer import analyze_function_template
+
+            report = analyze_function_template(template)
+            if not self._admit(template.name, report):
+                self._degraded_functions.add(key)
         self._function_templates[key] = template
 
     def register_query_template(self, template: QueryTemplate) -> None:
@@ -83,6 +167,12 @@ class TemplateManager:
             raise TemplateError(
                 f"query template {template.template_id!r} already registered"
             )
+        if self.analysis_mode != "off":
+            from repro.analysis.analyzer import analyze_query_template
+
+            report = analyze_query_template(template)
+            if not self._admit(template.template_id, report):
+                self._degraded_templates.add(key)
         self._query_templates[key] = template
 
     def register_info_file(self, info: TemplateInfoFile) -> None:
@@ -96,6 +186,15 @@ class TemplateManager:
                 f"info file {info.form_name!r} references unknown query "
                 f"template {info.template_id!r}"
             )
+        if self.analysis_mode != "off":
+            from repro.analysis.analyzer import analyze_info_file
+
+            template = self._query_templates[info.template_id.lower()]
+            report = analyze_info_file(info, template)
+            if not self._admit(info.form_name, report):
+                # A form that cannot bind every declared parameter can
+                # produce under-constrained queries; never cache them.
+                self._degraded_templates.add(info.template_id.lower())
         self._info_files[key] = info
 
     # ------------------------------------------------------------ lookup
@@ -122,6 +221,9 @@ class TemplateManager:
             raise TemplateError(
                 f"no info file for form {form_name!r}"
             ) from None
+
+    def function_templates(self) -> list[FunctionTemplate]:
+        return list(self._function_templates.values())
 
     def query_template_ids(self) -> list[str]:
         return [t.template_id for t in self._query_templates.values()]

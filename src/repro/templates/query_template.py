@@ -56,7 +56,16 @@ class QueryTemplate:
         function_template: FunctionTemplate,
         key_column: str,
         description: str = "",
+        checked: bool = True,
     ) -> "QueryTemplate":
+        """Parse and (by default) statically check a query template.
+
+        ``checked=False`` skips the property checks so a questionable
+        template can still be *constructed* — registration with a
+        :class:`~repro.templates.manager.TemplateManager` then decides
+        its fate per the manager's analysis mode (strict mode rejects,
+        permissive mode admits it degraded to pass-through).
+        """
         try:
             statement = parse_select(sql)
         except Exception as exc:
@@ -71,65 +80,25 @@ class QueryTemplate:
             key_column=key_column,
             description=description,
         )
-        template._check_structure()
+        if checked:
+            template._check_structure()
         return template
 
     # -------------------------------------------------------- validation
     def _check_structure(self) -> None:
-        source = self.statement.source
-        if not isinstance(source, FunctionSource):
-            raise TemplateError(
-                f"template {self.template_id!r}: FROM must call a "
-                "table-valued function"
-            )
-        if source.name.lower() != self.function_template.name.lower():
-            raise TemplateError(
-                f"template {self.template_id!r}: FROM calls {source.name!r} "
-                f"but the function template is for "
-                f"{self.function_template.name!r}"
-            )
-        if len(source.args) != len(self.function_template.params):
-            raise TemplateError(
-                f"template {self.template_id!r}: {source.name} takes "
-                f"{len(self.function_template.params)} arguments, the "
-                f"template passes {len(source.args)}"
-            )
-        if self.statement.star:
-            # SELECT * always exposes the point attributes; nothing to check.
-            pass
-        else:
-            available = {
-                item.output_name().lower()
-                for item in self.statement.select_items
-            }
-            # Qualified select items also expose their bare column name.
-            for item in self.statement.select_items:
-                name = item.output_name().lower()
-                if "." in name:
-                    available.add(name.split(".")[-1])
-            needed = {
-                name.split(".")[-1]
-                for name in self.function_template.point_attribute_names()
-            }
-            missing = sorted(needed - available)
-            if missing:
-                raise TemplateError(
-                    f"template {self.template_id!r}: point attribute(s) "
-                    f"{', '.join(missing)} not in the select list "
-                    "(result attribute availability, paper property 4)"
-                )
-            if self.key_column.lower() not in available:
-                raise TemplateError(
-                    f"template {self.template_id!r}: key column "
-                    f"{self.key_column!r} not in the select list"
-                )
-        for join in self.statement.joins:
-            if not self._is_semantics_preserving_join(join.condition):
-                raise TemplateError(
-                    f"template {self.template_id!r}: join ON "
-                    f"{join.condition.to_sql()} is not a plain equi-join "
-                    "(semantics-preserving join, paper property 3)"
-                )
+        """Run the analyzer's property passes; raise on any error.
+
+        The static checks (paper properties 2–4) are owned by
+        :mod:`repro.analysis`; this method is the fail-fast façade the
+        constructor and the strict-mode manager share.  Imported lazily
+        because the analyzer inspects template types from this module.
+        """
+        from repro.analysis.analyzer import analyze_query_template
+        from repro.templates.errors import TemplateAnalysisError
+
+        report = analyze_query_template(self)
+        if report.has_errors:
+            raise TemplateAnalysisError(self.template_id, report)
 
     @staticmethod
     def _is_semantics_preserving_join(condition) -> bool:

@@ -21,12 +21,18 @@ Routes:
     histograms by kind in Prometheus text format, and recent execution
     spans (when the origin's tracer is enabled).
 
+``GET /analyze``
+    A fresh static-cacheability analysis of the site's registered
+    templates, checked against the origin's own function catalog (so
+    determinism, property 1, is verified too).
+
 Every response carries ``X-Server-Ms``: the simulated server cost the
 caller should charge to its clock.
 """
 
 from __future__ import annotations
 
+from repro.analysis.analyzer import analyze_manager
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.relational.errors import RelationalError
 from repro.server.origin import OriginServer
@@ -45,6 +51,11 @@ def create_origin_app(origin: OriginServer):
         ) from None
 
     app = Flask("repro-origin")
+
+    startup = analyze_manager(origin.templates, origin.catalog.functions)
+    app.logger.info("template analysis at startup: %s", startup.summary())
+    for diagnostic in startup:
+        app.logger.warning("%s", diagnostic.format())
 
     def xml_response(result, server_ms: float):
         return (
@@ -115,6 +126,11 @@ def create_origin_app(origin: OriginServer):
         tracer = origin.instrumentation.tracer
         limit = request.args.get("n", default=20, type=int)
         return {"enabled": tracer.enabled, "spans": tracer.recent(limit)}
+
+    @app.get("/analyze")
+    def analyze():
+        report = analyze_manager(origin.templates, origin.catalog.functions)
+        return report.to_dict()
 
     @app.get("/health")
     def health():

@@ -23,12 +23,18 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
     The most recent finished query spans as JSON (empty unless the
     proxy was built with an enabled tracer).
 
+``GET /analyze``
+    A fresh static-cacheability analysis of every registered template
+    (codes, severities, source spans, hints) as JSON — the same report
+    logged once at startup.
+
 ``POST /cache/clear``
     Drops every cached entry (for experiment hygiene between runs).
 """
 
 from __future__ import annotations
 
+from repro.analysis.analyzer import analyze_manager
 from repro.core.proxy import FunctionProxy
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.relational.errors import RelationalError
@@ -46,6 +52,17 @@ def create_proxy_app(proxy: FunctionProxy):
         ) from None
 
     app = Flask("repro-proxy")
+
+    def _function_registry():
+        catalog = getattr(proxy.origin, "catalog", None)
+        return getattr(catalog, "functions", None)
+
+    # Startup report: analyze what the proxy booted with, so a template
+    # problem is visible in the log before the first query hits it.
+    startup = analyze_manager(proxy.templates, _function_registry())
+    app.logger.info("template analysis at startup: %s", startup.summary())
+    for diagnostic in startup:
+        app.logger.warning("%s", diagnostic.format())
 
     @app.get("/search/<form_name>")
     def search(form_name: str):
@@ -102,6 +119,17 @@ def create_proxy_app(proxy: FunctionProxy):
             "enabled": proxy.tracer.enabled,
             "spans": proxy.tracer.recent(limit),
         }
+
+    @app.get("/analyze")
+    def analyze():
+        report = analyze_manager(proxy.templates, _function_registry())
+        payload = report.to_dict()
+        payload["degraded_templates"] = sorted(
+            template_id
+            for template_id in proxy.templates.query_template_ids()
+            if proxy.templates.is_degraded(template_id)
+        )
+        return payload
 
     @app.post("/cache/clear")
     def clear():

@@ -1,0 +1,168 @@
+"""Function-template analysis: structural (FP101-FP106) and semantic
+(FP107-FP111) passes over template XML."""
+
+import pytest
+
+from repro.analysis.analyzer import (
+    analyze_function_template,
+    analyze_function_template_xml,
+)
+from repro.templates.skyserver_templates import (
+    radial_function_template,
+    rect_function_template,
+)
+
+
+def sphere_xml(
+    params="<Param>ra</Param><Param>r</Param>",
+    shape="hypersphere",
+    dims="2",
+    center="<Expr>$ra</Expr><Expr>$ra + $r</Expr>",
+    radius="<Radius>$r</Radius>",
+    point="<Expr>x</Expr><Expr>y</Expr>",
+) -> str:
+    return (
+        "<FunctionTemplate>"
+        "<Name>fDemo</Name>"
+        f"<Params>{params}</Params>"
+        f"<Shape>{shape}</Shape>"
+        f"<NumDimensions>{dims}</NumDimensions>"
+        f"<CenterCoordinate>{center}</CenterCoordinate>"
+        f"{radius}"
+        f"<PointCoordinate>{point}</PointCoordinate>"
+        "</FunctionTemplate>"
+    )
+
+
+class TestStructuralPasses:
+    def test_clean_template_has_no_diagnostics(self):
+        report = analyze_function_template_xml(sphere_xml())
+        assert len(report) == 0
+
+    def test_fp101_malformed_xml_with_position_span(self):
+        report = analyze_function_template_xml(
+            "<FunctionTemplate><Name>oops</FunctionTemplate>"
+        )
+        assert report.codes() == {"FP101"}
+        (diagnostic,) = report
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 1
+
+    def test_fp102_wrong_root_element(self):
+        report = analyze_function_template_xml("<Nope/>")
+        assert report.codes() == {"FP102"}
+
+    def test_fp102_missing_shape(self):
+        xml = sphere_xml().replace("<Shape>hypersphere</Shape>", "")
+        report = analyze_function_template_xml(xml)
+        assert "FP102" in report.codes()
+        assert any("<Shape>" in d.message for d in report)
+
+    def test_fp102_hypersphere_missing_radius(self):
+        report = analyze_function_template_xml(sphere_xml(radius=""))
+        assert "FP102" in report.codes()
+        assert any("Radius" in d.message for d in report)
+
+    def test_fp103_unknown_shape(self):
+        report = analyze_function_template_xml(sphere_xml(shape="blob"))
+        assert "FP103" in report.codes()
+
+    def test_fp104_non_numeric_dimensions(self):
+        report = analyze_function_template_xml(sphere_xml(dims="two"))
+        assert "FP104" in report.codes()
+
+    def test_fp104_zero_dimensions(self):
+        report = analyze_function_template_xml(sphere_xml(dims="0"))
+        assert "FP104" in report.codes()
+
+    def test_fp105_expression_arity(self):
+        report = analyze_function_template_xml(
+            sphere_xml(center="<Expr>$ra</Expr>")
+        )
+        assert "FP105" in report.codes()
+        assert any("CenterCoordinate" in d.message for d in report)
+
+    def test_fp106_unparseable_expression(self):
+        report = analyze_function_template_xml(
+            sphere_xml(point="<Expr>1 +</Expr><Expr>y</Expr>")
+        )
+        assert "FP106" in report.codes()
+
+    def test_hyperrect_missing_bounds(self):
+        xml = (
+            "<FunctionTemplate><Name>fRect</Name>"
+            "<Params><Param>lo</Param><Param>hi</Param></Params>"
+            "<Shape>hyperrect</Shape><NumDimensions>1</NumDimensions>"
+            "<PointCoordinate><Expr>x</Expr></PointCoordinate>"
+            "</FunctionTemplate>"
+        )
+        report = analyze_function_template_xml(xml)
+        assert "FP102" in report.codes()
+        labels = " ".join(d.message for d in report)
+        assert "LowBound" in labels and "HighBound" in labels
+
+
+class TestSemanticPasses:
+    def test_fp107_undeclared_parameter_in_region_expression(self):
+        report = analyze_function_template_xml(
+            sphere_xml(radius="<Radius>$mystery</Radius>")
+        )
+        assert "FP107" in report.codes()
+        diagnostic = next(d for d in report if d.code == "FP107")
+        assert "$mystery" in diagnostic.message
+        assert diagnostic.span is not None
+        assert diagnostic.span.snippet == "$mystery"
+
+    def test_fp108_unused_parameter_is_a_warning(self):
+        xml = sphere_xml(
+            params="<Param>ra</Param><Param>r</Param><Param>junk</Param>"
+        )
+        report = analyze_function_template_xml(xml)
+        assert "FP108" in report.codes()
+        assert not report.has_errors
+
+    def test_fp109_point_expression_reads_a_parameter(self):
+        report = analyze_function_template_xml(
+            sphere_xml(point="<Expr>x + $ra</Expr><Expr>y</Expr>")
+        )
+        assert "FP109" in report.codes()
+        assert report.has_errors
+
+    def test_fp111_unknown_scalar_function(self):
+        report = analyze_function_template_xml(
+            sphere_xml(radius="<Radius>chord($r)</Radius>")
+        )
+        assert "FP111" in report.codes()
+        assert not report.has_errors
+
+    def test_fp110_nondeterministic_function_with_registry(self):
+        class Catalog:
+            def has_scalar(self, name):
+                return True
+
+            def has_table(self, name):
+                return False
+
+            def is_deterministic(self, name):
+                return False
+
+        report = analyze_function_template_xml(
+            sphere_xml(radius="<Radius>chord($r)</Radius>"),
+            registry=Catalog(),
+        )
+        assert "FP110" in report.codes()
+        assert report.has_errors
+
+
+class TestBuiltinTemplates:
+    @pytest.mark.parametrize(
+        "factory", [radial_function_template, rect_function_template]
+    )
+    def test_builtin_templates_are_clean(self, factory):
+        report = analyze_function_template(factory())
+        assert len(report) == 0
+
+    def test_round_trip_through_xml_is_clean(self):
+        xml = radial_function_template().to_xml()
+        report = analyze_function_template_xml(xml)
+        assert len(report) == 0

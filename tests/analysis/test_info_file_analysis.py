@@ -1,0 +1,94 @@
+"""Info-file analysis: binding consistency (FP212-FP214) and the
+structural XML checks the offline linter applies."""
+
+from repro.analysis.analyzer import analyze_info_file, analyze_info_file_xml
+from repro.templates.info_file import TemplateInfoFile
+from repro.templates.skyserver_templates import (
+    radial_info_file,
+    radial_query_template,
+)
+
+
+def info(field_map, defaults=None) -> TemplateInfoFile:
+    return TemplateInfoFile(
+        form_name="Form",
+        template_id="skyserver.radial",
+        field_map=field_map,
+        defaults=defaults or {},
+    )
+
+
+class TestBindingPasses:
+    def test_builtin_info_file_is_clean(self):
+        report = analyze_info_file(
+            radial_info_file(), radial_query_template()
+        )
+        assert len(report) == 0
+
+    def test_fp212_unknown_template(self):
+        report = analyze_info_file(radial_info_file(), None)
+        assert report.codes() == {"FP212"}
+        assert report.has_errors
+
+    def test_fp213_unbound_parameter(self):
+        report = analyze_info_file(
+            info({"ra": "ra", "dec": "dec"}), radial_query_template()
+        )
+        assert "FP213" in report.codes()
+        unbound = {
+            d.message.split("'")[1] for d in report if d.code == "FP213"
+        }
+        assert unbound == {"radius", "r_min", "r_max"}
+
+    def test_fp213_satisfied_by_defaults(self):
+        report = analyze_info_file(
+            info(
+                {"ra": "ra", "dec": "dec"},
+                defaults={"radius": 1.0, "r_min": 0.0, "r_max": 1.0},
+            ),
+            radial_query_template(),
+        )
+        assert "FP213" not in report.codes()
+
+    def test_fp214_stale_field_mapping_is_a_warning(self):
+        mapping = dict(radial_info_file().field_map, legacy="limit")
+        report = analyze_info_file(
+            TemplateInfoFile(
+                form_name="Form",
+                template_id="skyserver.radial",
+                field_map=mapping,
+                defaults=radial_info_file().defaults,
+            ),
+            radial_query_template(),
+        )
+        assert "FP214" in report.codes()
+        assert not report.has_errors
+
+
+class TestStructuralXml:
+    def test_builtin_round_trip_is_clean(self):
+        report = analyze_info_file_xml(radial_info_file().to_xml())
+        assert len(report) == 0
+
+    def test_fp101_malformed_xml(self):
+        report = analyze_info_file_xml("<TemplateInfo><FormName>x")
+        assert report.codes() == {"FP101"}
+
+    def test_fp102_wrong_root(self):
+        report = analyze_info_file_xml("<NotAnInfoFile/>")
+        assert report.codes() == {"FP102"}
+
+    def test_fp102_missing_template_id(self):
+        report = analyze_info_file_xml(
+            "<TemplateInfo><FormName>Radial</FormName></TemplateInfo>"
+        )
+        assert "FP102" in report.codes()
+        assert any("TemplateId" in d.message for d in report)
+
+    def test_fp102_field_missing_attributes(self):
+        report = analyze_info_file_xml(
+            "<TemplateInfo><FormName>F</FormName>"
+            "<TemplateId>t</TemplateId>"
+            '<Fields><Field name="ra"/></Fields></TemplateInfo>'
+        )
+        assert "FP102" in report.codes()

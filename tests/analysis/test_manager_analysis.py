@@ -1,0 +1,175 @@
+"""Analyzer wiring at TemplateManager registration: strict rejection,
+permissive degrade-to-pass-through, and the metrics feed."""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.templates.errors import TemplateAnalysisError, TemplateError
+from repro.templates.manager import TemplateManager
+from repro.templates.query_template import QueryTemplate
+from repro.templates.skyserver_templates import (
+    radial_function_template,
+    radial_query_template,
+    register_skyserver_templates,
+)
+
+#: A property-4 violation: the point attribute ``cz`` is missing from
+#: the select list, so cached tuples could not be re-evaluated spatially.
+BAD_RADIAL_SQL = (
+    "SELECT p.objID, p.ra, p.dec, p.cx, p.cy, p.type "
+    "FROM fGetNearbyObjEq($ra, $dec, $radius) n "
+    "JOIN PhotoPrimary p ON n.objID = p.objID "
+    "WHERE p.r BETWEEN $r_min AND $r_max"
+)
+
+BAD_TEMPLATE_ID = "skyserver.radial.bad"
+
+
+def bad_radial_template() -> QueryTemplate:
+    return QueryTemplate.from_sql(
+        template_id=BAD_TEMPLATE_ID,
+        sql=BAD_RADIAL_SQL,
+        function_template=radial_function_template(),
+        key_column="objID",
+        checked=False,
+    )
+
+
+def manager_with(mode: str) -> TemplateManager:
+    manager = TemplateManager(analysis_mode=mode)
+    manager.register_function_template(radial_function_template())
+    return manager
+
+
+class TestStrictMode:
+    def test_bad_template_rejected_with_code_and_span(self):
+        manager = manager_with("strict")
+        with pytest.raises(TemplateAnalysisError) as excinfo:
+            manager.register_query_template(bad_radial_template())
+        report = excinfo.value.report
+        diagnostic = next(d for d in report if d.code == "FP206")
+        assert "cz" in diagnostic.message
+        assert diagnostic.span is not None
+        assert diagnostic.span.source == f"{BAD_TEMPLATE_ID}.sql"
+        assert BAD_TEMPLATE_ID not in manager.query_template_ids()
+
+    def test_good_template_registers_clean(self):
+        manager = manager_with("strict")
+        manager.register_query_template(radial_query_template())
+        assert not manager.is_degraded("skyserver.radial")
+        assert manager.analysis_diagnostics() == []
+
+    def test_strict_is_the_default(self):
+        assert TemplateManager().analysis_mode == "strict"
+
+    def test_rejection_still_records_diagnostics(self):
+        manager = manager_with("strict")
+        with pytest.raises(TemplateAnalysisError):
+            manager.register_query_template(bad_radial_template())
+        assert any(
+            d.code == "FP206" for d in manager.analysis_diagnostics()
+        )
+
+
+class TestPermissiveMode:
+    def test_bad_template_admitted_but_degraded(self):
+        manager = manager_with("permissive")
+        manager.register_query_template(bad_radial_template())
+        assert BAD_TEMPLATE_ID in manager.query_template_ids()
+        assert manager.is_degraded(BAD_TEMPLATE_ID)
+        assert not manager.is_degraded("skyserver.radial.other")
+
+    def test_degraded_function_template_degrades_its_queries(self):
+        manager = TemplateManager(analysis_mode="permissive")
+        from repro.templates.function_template import FunctionTemplate
+        from repro.sqlparser.parser import parse_expression
+
+        # Point expression reads a $-parameter: FP109, an error.
+        broken = FunctionTemplate(
+            name="fBroken",
+            params=("ra", "r"),
+            shape=radial_function_template().shape,
+            dims=1,
+            center_exprs=(parse_expression("$ra"),),
+            radius_expr=parse_expression("$r"),
+            point_exprs=(parse_expression("x + $ra"),),
+        )
+        manager.register_function_template(broken)
+        template = QueryTemplate.from_sql(
+            template_id="t.broken",
+            sql="SELECT n.objID, n.x FROM fBroken($ra, $r) n",
+            function_template=broken,
+            key_column="objID",
+            checked=False,
+        )
+        manager.register_query_template(template)
+        assert manager.is_degraded("t.broken")
+
+    def test_observers_stream_diagnostics(self):
+        manager = manager_with("permissive")
+        seen = []
+        manager.add_analysis_observer(seen.append)
+        manager.register_query_template(bad_radial_template())
+        assert [d.code for d in seen] == ["FP206"]
+
+
+class TestOffMode:
+    def test_no_analysis_no_degradation(self):
+        manager = TemplateManager(analysis_mode="off")
+        manager.register_function_template(radial_function_template())
+        manager.register_query_template(bad_radial_template())
+        assert not manager.is_degraded(BAD_TEMPLATE_ID)
+        assert manager.analysis_diagnostics() == []
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TemplateError, match="analysis_mode"):
+            TemplateManager(analysis_mode="lenient")
+
+
+class TestProxyIntegration:
+    """The acceptance scenario: a permissive manager admits a bad
+    template; the proxy tunnels it forever and the violation shows up
+    in ``/metrics``."""
+
+    @pytest.fixture()
+    def proxy(self, origin):
+        manager = TemplateManager(analysis_mode="permissive")
+        register_skyserver_templates(manager)
+        manager.register_query_template(bad_radial_template())
+        return FunctionProxy(origin, manager)
+
+    def test_degraded_template_never_caches(self, proxy, radial_params):
+        first = proxy.serve(proxy.templates.bind(BAD_TEMPLATE_ID, radial_params))
+        second = proxy.serve(
+            proxy.templates.bind(BAD_TEMPLATE_ID, radial_params)
+        )
+        assert first.record.status is QueryStatus.NO_CACHE
+        assert second.record.status is QueryStatus.NO_CACHE
+        assert len(proxy.cache) == 0
+
+    def test_healthy_template_still_caches(self, proxy, radial_params):
+        bound = proxy.templates.bind("skyserver.radial", radial_params)
+        proxy.serve(bound)
+        repeat = proxy.serve(
+            proxy.templates.bind("skyserver.radial", radial_params)
+        )
+        assert repeat.record.status is QueryStatus.EXACT
+
+    def test_violation_visible_in_metrics(self, proxy):
+        exposition = proxy.metrics.exposition()
+        assert "analysis_diagnostics_total" in exposition
+        assert 'code="FP206"' in exposition
+        assert 'severity="error"' in exposition
+
+    def test_late_registrations_also_counted(self, proxy):
+        template = QueryTemplate.from_sql(
+            template_id="t.late",
+            sql=BAD_RADIAL_SQL,
+            function_template=radial_function_template(),
+            key_column="nope",
+            checked=False,
+        )
+        proxy.templates.register_query_template(template)
+        exposition = proxy.metrics.exposition()
+        assert 'code="FP207"' in exposition

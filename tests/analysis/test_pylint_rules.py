@@ -1,0 +1,180 @@
+"""The repository lint rules (FP301-FP304) on synthetic modules."""
+
+import pathlib
+
+from repro.analysis.pylint_rules import lint_file, run_lint
+
+SRC_REPRO = (
+    pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+)
+
+
+def lint(tmp_path, relpath: str, source: str):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path)
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/core/x.py", "import time\nt = time.time()\n"
+        )
+        assert report.codes() == {"FP301"}
+        (diagnostic,) = report
+        assert diagnostic.span.line == 2
+
+    def test_from_import_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "from time import perf_counter\nt = perf_counter()\n",
+        )
+        assert report.codes() == {"FP301"}
+
+    def test_module_alias_flagged(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/core/x.py", "import time as t\nx = t.monotonic()\n"
+        )
+        assert report.codes() == {"FP301"}
+
+    def test_datetime_now_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "from datetime import datetime\nd = datetime.now()\n",
+        )
+        assert report.codes() == {"FP301"}
+
+    def test_obs_package_exempt(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/obs/x.py", "import time\nt = time.time()\n"
+        )
+        assert len(report) == 0
+
+    def test_simulated_clock_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/network/clock.py",
+            "import time\nt = time.time()\n",
+        )
+        assert len(report) == 0
+
+    def test_time_sleep_is_not_a_clock_read(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/core/x.py", "import time\ntime.sleep(1)\n"
+        )
+        assert len(report) == 0
+
+
+class TestFloatEqualityRule:
+    def test_float_literal_equality_flagged(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "ok = x == 0.5\n")
+        assert report.codes() == {"FP302"}
+
+    def test_negative_float_inequality_flagged(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "ok = x != -0.5\n")
+        assert report.codes() == {"FP302"}
+
+    def test_integer_equality_allowed(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "ok = x == 1\n")
+        assert len(report) == 0
+
+    def test_float_ordering_allowed(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "ok = x < 0.5\n")
+        assert len(report) == 0
+
+    def test_geometry_package_exempt(self, tmp_path):
+        report = lint(tmp_path, "repro/geometry/x.py", "ok = x == 0.5\n")
+        assert len(report) == 0
+
+
+class TestErrorHierarchyRule:
+    def test_bare_builtin_raise_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/templates/x.py",
+            "def f():\n    raise ValueError('nope')\n",
+        )
+        assert report.codes() == {"FP303"}
+
+    def test_errors_module_import_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/templates/x.py",
+            "from repro.templates.errors import TemplateError\n"
+            "def f():\n    raise TemplateError('x')\n",
+        )
+        assert len(report) == 0
+
+    def test_lower_layer_errors_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/templates/x.py",
+            "from repro.relational.errors import ExecutionError\n"
+            "def f():\n    raise ExecutionError('x')\n",
+        )
+        assert len(report) == 0
+
+    def test_local_subclass_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/sqlparser/x.py",
+            "from repro.sqlparser.errors import ParseError\n"
+            "class Lexical(ParseError):\n    pass\n"
+            "def f():\n    raise Lexical('x')\n",
+        )
+        assert len(report) == 0
+
+    def test_not_implemented_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/relational/x.py",
+            "def f():\n    raise NotImplementedError\n",
+        )
+        assert len(report) == 0
+
+    def test_reraised_variable_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/templates/x.py",
+            "def f(exc):\n    raise exc\n",
+        )
+        assert len(report) == 0
+
+    def test_errors_module_itself_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/templates/errors.py",
+            "class X(ValueError):\n    pass\n"
+            "def f():\n    raise RuntimeError('meta')\n",
+        )
+        assert len(report) == 0
+
+    def test_other_packages_unconstrained(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "def f():\n    raise ValueError('fine here')\n",
+        )
+        assert len(report) == 0
+
+
+class TestDriver:
+    def test_fp304_syntax_error(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "def broken(:\n")
+        assert report.codes() == {"FP304"}
+
+    def test_run_lint_recurses_directories(self, tmp_path):
+        (tmp_path / "repro" / "core").mkdir(parents=True)
+        (tmp_path / "repro" / "core" / "a.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        (tmp_path / "repro" / "core" / "b.py").write_text("ok = x == 0.5\n")
+        report = run_lint([tmp_path])
+        assert report.codes() == {"FP301", "FP302"}
+
+    def test_the_repository_is_lint_clean(self):
+        report = run_lint([SRC_REPRO])
+        assert not report.has_errors, report.render()

@@ -1,0 +1,70 @@
+"""``GET /analyze`` on both Flask apps."""
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.core.proxy import FunctionProxy
+from repro.templates.manager import TemplateManager
+from repro.templates.query_template import QueryTemplate
+from repro.templates.skyserver_templates import (
+    radial_function_template,
+    register_skyserver_templates,
+)
+from repro.webapp.origin_app import create_origin_app
+from repro.webapp.proxy_app import create_proxy_app
+
+
+@pytest.fixture()
+def origin_client(origin):
+    return create_origin_app(origin).test_client()
+
+
+class TestOriginAnalyze:
+    def test_builtin_templates_report_no_errors(self, origin_client):
+        payload = origin_client.get("/analyze").get_json()
+        assert payload["errors"] == 0
+        # The nearest template's TOP 1 shows up as informational.
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes == {"FP208"}
+
+    def test_diagnostics_carry_spans(self, origin_client):
+        payload = origin_client.get("/analyze").get_json()
+        (diagnostic,) = payload["diagnostics"]
+        assert diagnostic["severity"] == "info"
+        assert diagnostic["span"]["source"] == "skyserver.nearest.sql"
+
+
+class TestProxyAnalyze:
+    def test_clean_proxy_reports_no_degraded_templates(self, origin):
+        client = create_proxy_app(
+            FunctionProxy(origin, origin.templates)
+        ).test_client()
+        payload = client.get("/analyze").get_json()
+        assert payload["errors"] == 0
+        assert payload["degraded_templates"] == []
+
+    def test_degraded_template_listed(self, origin):
+        manager = TemplateManager(analysis_mode="permissive")
+        register_skyserver_templates(manager)
+        manager.register_query_template(
+            QueryTemplate.from_sql(
+                template_id="t.bad",
+                sql=(
+                    "SELECT p.objID, p.cx, p.cy "
+                    "FROM fGetNearbyObjEq($ra, $dec, $radius) n "
+                    "JOIN PhotoPrimary p ON n.objID = p.objID"
+                ),
+                function_template=radial_function_template(),
+                key_column="objID",
+                checked=False,
+            )
+        )
+        client = create_proxy_app(
+            FunctionProxy(origin, manager)
+        ).test_client()
+        payload = client.get("/analyze").get_json()
+        assert payload["errors"] >= 1
+        assert payload["degraded_templates"] == ["t.bad"]
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "FP206" in codes

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""CI driver for the repository lint rules (FP3xx).
+
+Runs :mod:`repro.analysis.pylint_rules` over ``src/repro`` (and any
+paths given on the command line), prints the diagnostics
+compiler-style, and exits nonzero when any error-severity diagnostic
+is found.
+
+Usage::
+
+    python tools/lint.py [paths...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.pylint_rules import run_lint  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or [str(REPO_ROOT / "src" / "repro")]
+    report = run_lint(paths)
+    print(report.render())
+    return 1 if report.has_errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
