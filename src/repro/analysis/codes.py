@@ -135,6 +135,10 @@ CODES: dict[str, CodeInfo] = {
             "raised exception does not come from an errors module",
         ),
         CodeInfo("FP304", _E, "Python source file does not parse"),
+        CodeInfo(
+            "FP305", _E,
+            "unseeded or module-level randomness outside tests", 1,
+        ),
     )
 }
 

@@ -1,6 +1,6 @@
 """Custom AST lint rules enforcing repository invariants (FP3xx).
 
-Three invariants the generic tools cannot express:
+Four invariants the generic tools cannot express:
 
 * **FP301 — simulated time only.**  Experiment results must be
   reproducible, so nothing outside ``network/clock.py`` (the simulated
@@ -18,6 +18,13 @@ Three invariants the generic tools cannot express:
   callers can catch one root type per layer.  ``NotImplementedError``
   (abstract methods) and ``AssertionError`` (unreachable guards) are
   idiomatic and allowed.
+* **FP305 — seeded randomness only.**  Determinism (paper property 1
+  and the fault subsystem's replay contract) dies the moment anything
+  draws from Python's process-global random state: ``random.Random()``
+  with no seed, module-level ``random.random()``-style calls, and bare
+  ``from random import random`` calls are all forbidden outside test
+  code.  Every legitimate use constructs ``random.Random(seed)`` with
+  an explicit seed.
 
 ``run_lint`` walks Python files, applies every rule, and returns an
 :class:`AnalysisReport`; ``tools/lint.py`` is the CI driver.
@@ -302,10 +309,77 @@ def error_hierarchy_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
                 )
 
 
+# ------------------------------------------------------------------- FP305
+def _seeded_constructor(call: ast.Call) -> bool:
+    """``Random(seed)`` is fine; ``Random()`` shares no seed to replay."""
+    return bool(call.args or call.keywords)
+
+
+def unseeded_random_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP305: unseeded / module-level randomness outside tests."""
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    hint = (
+        "construct random.Random(seed) with an explicit seed and pass "
+        "the instance around"
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            imported = module.imported_names.get(func.id)
+            if imported is None or imported[0] != "random":
+                continue
+            origin_name = imported[1]
+            if origin_name in ("Random", "SystemRandom"):
+                if not _seeded_constructor(node):
+                    yield module.diagnostic(
+                        "FP305",
+                        f"{origin_name}() without a seed; replays would "
+                        "diverge run to run",
+                        node,
+                        hint=hint,
+                    )
+            else:
+                yield module.diagnostic(
+                    "FP305",
+                    f"call to random.{origin_name} draws from the "
+                    "process-global random state",
+                    node,
+                    hint=hint,
+                )
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if not (
+                isinstance(value, ast.Name)
+                and module.module_aliases.get(value.id) == "random"
+            ):
+                continue
+            if func.attr in ("Random", "SystemRandom"):
+                if not _seeded_constructor(node):
+                    yield module.diagnostic(
+                        "FP305",
+                        f"random.{func.attr}() without a seed; replays "
+                        "would diverge run to run",
+                        node,
+                        hint=hint,
+                    )
+            else:
+                yield module.diagnostic(
+                    "FP305",
+                    f"call to random.{func.attr} draws from the "
+                    "process-global random state",
+                    node,
+                    hint=hint,
+                )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
     error_hierarchy_rule,
+    unseeded_random_rule,
 )
 
 

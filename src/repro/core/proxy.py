@@ -43,11 +43,24 @@ proxy's metric families ("the proxy servlet records timing information
 in each step of query processing").  The default instrumentation uses
 a :class:`~repro.obs.spans.NullTracer`, so the hot path pays only the
 step-charge dict updates.
+
+Resilience: the proxy never talks to the origin directly — every hop
+goes through an :class:`~repro.faults.resilience.OriginGateway`
+(retry with capped deterministic backoff, circuit breaker over the
+simulated clock).  When the origin stays unreachable, the degradation
+policy decides per cache case: exact/contained answers are served
+from cache marked ``degraded``, overlap queries fall back to the
+cached portion only (``partial``), and queries the cache cannot help
+with produce a structured ``failed`` outcome instead of an exception.
+A :class:`~repro.faults.plan.FaultPlan` can be installed (also at
+runtime, via ``POST /faults``) to put the origin and the WAN link
+through scheduled outages, slowdowns, and transient failures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from random import Random
 from typing import Mapping
 
 from repro.core.cache import CacheEntry, CacheManager
@@ -56,11 +69,28 @@ from repro.core.description import ArrayDescription, CacheDescription
 from repro.core.evaluation import LocalEvaluator
 from repro.core.remainder import build_remainder
 from repro.core.schemes import CachingScheme
-from repro.core.stats import QueryRecord, QueryStatus, TraceStats
+from repro.core.stats import (
+    QueryOutcome,
+    QueryRecord,
+    QueryStatus,
+    TraceStats,
+)
+from repro.faults.errors import OriginQueryError, OriginUnavailable
+from repro.faults.injection import FaultyOrigin, FaultyTopology
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import (
+    BREAKER_STATE_VALUES,
+    BreakerState,
+    CircuitBreaker,
+    OriginGateway,
+    ResilienceConfig,
+)
 from repro.geometry.relations import RegionRelation, relate
+from repro.network.clock import SimulatedClock
 from repro.network.link import Topology
 from repro.obs.instrument import ProxyInstrumentation, QueryObservation
 from repro.relational.result import ResultTable
+from repro.relational.schema import Schema
 from repro.server.origin import OriginServer
 from repro.templates.manager import BoundQuery, TemplateManager
 
@@ -93,6 +123,9 @@ class FunctionProxy:
         result_store=None,
         replacement_policy=None,
         instrumentation: ProxyInstrumentation | None = None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         if max_holes < 1:
             raise ValueError("max_holes must be at least 1")
@@ -121,6 +154,32 @@ class FunctionProxy:
         self._query_index = 0
         self._seen_data_version = getattr(origin, "data_version", None)
         self.invalidations = 0
+        # ---------------------------------------------------- resilience
+        self.clock = clock or SimulatedClock()
+        self.resilience = resilience or ResilienceConfig()
+        self.breaker = CircuitBreaker(
+            self.clock,
+            failure_threshold=self.resilience.breaker_failure_threshold,
+            cooldown_ms=self.resilience.breaker_cooldown_ms,
+            on_state_change=lambda state: self.obs.breaker_transition(
+                BREAKER_STATE_VALUES[state]
+            ),
+        )
+        self.obs.breaker_transition(BREAKER_STATE_VALUES[self.breaker.state])
+        self.gateway = OriginGateway(
+            retry=self.resilience.retry,
+            breaker=self.breaker,
+            rng=Random(self.resilience.jitter_seed),
+            # Failed fast attempts cost one empty round trip, charged
+            # through the topology so transfer metrics stay honest.
+            failure_rtt_ms=lambda: self.topology.origin_round_trip_ms(0),
+            listener=self.obs,
+        )
+        self._base_origin = origin
+        self._base_topology = self.topology
+        self.fault_plan: FaultPlan | None = None
+        if fault_plan is not None:
+            self.install_fault_plan(fault_plan)
 
     @property
     def metrics(self):
@@ -132,6 +191,27 @@ class FunctionProxy:
         """The proxy's span tracer (``GET /trace/recent`` source)."""
         return self.obs.tracer
 
+    # --------------------------------------------------- fault injection
+    def install_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Wrap the origin and the WAN hop in a seeded fault schedule.
+
+        ``None`` restores the pristine origin and topology.  Installing
+        a plan does not reset the breaker or the trace statistics — a
+        plan loaded mid-trace simply starts misbehaving from the
+        current simulated time on.
+        """
+        if plan is None:
+            self.origin = self._base_origin
+            self.topology = self._base_topology
+            self.fault_plan = None
+            return
+        session = plan.session()
+        self.origin = FaultyOrigin(self._base_origin, session, self.clock)
+        self.topology = FaultyTopology(
+            self._base_topology, session, self.clock
+        )
+        self.fault_plan = plan
+
     # ------------------------------------------------------------ public
     def serve_form(
         self, form_name: str, form_values: Mapping[str, str]
@@ -142,20 +222,30 @@ class FunctionProxy:
         return self.serve(bound)
 
     def serve(self, bound: BoundQuery) -> ProxyResponse:
-        """Serve one bound query; appends a record to ``stats``."""
+        """Serve one bound query; appends a record to ``stats``.
+
+        Never lets an origin failure escape: unreachable origins and
+        origin-side query errors become structured ``failed`` (or
+        degraded) outcomes on the returned record.
+        """
         self._query_index += 1
         self._check_data_version()
         policy = self.scheme.policy
         with self.obs.observe_query(
-            self._query_index, bound.template_id
+            self._query_index, bound.template_id, clock=self.clock
         ) as observation:
             observation.charge("parse", self.costs.parse_ms)
-            deterministic = self._is_deterministic(bound)
-            degraded = self.templates.is_degraded(bound.template_id)
-            if not policy.caches or not deterministic or degraded:
-                response = self._tunnel(bound, observation)
-            else:
-                response = self._serve_cached(bound, observation, policy)
+            try:
+                deterministic = self._is_deterministic(bound)
+                degraded = self.templates.is_degraded(bound.template_id)
+                if not policy.caches or not deterministic or degraded:
+                    response = self._tunnel(bound, observation)
+                else:
+                    response = self._serve_cached(
+                        bound, observation, policy
+                    )
+            except (OriginUnavailable, OriginQueryError) as exc:
+                response = self._respond_failure(bound, observation, exc)
         self.stats.add(response.record)
         return response
 
@@ -255,10 +345,38 @@ class FunctionProxy:
             # An unregistered function cannot be reasoned about; tunnel.
             return False
 
+    # ------------------------------------------------------- degradation
+    def _cache_answer_outcome(self) -> QueryOutcome:
+        """Outcome for an answer served wholly from cache.
+
+        While the breaker is not closed the origin is presumed down, so
+        the answer cannot be revalidated: it is served ``degraded``
+        (stale-serve) — or refused outright when the degradation policy
+        forbids stale answers.
+        """
+        if self.breaker.state is BreakerState.CLOSED:
+            return QueryOutcome.SERVED
+        if not self.resilience.degradation.stale_ok:
+            raise OriginUnavailable("stale-disallowed")
+        return QueryOutcome.DEGRADED
+
+    def _origin_fetch(self, observation, kind, fn):
+        """One resilient origin request under an ``origin`` phase.
+
+        Returns ``(origin_response, retries)``; raises the gateway's
+        structured errors when the origin cannot or will not answer.
+        """
+        with observation.phase("origin", kind=kind) as origin_fetch:
+            origin_response, retries = self.gateway.call(fn, observation)
+            origin_fetch.charge(origin_response.server_ms)
+            origin_fetch.annotate(retries=retries)
+        return origin_response, retries
+
     # ------------------------------------------------------ case (a)
     def _serve_exact(
         self, bound, entry: CacheEntry, observation
     ) -> ProxyResponse:
+        outcome = self._cache_answer_outcome()
         self.cache.touch(entry)
         result = entry.result
         observation.charge(
@@ -271,10 +389,12 @@ class FunctionProxy:
             observation,
             tuples_from_cache=len(result),
             contacted_origin=False,
+            outcome=outcome,
         )
 
     # ------------------------------------------------------ case (b)
     def _serve_contained(self, bound, entries, observation) -> ProxyResponse:
+        answer_outcome = self._cache_answer_outcome()
         # Any subsuming entry works; scan the smallest result.
         entry = min(entries, key=lambda e: e.row_count)
         self.cache.touch(entry)
@@ -294,6 +414,7 @@ class FunctionProxy:
             observation,
             tuples_from_cache=len(result),
             contacted_origin=False,
+            outcome=answer_outcome,
         )
 
     # ------------------------------------------------------ case (c)
@@ -324,11 +445,20 @@ class FunctionProxy:
         with observation.phase("remainder_build", record=False) as build:
             remainder = build_remainder(bound, [e.region for e in used])
             build.annotate(holes=remainder.n_holes)
-        with observation.phase("origin", kind="remainder") as origin_fetch:
-            origin_response = self.origin.execute_remainder(
-                remainder.statement, remainder.n_holes
+        try:
+            origin_response, retries = self._origin_fetch(
+                observation,
+                "remainder",
+                lambda: self.origin.execute_remainder(
+                    remainder.statement, remainder.n_holes
+                ),
             )
-            origin_fetch.charge(origin_response.server_ms)
+        except OriginUnavailable as exc:
+            if not self.resilience.degradation.partial_ok:
+                raise
+            return self._serve_partial(
+                bound, probe, overlapping, observation, exc
+            )
         observation.charge(
             "transfer",
             self.topology.origin_round_trip_ms(
@@ -386,13 +516,39 @@ class FunctionProxy:
             tuples_from_cache=from_cache,
             contacted_origin=True,
             origin_bytes=origin_response.result.byte_size(),
+            retries=retries,
+        )
+
+    def _serve_partial(
+        self, bound, probe, overlapping, observation, exc
+    ) -> ProxyResponse:
+        """Overlap degradation: the remainder could not reach the
+        origin, so the client gets the cached portion only (``206``
+        at the HTTP layer).  Nothing is cached — the merged region was
+        never completed."""
+        result = self.evaluator.finalize(bound, probe.result)
+        status = (
+            QueryStatus.REGION_CONTAINMENT
+            if not overlapping
+            else QueryStatus.OVERLAP
+        )
+        return self._respond(
+            bound,
+            result,
+            status,
+            observation,
+            tuples_from_cache=len(result),
+            contacted_origin=True,
+            outcome=QueryOutcome.PARTIAL,
+            retries=exc.retries,
+            failure_reason=exc.reason,
         )
 
     # ------------------------------------------------------ case (d)
     def _forward_and_cache(self, bound, observation, status) -> ProxyResponse:
-        with observation.phase("origin", kind="forward") as origin_fetch:
-            origin_response = self.origin.execute_bound(bound)
-            origin_fetch.charge(origin_response.server_ms)
+        origin_response, retries = self._origin_fetch(
+            observation, "forward", lambda: self.origin.execute_bound(bound)
+        )
         result = origin_response.result
         observation.charge(
             "transfer",
@@ -415,12 +571,13 @@ class FunctionProxy:
             tuples_from_cache=0,
             contacted_origin=True,
             origin_bytes=result.byte_size(),
+            retries=retries,
         )
 
     def _tunnel(self, bound, observation) -> ProxyResponse:
-        with observation.phase("origin", kind="tunnel") as origin_fetch:
-            origin_response = self.origin.execute_bound(bound)
-            origin_fetch.charge(origin_response.server_ms)
+        origin_response, retries = self._origin_fetch(
+            observation, "tunnel", lambda: self.origin.execute_bound(bound)
+        )
         observation.charge(
             "transfer",
             self.topology.origin_round_trip_ms(
@@ -435,6 +592,7 @@ class FunctionProxy:
             tuples_from_cache=0,
             contacted_origin=True,
             origin_bytes=origin_response.result.byte_size(),
+            retries=retries,
         )
 
     # ---------------------------------------------------------- helpers
@@ -472,6 +630,9 @@ class FunctionProxy:
         tuples_from_cache: int,
         contacted_origin: bool,
         origin_bytes: int = 0,
+        outcome: QueryOutcome = QueryOutcome.SERVED,
+        retries: int = 0,
+        failure_reason: str = "",
     ) -> ProxyResponse:
         steps = observation.steps
         record = QueryRecord(
@@ -488,11 +649,33 @@ class FunctionProxy:
             check_wall_ms=observation.check_wall_ms,
             cache_bytes_after=self.cache.current_bytes,
             cache_entries_after=len(self.cache),
+            outcome=outcome,
+            retries=retries,
+            failure_reason=failure_reason,
         )
         observation.annotate(
             status=status.value,
+            outcome=outcome.value,
             response_sim_ms=round(record.response_ms, 3),
             tuples=record.tuples_total,
         )
         self.obs.observe_record(record)
         return ProxyResponse(result=result, record=record)
+
+    def _respond_failure(
+        self, bound, observation: QueryObservation, exc
+    ) -> ProxyResponse:
+        """Turn a structured origin failure into an empty ``failed``
+        response — the proxy's promise that ``serve`` never raises for
+        origin trouble."""
+        return self._respond(
+            bound,
+            ResultTable(Schema.of(), []),
+            QueryStatus.FAILED,
+            observation,
+            tuples_from_cache=0,
+            contacted_origin=True,
+            outcome=QueryOutcome.FAILED,
+            retries=exc.retries,
+            failure_reason=exc.reason,
+        )

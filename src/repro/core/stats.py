@@ -33,10 +33,31 @@ class QueryStatus(enum.Enum):
     OVERLAP = "overlap"  # case (c): probe + remainder
     DISJOINT = "disjoint"  # case (d): forwarded and cached
     FORWARDED = "forwarded"  # miss under a scheme that skipped the case
+    FAILED = "failed"  # origin needed but unreachable / query error
 
 
 #: Statuses answered entirely from the cache.
 FULL_CACHE_ANSWERS = (QueryStatus.EXACT, QueryStatus.CONTAINED)
+
+
+class QueryOutcome(enum.Enum):
+    """Whether and how well a query was answered.
+
+    Orthogonal to :class:`QueryStatus` (which cache case ran): the
+    outcome says what the *client* got back once the origin's health
+    is taken into account.
+    """
+
+    SERVED = "served"  # a full, fresh answer
+    DEGRADED = "degraded"  # full answer from cache while the origin is down
+    PARTIAL = "partial"  # cached portion only; the remainder was skipped
+    FAILED = "failed"  # no answer: structured failure, not an exception
+
+
+#: Outcomes that returned result tuples to the client.
+ANSWERED_OUTCOMES = (
+    QueryOutcome.SERVED, QueryOutcome.DEGRADED, QueryOutcome.PARTIAL,
+)
 
 
 @dataclass
@@ -56,6 +77,42 @@ class QueryRecord:
     check_wall_ms: float = 0.0
     cache_bytes_after: int = 0
     cache_entries_after: int = 0
+    outcome: QueryOutcome = QueryOutcome.SERVED
+    retries: int = 0
+    failure_reason: str = ""
+
+    @property
+    def answered(self) -> bool:
+        """Whether the client received result tuples at all."""
+        return self.outcome in ANSWERED_OUTCOMES
+
+    def to_dict(self, include_wall: bool = True) -> dict:
+        """A JSON-able view of the record.
+
+        ``include_wall=False`` drops the real-wall-clock field, leaving
+        only simulated quantities — the canonical form the determinism
+        tests compare byte-for-byte across runs.
+        """
+        data = {
+            "index": self.index,
+            "template_id": self.template_id,
+            "status": self.status.value,
+            "outcome": self.outcome.value,
+            "retries": self.retries,
+            "failure_reason": self.failure_reason,
+            "response_ms": self.response_ms,
+            "tuples_total": self.tuples_total,
+            "tuples_from_cache": self.tuples_from_cache,
+            "result_bytes": self.result_bytes,
+            "origin_bytes": self.origin_bytes,
+            "contacted_origin": self.contacted_origin,
+            "steps_ms": dict(self.steps_ms),
+            "cache_bytes_after": self.cache_bytes_after,
+            "cache_entries_after": self.cache_entries_after,
+        }
+        if include_wall:
+            data["check_wall_ms"] = self.check_wall_ms
+        return data
 
     @property
     def cache_efficiency(self) -> float:
@@ -102,6 +159,32 @@ class TraceStats:
             return 0.0
         hits = sum(1 for r in self.records if not r.contacted_origin)
         return hits / len(self.records)
+
+    @property
+    def answered_fraction(self) -> float:
+        """Fraction of queries that returned tuples (served, degraded,
+        or partial) — the availability headline under origin faults."""
+        if not self.records:
+            return 0.0
+        answered = sum(1 for r in self.records if r.answered)
+        return answered / len(self.records)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    def outcome_fractions(self) -> dict[QueryOutcome, float]:
+        counts: dict[QueryOutcome, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        total = len(self.records) or 1
+        return {outcome: count / total for outcome, count in counts.items()}
+
+    def outcome_counts(self) -> dict[QueryOutcome, int]:
+        counts: dict[QueryOutcome, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
 
     def status_fractions(self) -> dict[QueryStatus, float]:
         counts: dict[QueryStatus, int] = {}

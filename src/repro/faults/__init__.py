@@ -1,0 +1,72 @@
+"""Fault injection and resilience for the function proxy.
+
+The paper's setting — a slow origin across a WAN — silently assumed a
+*reliable* origin.  This package drops that assumption:
+
+* :mod:`repro.faults.plan` — seeded, simulated-clock-driven fault
+  schedules (outage windows, slowdowns, transient errors, timeouts,
+  data-version flips);
+* :mod:`repro.faults.injection` — wrappers that make an
+  :class:`~repro.server.origin.OriginServer` and a
+  :class:`~repro.network.link.Topology` misbehave on schedule;
+* :mod:`repro.faults.resilience` — the proxy-side answer: retry with
+  capped backoff and deterministic jitter, a circuit breaker over the
+  proxy -> origin hop, and the degradation policy that keeps cached
+  answers flowing while the origin is down;
+* :mod:`repro.faults.errors` — the retryable injected errors and the
+  structured terminal outcomes.
+
+Everything is deterministic under a fixed seed: replaying the same
+plan over the same trace yields identical query-record streams.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    FaultPlanError,
+    OriginQueryError,
+    OriginTimeoutError,
+    OriginUnavailable,
+    OriginUnavailableError,
+)
+from repro.faults.injection import FaultyOrigin, FaultyTopology
+from repro.faults.plan import (
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultSession,
+    OutageWindow,
+    SlowdownWindow,
+)
+from repro.faults.resilience import (
+    BREAKER_STATE_VALUES,
+    BreakerState,
+    CircuitBreaker,
+    DegradationPolicy,
+    OriginGateway,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+__all__ = [
+    "BREAKER_STATE_VALUES",
+    "BreakerState",
+    "CircuitBreaker",
+    "DegradationPolicy",
+    "FaultDecision",
+    "FaultError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSession",
+    "FaultyOrigin",
+    "FaultyTopology",
+    "OriginGateway",
+    "OriginQueryError",
+    "OriginTimeoutError",
+    "OriginUnavailable",
+    "OriginUnavailableError",
+    "OutageWindow",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "SlowdownWindow",
+]

@@ -1,0 +1,277 @@
+"""Resilience for the proxy -> origin hop: retry, breaker, degradation.
+
+Three cooperating policies, all driven by the proxy's simulated clock:
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  (seeded) jitter and a per-attempt timeout.  Every wait is *charged*
+  in simulated ms through the query observation, so retries show up in
+  response times exactly like real waits would.
+* :class:`CircuitBreaker` — the classic closed / open / half-open
+  state machine guarding the hop.  ``failure_threshold`` consecutive
+  failures open it; after ``cooldown_ms`` of simulated time a single
+  half-open probe decides between closing and re-opening.
+* :class:`DegradationPolicy` — what the proxy may do while the origin
+  is unreachable: serve full answers from cache marked ``degraded``
+  (stale-serve), serve the cached portion of an overlap query as a
+  ``partial`` answer, or fail fast with a structured outcome.
+
+:class:`OriginGateway` ties the first two together around a single
+origin call and is the *only* path the proxy uses to reach the origin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Protocol
+
+from repro.faults.errors import (
+    OriginQueryError,
+    OriginTimeoutError,
+    OriginUnavailable,
+    OriginUnavailableError,
+)
+from repro.network.clock import SimulatedClock
+from repro.relational.errors import RelationalError
+from repro.server.origin import OriginResponse
+from repro.sqlparser.errors import ParseError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 3
+    base_backoff_ms: float = 200.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 5_000.0
+    jitter_fraction: float = 0.2
+    attempt_timeout_ms: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"need at least one attempt: {self.max_attempts}"
+            )
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ValueError("backoff times cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter fraction must be in [0, 1]: {self.jitter_fraction}"
+            )
+        if self.attempt_timeout_ms <= 0:
+            raise ValueError(
+                f"attempt timeout must be positive: {self.attempt_timeout_ms}"
+            )
+
+    def backoff_ms(self, retry_index: int, rng: Random) -> float:
+        """Simulated wait before retry ``retry_index`` (0-based).
+
+        Jitter is drawn from the gateway's seeded rng, so the same
+        seed yields the same waits — determinism over realism.
+        """
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.backoff_multiplier**retry_index,
+        )
+        return base * (1.0 + self.jitter_fraction * rng.random())
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding of breaker states (the ``breaker_state`` metric).
+BREAKER_STATE_VALUES: dict[BreakerState, int] = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open over the simulated clock."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        failure_threshold: int = 5,
+        cooldown_ms: float = 30_000.0,
+        on_state_change: Callable[[BreakerState], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1: {failure_threshold}"
+            )
+        if cooldown_ms <= 0:
+            raise ValueError(f"cooldown must be positive: {cooldown_ms}")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ms = 0.0
+        self._on_state_change = on_state_change
+        self.opens = 0  # lifetime count of CLOSED/HALF_OPEN -> OPEN
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    def _transition(self, state: BreakerState) -> None:
+        if state is self._state:
+            return
+        self._state = state
+        if self._on_state_change is not None:
+            self._on_state_change(state)
+
+    def allow(self) -> bool:
+        """Whether an origin attempt may proceed right now.
+
+        An open breaker whose cooldown elapsed moves to half-open and
+        admits the probe attempt.
+        """
+        if self._state is BreakerState.OPEN:
+            elapsed = self._clock.now_ms - self._opened_at_ms
+            if elapsed < self.cooldown_ms:
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            if self._state is not BreakerState.OPEN:
+                self.opens += 1
+            self._opened_at_ms = self._clock.now_ms
+            self._transition(BreakerState.OPEN)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """What the proxy may serve while the origin is unreachable.
+
+    * ``stale_ok`` — exact/contained answers still come from cache,
+      marked ``degraded`` while the breaker is not closed;
+    * ``partial_ok`` — an overlap query whose remainder cannot reach
+      the origin degrades to the cached portion only (``partial``).
+
+    Fail-fast for uncacheable / disjoint queries is always on: they
+    produce a structured ``failed`` outcome, never an exception.
+    """
+
+    stale_ok: bool = True
+    partial_ok: bool = True
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything :class:`~repro.core.proxy.FunctionProxy` needs to
+    survive a misbehaving origin."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_ms: float = 30_000.0
+    jitter_seed: int = 0
+
+
+class ChargeSink(Protocol):
+    """Where the gateway charges simulated time (a query observation)."""
+
+    def charge(self, step: str, sim_ms: float) -> None: ...
+
+
+class GatewayListener(Protocol):
+    """Metrics hook: one call per retry, one per terminal failure."""
+
+    def origin_retry(self) -> None: ...
+
+    def origin_failure(self, reason: str) -> None: ...
+
+
+class OriginGateway:
+    """The one resilient path from the proxy to the origin.
+
+    ``call`` runs an origin thunk under the retry policy with the
+    breaker consulted before every attempt.  Failed attempts charge
+    their simulated cost (a zero-byte round trip for fast failures,
+    the full per-attempt timeout for hangs) plus the backoff wait, so
+    the query's response time reflects the struggle.
+    """
+
+    def __init__(
+        self,
+        retry: RetryPolicy,
+        breaker: CircuitBreaker,
+        rng: Random,
+        failure_rtt_ms: Callable[[], float],
+        listener: GatewayListener | None = None,
+    ) -> None:
+        self.retry = retry
+        self.breaker = breaker
+        self._rng = rng
+        self._failure_rtt_ms = failure_rtt_ms
+        self._listener = listener
+
+    def call(
+        self,
+        fn: Callable[[], OriginResponse],
+        sink: ChargeSink,
+    ) -> tuple[OriginResponse, int]:
+        """Run one origin request; returns ``(response, retries)``.
+
+        Raises :class:`OriginUnavailable` when the breaker refuses the
+        hop or every attempt failed, and :class:`OriginQueryError`
+        when the origin answered with a non-retryable query error.
+        """
+        retries = 0
+        last_reason = "unreachable"
+        for attempt in range(self.retry.max_attempts):
+            if not self.breaker.allow():
+                self._fail("breaker-open")
+                raise OriginUnavailable("breaker-open", retries)
+            try:
+                response = fn()
+            except OriginTimeoutError:
+                self.breaker.record_failure()
+                sink.charge("origin", self.retry.attempt_timeout_ms)
+                last_reason = "timeout"
+            except OriginUnavailableError as exc:
+                self.breaker.record_failure()
+                sink.charge("transfer", self._failure_rtt_ms())
+                last_reason = exc.reason
+            except (ParseError, RelationalError) as exc:
+                # The origin is alive and answered; the query is bad.
+                self.breaker.record_success()
+                raise OriginQueryError(str(exc), retries) from exc
+            else:
+                self.breaker.record_success()
+                return response, retries
+            if attempt + 1 < self.retry.max_attempts:
+                retries += 1
+                if self._listener is not None:
+                    self._listener.origin_retry()
+                sink.charge(
+                    "backoff", self.retry.backoff_ms(attempt, self._rng)
+                )
+        self._fail(last_reason)
+        raise OriginUnavailable(last_reason, retries)
+
+    def _fail(self, reason: str) -> None:
+        if self._listener is not None:
+            self._listener.origin_failure(reason)

@@ -10,7 +10,9 @@ One module per experiment, mirroring DESIGN.md's per-experiment index:
 * :mod:`repro.harness.fig6` — Figure 6, response time of the three
   active schemes;
 * :mod:`repro.harness.ablations` — the checking-time claim (< 100 ms,
-  array vs R-tree) and the remainder-query tradeoff discussion.
+  array vs R-tree) and the remainder-query tradeoff discussion;
+* :mod:`repro.harness.fault_availability` — answered fraction per
+  scheme under an origin outage (the resilience layer's headline).
 
 Every experiment takes an :class:`~repro.harness.config.ExperimentScale`
 so the same code runs at paper scale (11,323 queries) or at the smaller

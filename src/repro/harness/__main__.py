@@ -5,7 +5,8 @@ Usage::
     python -m repro.harness [quick|default|paper]
 
 Regenerates, in order: the Section 4.1 trace profile, Table 1,
-Figure 5, Figure 6, and the two ablations.  The same code backs the
+Figure 5, Figure 6, the two ablations, and the fault-availability
+table (origin outage + resilience layer).  The same code backs the
 ``benchmarks/`` suite; this entry point is for eyeballing a full run
 without pytest.
 """
@@ -19,6 +20,7 @@ from repro.harness.ablations import (
     run_remainder_ablation,
 )
 from repro.harness.config import ExperimentScale
+from repro.harness.fault_availability import run_fault_availability
 from repro.harness.fig5 import run_fig5
 from repro.harness.fig6 import run_fig6
 from repro.harness.runner import ExperimentRunner
@@ -50,6 +52,7 @@ def main(argv: list[str]) -> int:
         ("Figure 6", lambda: run_fig6(runner)),
         ("description ablation", lambda: run_description_ablation(runner)),
         ("remainder ablation", lambda: run_remainder_ablation(scale)),
+        ("fault availability", lambda: run_fault_availability(runner)),
     ]
     for label, run in experiments:
         watch = Stopwatch()

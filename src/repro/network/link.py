@@ -1,7 +1,7 @@
 """Network links: latency + bandwidth delay models.
 
-A :class:`Topology` may carry a *transfer recorder* — an object with a
-``record_transfer(hop, n_bytes, ms)`` method (see
+A :class:`Topology` may carry a *transfer recorder* — any object
+satisfying the :class:`TransferRecorder` protocol (see
 :class:`repro.obs.instrument.ProxyInstrumentation`) — that is notified
 of every simulated round trip, feeding per-hop byte counters and
 latency histograms without changing the returned delays.
@@ -10,6 +10,15 @@ latency histograms without changing the returned delays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TransferRecorder(Protocol):
+    """Observer of simulated round trips (per-hop bytes and delay)."""
+
+    def record_transfer(self, hop: str, n_bytes: int, ms: float) -> None:
+        ...
 
 
 @dataclass(frozen=True)
@@ -55,18 +64,36 @@ class Topology:
         latency_ms=150.0, bandwidth_bytes_per_ms=250.0
     )
     request_bytes: int = 600
-    recorder: object = field(default=None, compare=False, repr=False)
+    recorder: TransferRecorder | None = field(
+        default=None, compare=False, repr=False
+    )
 
-    def instrumented(self, recorder) -> "Topology":
+    def __post_init__(self) -> None:
+        if self.request_bytes <= 0:
+            raise ValueError(
+                f"request size must be positive: {self.request_bytes}"
+            )
+
+    def instrumented(self, recorder: TransferRecorder) -> "Topology":
         """A copy of this topology that reports transfers to
         ``recorder.record_transfer(hop, n_bytes, ms)``."""
         return replace(self, recorder=recorder)
 
-    def origin_round_trip_ms(self, response_bytes: int) -> float:
-        """Proxy -> origin request plus origin -> proxy response."""
-        ms = self.proxy_origin.transfer_ms(
-            self.request_bytes
-        ) + self.proxy_origin.transfer_ms(response_bytes)
+    def origin_round_trip_ms(
+        self, response_bytes: int, *, factor: float = 1.0
+    ) -> float:
+        """Proxy -> origin request plus origin -> proxy response.
+
+        ``factor`` scales the whole round trip — the hook fault
+        injection uses for slowdown windows — and is recorded scaled,
+        so instrumentation sees the delay actually charged.
+        """
+        if factor <= 0:
+            raise ValueError(f"round-trip factor must be positive: {factor}")
+        ms = (
+            self.proxy_origin.transfer_ms(self.request_bytes)
+            + self.proxy_origin.transfer_ms(response_bytes)
+        ) * factor
         self._record("origin", self.request_bytes + response_bytes, ms)
         return ms
 

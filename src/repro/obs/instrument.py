@@ -55,17 +55,25 @@ BYTES_BUCKETS = (
 class _PhaseHandle:
     """What an instrumented phase yields: charge sim time, annotate."""
 
-    __slots__ = ("name", "span", "sim_ms", "wall_ms")
+    __slots__ = ("name", "span", "sim_ms", "wall_ms", "_clock")
 
-    def __init__(self, name: str, span) -> None:
+    def __init__(self, name: str, span, clock=None) -> None:
         self.name = name
         self.span = span
         self.sim_ms = 0.0
         self.wall_ms = 0.0
+        self._clock = clock
 
     def charge(self, sim_ms: float) -> None:
-        """Add simulated milliseconds to this phase's step charge."""
+        """Add simulated milliseconds to this phase's step charge.
+
+        Advances the observation's simulated clock immediately, so
+        time-dependent machinery (fault windows, breaker cooldowns)
+        sees intra-phase progress in charge order.
+        """
         self.sim_ms += sim_ms
+        if self._clock is not None:
+            self._clock.advance(sim_ms)
 
     def annotate(self, **attrs) -> None:
         self.span.annotate(**attrs)
@@ -78,14 +86,21 @@ class QueryObservation:
     whose scope is the root ``query`` span), charges each processing
     step to it, and reads back ``steps`` / ``check_wall_ms`` when
     building the :class:`~repro.core.stats.QueryRecord`.
+
+    When built with a ``clock`` (the proxy's simulated clock), every
+    simulated charge also advances it, making the observation the one
+    place where per-step costs and the proxy's timeline stay in sync.
     """
 
-    __slots__ = ("steps", "check_wall_ms", "_tracer", "_root")
+    __slots__ = ("steps", "check_wall_ms", "_tracer", "_root", "_clock")
 
-    def __init__(self, tracer, *, index: int, template_id: str) -> None:
+    def __init__(
+        self, tracer, *, index: int, template_id: str, clock=None
+    ) -> None:
         self.steps: dict[str, float] = {}
         self.check_wall_ms = 0.0
         self._tracer = tracer
+        self._clock = clock
         self._root = tracer.span("query", index=index, template=template_id)
 
     def __enter__(self) -> "QueryObservation":
@@ -98,6 +113,8 @@ class QueryObservation:
     def charge(self, step: str, sim_ms: float, **attrs) -> None:
         """Record a purely simulated step (no interesting wall time)."""
         self.steps[step] = self.steps.get(step, 0.0) + sim_ms
+        if self._clock is not None:
+            self._clock.advance(sim_ms)
         self._tracer.event(step, sim_ms=sim_ms, **attrs)
 
     @contextmanager
@@ -115,7 +132,7 @@ class QueryObservation:
         """
         start = time.perf_counter()
         with self._tracer.span(step, **attrs) as span:
-            handle = _PhaseHandle(step, span)
+            handle = _PhaseHandle(step, span, self._clock)
             try:
                 yield handle
             finally:
@@ -216,6 +233,28 @@ class ProxyInstrumentation:
             "by diagnostic code and severity.",
             ("code", "severity"),
         )
+        self.origin_retries = r.counter(
+            "origin_retries_total",
+            "Origin attempts retried after a transient failure or "
+            "timeout.",
+        )
+        self.breaker_state = r.gauge(
+            "breaker_state",
+            "Circuit breaker guarding the proxy-to-origin hop "
+            "(0=closed, 1=half-open, 2=open).",
+        )
+        self.degraded_responses = r.counter(
+            "degraded_responses_total",
+            "Responses that were not full fresh answers, by outcome "
+            "kind (degraded, partial, failed).",
+            ("kind",),
+        )
+        self.origin_failures = r.counter(
+            "origin_failures_total",
+            "Origin requests given up on after resilience was "
+            "exhausted, by terminal reason.",
+            ("reason",),
+        )
 
     # ------------------------------------------------- analysis observation
     def record_diagnostic(self, diagnostic) -> None:
@@ -224,12 +263,25 @@ class ProxyInstrumentation:
             code=diagnostic.code, severity=diagnostic.severity.value
         ).inc()
 
+    # --------------------------------------------------- resilience hooks
+    def origin_retry(self) -> None:
+        """Gateway hook: one origin attempt is being retried."""
+        self.origin_retries.inc()
+
+    def origin_failure(self, reason: str) -> None:
+        """Gateway hook: an origin request was given up on."""
+        self.origin_failures.labels(reason=reason).inc()
+
+    def breaker_transition(self, value: int) -> None:
+        """Breaker hook: the state gauge's new encoded value."""
+        self.breaker_state.set(value)
+
     # --------------------------------------------------------- per query
     def observe_query(
-        self, index: int, template_id: str
+        self, index: int, template_id: str, clock=None
     ) -> QueryObservation:
         return QueryObservation(
-            self.tracer, index=index, template_id=template_id
+            self.tracer, index=index, template_id=template_id, clock=clock
         )
 
     def observe_record(self, record: "QueryRecord") -> None:
@@ -253,6 +305,8 @@ class ProxyInstrumentation:
         self.tuples_served.labels(source="origin").inc(
             record.tuples_total - record.tuples_from_cache
         )
+        if record.outcome.value != "served":
+            self.degraded_responses.labels(kind=record.outcome.value).inc()
 
     # ------------------------------------------------- cache observation
     def cache_event(

@@ -17,6 +17,7 @@ cache non-deterministic functions (paper Section 3.1, property 1).
 from __future__ import annotations
 
 import math
+import random
 from typing import Any
 
 from repro.relational.schema import Schema
@@ -214,14 +215,17 @@ def register_skyserver_functions(
         )
     )
 
-    def f_random_sample(catalog, args) -> list[tuple[Any, ...]]:
-        import random
+    # Deliberately non-deterministic *across calls* (the proxy must
+    # refuse to cache it), but seeded so whole-experiment replays stay
+    # reproducible (FP305).
+    sample_rng = random.Random(0xF5A)
 
+    def f_random_sample(catalog, args) -> list[tuple[Any, ...]]:
         count = int(args[0])
         rows = []
         n = len(photo_primary)
         for _ in range(max(count, 0)):
-            row = photo_primary.rows[random.randrange(n)]
+            row = photo_primary.rows[sample_rng.randrange(n)]
             rows.append(
                 (
                     row[positions["objID"]],

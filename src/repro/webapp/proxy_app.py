@@ -5,8 +5,14 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 ``GET /search/<form_name>?field=value&...``
     Same surface as the origin's search forms; answered from the cache
     when the caching scheme allows, forwarded otherwise.  The response
-    carries ``X-Proxy-Ms`` (simulated proxy-side time) and
-    ``X-Cache-Status`` (the paper's four-way disposition).
+    carries ``X-Proxy-Ms`` (simulated proxy-side time),
+    ``X-Cache-Status`` (the paper's four-way disposition),
+    ``X-Proxy-Outcome``, and ``X-Proxy-Retries``.  The status code
+    follows the outcome: ``200`` for full answers (fresh or degraded
+    stale-serves), ``206`` for the cached portion of an overlap query
+    whose remainder could not reach the origin, ``503`` when the
+    origin was needed but unreachable, and ``400`` when the origin
+    rejected the query itself.
 
 ``GET /stats``
     Aggregate trace statistics: average response time, average cache
@@ -30,12 +36,21 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 
 ``POST /cache/clear``
     Drops every cached entry (for experiment hygiene between runs).
+
+``POST /faults`` / ``GET /faults`` / ``DELETE /faults``
+    Install a seeded :class:`~repro.faults.plan.FaultPlan` (JSON body,
+    the ``FaultPlan.to_dict`` shape) against the live proxy, inspect
+    the installed plan plus the circuit breaker's state, or restore
+    the pristine origin.
 """
 
 from __future__ import annotations
 
 from repro.analysis.analyzer import analyze_manager
 from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryOutcome
+from repro.faults.errors import FaultPlanError
+from repro.faults.plan import FaultPlan
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.relational.errors import RelationalError
 from repro.sqlparser.errors import ParseError
@@ -69,18 +84,35 @@ def create_proxy_app(proxy: FunctionProxy):
         try:
             response = proxy.serve_form(form_name, request.args)
         except (TemplateError, ParseError, RelationalError) as exc:
+            # Proxy-side binding/parsing problems; origin-side query
+            # errors surface as a structured ``failed`` outcome below.
             return {"error": str(exc)}, 400
         record = response.record
-        return (
-            response.result.to_xml(),
-            200,
-            {
-                "Content-Type": "application/xml",
-                "X-Proxy-Ms": f"{record.response_ms:.3f}",
-                "X-Cache-Status": record.status.value,
-                "X-Cache-Efficiency": f"{record.cache_efficiency:.4f}",
-            },
-        )
+        headers = {
+            "X-Proxy-Ms": f"{record.response_ms:.3f}",
+            "X-Cache-Status": record.status.value,
+            "X-Cache-Efficiency": f"{record.cache_efficiency:.4f}",
+            "X-Proxy-Outcome": record.outcome.value,
+            "X-Proxy-Retries": str(record.retries),
+        }
+        if record.outcome is QueryOutcome.FAILED:
+            status_code = (
+                400 if record.failure_reason == "query-error" else 503
+            )
+            return (
+                {
+                    "error": "origin unavailable"
+                    if status_code == 503
+                    else "origin rejected the query",
+                    "reason": record.failure_reason,
+                    "retries": record.retries,
+                },
+                status_code,
+                headers,
+            )
+        status_code = 206 if record.outcome is QueryOutcome.PARTIAL else 200
+        headers["Content-Type"] = "application/xml"
+        return response.result.to_xml(), status_code, headers
 
     @app.get("/stats")
     def stats():
@@ -92,6 +124,14 @@ def create_proxy_app(proxy: FunctionProxy):
                 trace_stats.average_cache_efficiency
             ),
             "hit_ratio": trace_stats.hit_ratio,
+            "answered_fraction": trace_stats.answered_fraction,
+            "total_retries": trace_stats.total_retries,
+            "outcome_fractions": {
+                outcome.value: fraction
+                for outcome, fraction in (
+                    trace_stats.outcome_fractions().items()
+                )
+            },
             "status_fractions": {
                 status.value: fraction
                 for status, fraction in (
@@ -134,5 +174,34 @@ def create_proxy_app(proxy: FunctionProxy):
     @app.post("/cache/clear")
     def clear():
         return {"removed": proxy.cache.clear()}
+
+    @app.post("/faults")
+    def install_faults():
+        payload = request.get_json(silent=True)
+        if not isinstance(payload, dict):
+            return {"error": "expected a JSON fault-plan object"}, 400
+        try:
+            plan = FaultPlan.from_dict(payload)
+        except FaultPlanError as exc:
+            return {"error": str(exc)}, 400
+        proxy.install_fault_plan(plan)
+        return {"installed": True, "plan": plan.to_dict()}
+
+    @app.get("/faults")
+    def faults():
+        plan = proxy.fault_plan
+        return {
+            "installed": plan is not None,
+            "plan": plan.to_dict() if plan is not None else None,
+            "breaker": proxy.breaker.state.value,
+            "breaker_opens": proxy.breaker.opens,
+            "clock_ms": proxy.clock.now_ms,
+        }
+
+    @app.delete("/faults")
+    def remove_faults():
+        was_installed = proxy.fault_plan is not None
+        proxy.install_fault_plan(None)
+        return {"installed": False, "removed": was_installed}
 
     return app

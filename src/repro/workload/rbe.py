@@ -28,15 +28,25 @@ class BrowserEmulator:
         trace: Trace,
         limit: int | None = None,
         progress: Callable[[int, int], None] | None = None,
+        think_time_ms: float = 0.0,
     ) -> TraceStats:
         """Replay ``trace`` (optionally only the first ``limit`` queries).
 
         Returns the stats of exactly the replayed queries, with client
         network time included.  ``progress`` is called as
         ``progress(done, total)`` every 500 queries for long runs.
+
+        ``think_time_ms`` is a fixed simulated pause between queries
+        (user reading the previous answer).  It advances the proxy's
+        clock without being charged to any record, which is what lets
+        scheduled fault windows cover a stretch of *queries* rather
+        than collapsing onto whichever query happens to be in flight.
         """
+        if think_time_ms < 0:
+            raise ValueError(f"negative think time: {think_time_ms}")
         queries = trace.queries if limit is None else trace.queries[:limit]
         topology = self.proxy.topology
+        clock = self.proxy.clock
         stats = TraceStats()
         total = len(queries)
         for done, query in enumerate(queries, start=1):
@@ -50,6 +60,9 @@ class BrowserEmulator:
             )
             record.steps_ms["client"] = client_ms
             record.response_ms += client_ms
+            clock.advance(client_ms)
+            if think_time_ms:
+                clock.advance(think_time_ms)
             stats.add(record)
             if progress is not None and done % 500 == 0:
                 progress(done, total)

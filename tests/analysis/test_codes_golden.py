@@ -41,6 +41,7 @@ GOLDEN = {
     "FP302": (Severity.ERROR, None),
     "FP303": (Severity.ERROR, None),
     "FP304": (Severity.ERROR, None),
+    "FP305": (Severity.ERROR, 1),
 }
 
 

@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP304) on synthetic modules."""
+"""The repository lint rules (FP301-FP305) on synthetic modules."""
 
 import pathlib
 
@@ -157,6 +157,73 @@ class TestErrorHierarchyRule:
             tmp_path,
             "repro/core/x.py",
             "def f():\n    raise ValueError('fine here')\n",
+        )
+        assert len(report) == 0
+
+
+class TestUnseededRandomRule:
+    def test_module_level_call_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\nx = random.randrange(10)\n",
+        )
+        assert report.codes() == {"FP305"}
+
+    def test_unseeded_constructor_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "import random\nrng = random.Random()\n",
+        )
+        assert report.codes() == {"FP305"}
+
+    def test_from_import_call_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/workload/x.py",
+            "from random import random\nx = random()\n",
+        )
+        assert report.codes() == {"FP305"}
+
+    def test_from_import_unseeded_random_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/faults/x.py",
+            "from random import Random\nrng = Random()\n",
+        )
+        assert report.codes() == {"FP305"}
+
+    def test_seeded_constructor_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/faults/x.py",
+            "import random\nrng = random.Random(42)\n",
+        )
+        assert len(report) == 0
+
+    def test_seeded_from_import_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/faults/x.py",
+            "from random import Random\nrng = Random(seed)\n",
+        )
+        assert len(report) == 0
+
+    def test_instance_methods_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/faults/x.py",
+            "from random import Random\nrng = Random(1)\n"
+            "x = rng.random()\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/core/x.py",
+            "import random\nx = random.random()\n",
         )
         assert len(report) == 0
 

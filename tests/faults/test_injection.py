@@ -1,0 +1,116 @@
+"""Fault-injecting wrappers around the origin and the topology."""
+
+import pytest
+
+from repro.faults.errors import OriginTimeoutError, OriginUnavailableError
+from repro.faults.injection import FaultyOrigin, FaultyTopology
+from repro.faults.plan import (
+    FaultPlan,
+    OutageWindow,
+    SlowdownWindow,
+)
+from repro.network.clock import SimulatedClock
+from repro.network.link import Topology
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+@pytest.fixture()
+def bound(origin, radial_params):
+    return origin.templates.bind(RADIAL_TEMPLATE_ID, radial_params)
+
+
+def wrap(origin, plan, clock=None):
+    clock = clock or SimulatedClock()
+    return FaultyOrigin(origin, plan.session(), clock), clock
+
+
+class TestFaultyOrigin:
+    def test_transparent_when_no_fault_scheduled(self, origin, bound):
+        faulty, _ = wrap(origin, FaultPlan())
+        direct = origin.execute_bound(bound)
+        injected = faulty.execute_bound(bound)
+        assert injected.server_ms == direct.server_ms
+        assert len(injected.result) == len(direct.result)
+
+    def test_delegates_attributes(self, origin):
+        faulty, _ = wrap(origin, FaultPlan())
+        assert faulty.catalog is origin.catalog
+        assert faulty.templates is origin.templates
+        assert faulty.inner is origin
+
+    def test_outage_window_raises(self, origin, bound):
+        faulty, clock = wrap(
+            origin, FaultPlan(outages=(OutageWindow(0.0, 1_000.0),))
+        )
+        with pytest.raises(OriginUnavailableError) as info:
+            faulty.execute_bound(bound)
+        assert info.value.reason == "outage"
+        clock.advance(1_000.0)  # past the window: healthy again
+        assert len(faulty.execute_bound(bound).result) > 0
+
+    def test_timeout_rate_raises_timeout(self, origin, bound):
+        faulty, _ = wrap(origin, FaultPlan(timeout_rate=1.0))
+        with pytest.raises(OriginTimeoutError):
+            faulty.execute_bound(bound)
+
+    def test_slowdown_scales_server_ms(self, origin, bound):
+        faulty, _ = wrap(
+            origin,
+            FaultPlan(slowdowns=(SlowdownWindow(0.0, 1e9, factor=4.0),)),
+        )
+        direct = origin.execute_bound(bound)
+        slowed = faulty.execute_bound(bound)
+        assert slowed.server_ms == pytest.approx(4.0 * direct.server_ms)
+        assert len(slowed.result) == len(direct.result)
+
+    def test_version_bumps_applied_once_due(self, origin):
+        before = origin.data_version
+        faulty, clock = wrap(origin, FaultPlan(version_bumps=(500.0,)))
+        assert faulty.data_version == before  # not due yet
+        clock.advance(600.0)
+        assert faulty.data_version == before + 1
+        assert faulty.data_version == before + 1  # applied exactly once
+
+
+class TestFaultyTopology:
+    def test_origin_hop_scaled_during_window(self):
+        clock = SimulatedClock()
+        plan = FaultPlan(
+            slowdowns=(SlowdownWindow(0.0, 1_000.0, factor=5.0),)
+        )
+        inner = Topology()
+        faulty = FaultyTopology(inner, plan.session(), clock)
+        base = inner.origin_round_trip_ms(1_000)
+        assert faulty.origin_round_trip_ms(1_000) == pytest.approx(
+            5.0 * base
+        )
+        clock.advance(1_000.0)
+        assert faulty.origin_round_trip_ms(1_000) == pytest.approx(base)
+
+    def test_client_hop_never_scaled(self):
+        clock = SimulatedClock()
+        plan = FaultPlan(
+            slowdowns=(SlowdownWindow(0.0, 1_000.0, factor=5.0),)
+        )
+        inner = Topology()
+        faulty = FaultyTopology(inner, plan.session(), clock)
+        assert faulty.client_round_trip_ms(1_000) == pytest.approx(
+            inner.client_round_trip_ms(1_000)
+        )
+
+    def test_scaled_delay_reaches_the_recorder(self):
+        transfers = []
+
+        class Recorder:
+            def record_transfer(self, hop, n_bytes, ms):
+                transfers.append((hop, n_bytes, ms))
+
+        clock = SimulatedClock()
+        plan = FaultPlan(
+            slowdowns=(SlowdownWindow(0.0, 1_000.0, factor=3.0),)
+        )
+        faulty = FaultyTopology(Topology(), plan.session(), clock)
+        instrumented = faulty.instrumented(Recorder())
+        charged = instrumented.origin_round_trip_ms(500)
+        assert transfers == [("origin", 600 + 500, pytest.approx(charged))]
+        assert faulty.request_bytes == instrumented.request_bytes

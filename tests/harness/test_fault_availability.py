@@ -1,0 +1,47 @@
+"""The fault-availability experiment: caching as an availability layer."""
+
+import pytest
+
+from repro.harness.config import ExperimentScale
+from repro.harness.fault_availability import run_fault_availability
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def result():
+    scale = ExperimentScale.quick().with_trace_length(80)
+    return run_fault_availability(ExperimentRunner(scale))
+
+
+class TestFaultAvailability:
+    def test_semantic_caching_raises_availability(self, result):
+        answered = result.answered_fraction
+        assert answered["ac-full"] > answered["nc"]
+
+    def test_fractions_are_fractions(self, result):
+        for scheme in result.schemes.values():
+            assert 0.0 <= scheme.answered_fraction <= 1.0
+            assert sum(scheme.outcome_counts.values()) == 80
+
+    def test_every_scheme_saw_the_outage(self, result):
+        for scheme in result.schemes.values():
+            start_ms, end_ms = scheme.outage_ms
+            assert 0.0 <= start_ms < end_ms
+            assert scheme.breaker_opens >= 1
+            assert scheme.outcome_counts.get("failed", 0) > 0
+
+    def test_latencies_are_positive(self, result):
+        # Note the faulted p95 may be *below* the fault-free one: the
+        # breaker turns slow origin queries into fast structured
+        # failures, which is exactly the fail-fast design intent.
+        for scheme in result.schemes.values():
+            assert scheme.p95_ms > 0.0
+            assert scheme.fault_free_p95_ms > 0.0
+
+    def test_wire_form_and_rendering(self, result):
+        payload = result.to_dict()
+        assert set(payload["schemes"]) == set(result.schemes)
+        assert payload["seed"] == 7
+        text = result.render()
+        assert "answered" in text
+        assert "ac-full" in text

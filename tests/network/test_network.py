@@ -70,3 +70,9 @@ class TestTopology:
         assert topology.origin_round_trip_ms(10_000) > (
             topology.client_round_trip_ms(10_000)
         )
+
+    def test_rejects_non_positive_request_size(self):
+        with pytest.raises(ValueError, match="request size"):
+            Topology(request_bytes=0)
+        with pytest.raises(ValueError, match="request size"):
+            Topology(request_bytes=-600)

@@ -40,6 +40,19 @@ def test_client_time_added_on_top_of_proxy_time(origin, trace):
         assert record.response_ms >= record.steps_ms["client"]
 
 
+def test_think_time_advances_the_simulated_clock(origin, trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    BrowserEmulator(proxy).run(trace, limit=5, think_time_ms=1_000.0)
+    busy_ms = sum(r.response_ms for r in proxy.stats.records)
+    assert proxy.clock.now_ms == pytest.approx(busy_ms + 5 * 1_000.0)
+
+
+def test_negative_think_time_rejected(origin, trace):
+    proxy = FunctionProxy(origin, origin.templates)
+    with pytest.raises(ValueError):
+        BrowserEmulator(proxy).run(trace, think_time_ms=-1.0)
+
+
 def test_progress_callback_fires(origin):
     scale = ExperimentScale.quick()
     trace = generate_radial_trace(
