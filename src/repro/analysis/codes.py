@@ -139,6 +139,10 @@ CODES: dict[str, CodeInfo] = {
             "FP305", _E,
             "unseeded or module-level randomness outside tests", 1,
         ),
+        CodeInfo(
+            "FP306", _E,
+            "manual __enter__/__exit__ call; use a with block",
+        ),
     )
 }
 

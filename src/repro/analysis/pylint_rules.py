@@ -1,6 +1,6 @@
 """Custom AST lint rules enforcing repository invariants (FP3xx).
 
-Four invariants the generic tools cannot express:
+Five invariants the generic tools cannot express:
 
 * **FP301 — simulated time only.**  Experiment results must be
   reproducible, so nothing outside ``network/clock.py`` (the simulated
@@ -25,6 +25,15 @@ Four invariants the generic tools cannot express:
   ``from random import random`` calls are all forbidden outside test
   code.  Every legitimate use constructs ``random.Random(seed)`` with
   an explicit seed.
+* **FP306 — spans are context managers.**  Calling
+  ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
+  open-span stack on any exception path (the span never pops, and
+  every later span nests under a corpse).  ``with tracer.span(...)``
+  is the only sanctioned form; the rule flags *any* manual
+  ``.__enter__()`` / ``.__exit__()`` attribute call outside ``obs/``
+  (where :class:`~repro.obs.instrument.QueryObservation` legitimately
+  delegates its own context-manager protocol to its root span) and
+  test code.
 
 ``run_lint`` walks Python files, applies every rule, and returns an
 :class:`AnalysisReport`; ``tools/lint.py`` is the CI driver.
@@ -375,11 +384,39 @@ def unseeded_random_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
                 )
 
 
+# ------------------------------------------------------------------- FP306
+def manual_context_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP306: manual ``__enter__``/``__exit__`` calls outside obs/."""
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    parts = module.repro_parts
+    if parts and parts[0] == "obs":
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "__enter__",
+            "__exit__",
+        ):
+            yield module.diagnostic(
+                "FP306",
+                f"manual {func.attr}() call; spans (and context "
+                "managers generally) must be entered with `with` so "
+                "exception paths unwind the tracer's span stack",
+                node,
+                hint="rewrite as `with tracer.span(...) as span:` (or "
+                "contextlib.ExitStack for dynamic lifetimes)",
+            )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
     error_hierarchy_rule,
     unseeded_random_rule,
+    manual_context_rule,
 )
 
 

@@ -21,13 +21,14 @@ Design notes
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.costs import ProxyCostModel
 from repro.core.description import CacheDescription
 from repro.core.store import MemoryResultStore
 from repro.geometry.regions import Region
+from repro.obs.decisions import EvictionRecord
 from repro.relational.result import ResultTable
 from repro.templates.manager import BoundQuery
 
@@ -74,11 +75,17 @@ class CacheEntry:
 
 @dataclass
 class MaintenanceReport:
-    """What a cache mutation cost, for the simulated clock."""
+    """What a cache mutation cost, for the simulated clock.
+
+    ``evictions`` additionally names each victim with the replacement
+    policy's rationale, feeding the explain layer's decision traces;
+    ``evicted_entries`` stays the count the cost model charges on.
+    """
 
     stored_bytes: int = 0
     evicted_entries: int = 0
     description_work: float = 0.0  # model-specific units (entries/nodes)
+    evictions: list[EvictionRecord] = field(default_factory=list)
 
     def charge_ms(self, costs: ProxyCostModel) -> float:
         return (
@@ -225,6 +232,16 @@ class CacheManager:
         work = 0.0
         while self.current_bytes + incoming > self.max_bytes and self._entries:
             victim = self.policy.victim(self._entries.values())
+            # Rationale before removal: policies may consult bookkeeping
+            # that on_evict tears down.
+            report.evictions.append(
+                EvictionRecord(
+                    entry_id=victim.entry_id,
+                    policy=self.policy.name,
+                    rationale=self.policy.rationale(victim),
+                    byte_size=victim.byte_size,
+                )
+            )
             work += self._remove(victim)
             report.evicted_entries += 1
             self.evictions += 1

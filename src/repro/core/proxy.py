@@ -88,6 +88,7 @@ from repro.faults.resilience import (
 from repro.geometry.relations import RegionRelation, relate
 from repro.network.clock import SimulatedClock
 from repro.network.link import Topology
+from repro.obs.decisions import region_summary
 from repro.obs.instrument import ProxyInstrumentation, QueryObservation
 from repro.relational.result import ResultTable
 from repro.relational.schema import Schema
@@ -134,6 +135,11 @@ class FunctionProxy:
         self.scheme = scheme
         self.costs = costs or ProxyCostModel()
         self.obs = instrumentation or ProxyInstrumentation()
+        # Origins that speak HTTP propagate the proxy's trace context
+        # (the W3C traceparent header) on every fetch they make for us.
+        binder = getattr(origin, "bind_tracer", None)
+        if callable(binder):
+            binder(self.obs.tracer)
         # Diagnostics from templates registered before this proxy existed,
         # then a live feed for everything registered after.
         for diagnostic in templates.analysis_diagnostics():
@@ -234,11 +240,31 @@ class FunctionProxy:
         with self.obs.observe_query(
             self._query_index, bound.template_id, clock=self.clock
         ) as observation:
+            decision = self.obs.decisions.begin(
+                self._query_index,
+                bound.template_id,
+                query_region=region_summary(bound.region),
+                scheme=self.scheme.value,
+                policy=policy.describe(),
+            )
+            observation.decision = decision
             observation.charge("parse", self.costs.parse_ms)
             try:
                 deterministic = self._is_deterministic(bound)
                 degraded = self.templates.is_degraded(bound.template_id)
                 if not policy.caches or not deterministic or degraded:
+                    if not policy.caches:
+                        decision.note("tunneled: scheme never caches")
+                    if not deterministic:
+                        decision.note(
+                            "tunneled: embedded function is not "
+                            "deterministic"
+                        )
+                    if degraded:
+                        decision.note(
+                            "tunneled: template admitted degraded by "
+                            "the analyzer"
+                        )
                     response = self._tunnel(bound, observation)
                 else:
                     response = self._serve_cached(
@@ -315,20 +341,46 @@ class FunctionProxy:
         probe is recorded (the paper's "< 100 ms" claim is about real
         time, not modelled time).
         """
+        decision = observation.decision
         with observation.phase("check") as check:
             candidates, probe_ms = self.cache.description.candidates(
                 bound.template_id, bound.region
             )
             signature = self._signature(bound)
-            usable = [
-                entry
-                for entry in candidates
-                if entry.signature == signature and not entry.truncated
-            ]
+            usable = []
+            for entry in candidates:
+                if entry.signature != signature:
+                    if decision is not None:
+                        decision.record_candidate(
+                            entry.entry_id,
+                            "skipped",
+                            entry.region,
+                            rows=entry.row_count,
+                            note="residual-predicate signature mismatch",
+                        )
+                elif entry.truncated:
+                    if decision is not None:
+                        decision.record_candidate(
+                            entry.entry_id,
+                            "skipped",
+                            entry.region,
+                            rows=entry.row_count,
+                            note="truncated entry (exact matches only)",
+                        )
+                else:
+                    usable.append(entry)
             with self.tracer.span("relate", pairs=len(usable)):
                 relations = [
                     relate(bound.region, entry.region) for entry in usable
                 ]
+            if decision is not None:
+                for entry, relation in zip(usable, relations):
+                    decision.record_candidate(
+                        entry.entry_id,
+                        relation.value,
+                        entry.region,
+                        rows=entry.row_count,
+                    )
             check.charge(
                 probe_ms + self.costs.check_per_candidate_ms * len(usable)
             )
@@ -377,6 +429,14 @@ class FunctionProxy:
         self, bound, entry: CacheEntry, observation
     ) -> ProxyResponse:
         outcome = self._cache_answer_outcome()
+        if observation.decision is not None:
+            observation.decision.record_candidate(
+                entry.entry_id,
+                "exact",
+                entry.region,
+                rows=entry.row_count,
+                note="identical cached query",
+            )
         self.cache.touch(entry)
         result = entry.result
         observation.charge(
@@ -397,6 +457,11 @@ class FunctionProxy:
         answer_outcome = self._cache_answer_outcome()
         # Any subsuming entry works; scan the smallest result.
         entry = min(entries, key=lambda e: e.row_count)
+        if observation.decision is not None:
+            observation.decision.note(
+                f"evaluated locally over entry {entry.entry_id} "
+                "(smallest subsuming result)"
+            )
         self.cache.touch(entry)
         with observation.phase("local_eval", entries=1) as local_eval:
             outcome = self.evaluator.select_in_region(bound, [entry])
@@ -445,6 +510,10 @@ class FunctionProxy:
         with observation.phase("remainder_build", record=False) as build:
             remainder = build_remainder(bound, [e.region for e in used])
             build.annotate(holes=remainder.n_holes)
+        if observation.decision is not None:
+            observation.decision.record_remainder(
+                remainder.geometry(), sql=remainder.sql
+            )
         try:
             origin_response, retries = self._origin_fetch(
                 observation,
@@ -502,6 +571,16 @@ class FunctionProxy:
                 evicted=report.evicted_entries,
                 consolidated=len(used_subsumed) if entry is not None else 0,
             )
+            decision = observation.decision
+            if decision is not None:
+                for eviction in report.evictions:
+                    decision.record_eviction(eviction)
+                decision.record_admission(
+                    entry is not None,
+                    [v.entry_id for v in used_subsumed]
+                    if entry is not None
+                    else None,
+                )
 
         status = (
             QueryStatus.REGION_CONTAINMENT
@@ -526,6 +605,11 @@ class FunctionProxy:
         origin, so the client gets the cached portion only (``206``
         at the HTTP layer).  Nothing is cached — the merged region was
         never completed."""
+        if observation.decision is not None:
+            observation.decision.note(
+                f"remainder fetch failed ({exc.reason}); served the "
+                "cached portion only"
+            )
         result = self.evaluator.finalize(bound, probe.result)
         status = (
             QueryStatus.REGION_CONTAINMENT
@@ -563,6 +647,11 @@ class FunctionProxy:
             admit.annotate(
                 admitted=entry is not None, evicted=report.evicted_entries
             )
+            decision = observation.decision
+            if decision is not None:
+                for eviction in report.evictions:
+                    decision.record_eviction(eviction)
+                decision.record_admission(entry is not None)
         return self._respond(
             bound,
             result,
@@ -659,7 +748,15 @@ class FunctionProxy:
             response_sim_ms=round(record.response_ms, 3),
             tuples=record.tuples_total,
         )
-        self.obs.observe_record(record)
+        trace_id = observation.trace_id
+        decision = observation.decision
+        if decision is not None:
+            decision.finish(
+                status.value, outcome.value, trace_id=trace_id
+            )
+            self.obs.decisions.record(decision)
+            observation.decision = None
+        self.obs.observe_record(record, trace_id=trace_id)
         return ProxyResponse(result=result, record=record)
 
     def _respond_failure(

@@ -25,9 +25,10 @@ SkyServer's free SQL page.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.rewrite import to_statement_scope
+from repro.obs.decisions import region_summary
 from repro.geometry.regions import (
     ConvexPolytope,
     DifferenceRegion,
@@ -111,6 +112,14 @@ class RemainderQuery:
     @property
     def sql(self) -> str:
         return self.statement.to_sql()
+
+    def geometry(self) -> dict[str, Any]:
+        """The difference region as JSON-able bounds (explain layer)."""
+        return {
+            "base": region_summary(self.region.base),
+            "holes": [region_summary(hole) for hole in self.region.holes],
+            "n_holes": self.n_holes,
+        }
 
 
 def build_remainder(

@@ -44,6 +44,14 @@ class ReplacementPolicy:
     def victim(self, entries: Iterable[CacheEntry]) -> CacheEntry:
         raise NotImplementedError
 
+    def rationale(self, entry: CacheEntry) -> str:
+        """Why ``entry`` was chosen as the victim (explain layer).
+
+        Called on the entry :meth:`victim` returned, *before* it is
+        removed, so policies may consult their bookkeeping.
+        """
+        return f"selected by {self.name}"
+
 
 class LruPolicy(ReplacementPolicy):
     """Least recently used (the library default)."""
@@ -52,6 +60,9 @@ class LruPolicy(ReplacementPolicy):
 
     def victim(self, entries: Iterable[CacheEntry]) -> CacheEntry:
         return min(entries, key=lambda e: e.last_used)
+
+    def rationale(self, entry: CacheEntry) -> str:
+        return f"least recently used (last_used tick {entry.last_used})"
 
 
 class FifoPolicy(ReplacementPolicy):
@@ -62,6 +73,9 @@ class FifoPolicy(ReplacementPolicy):
     def victim(self, entries: Iterable[CacheEntry]) -> CacheEntry:
         return min(entries, key=lambda e: e.entry_id)
 
+    def rationale(self, entry: CacheEntry) -> str:
+        return f"oldest entry (entry_id {entry.entry_id})"
+
 
 class LfuPolicy(ReplacementPolicy):
     """Least frequently used, recency as the tiebreak."""
@@ -71,6 +85,12 @@ class LfuPolicy(ReplacementPolicy):
     def victim(self, entries: Iterable[CacheEntry]) -> CacheEntry:
         return min(entries, key=lambda e: (e.access_count, e.last_used))
 
+    def rationale(self, entry: CacheEntry) -> str:
+        return (
+            f"least frequently used ({entry.access_count} accesses, "
+            f"last_used tick {entry.last_used})"
+        )
+
 
 class LargestFirstPolicy(ReplacementPolicy):
     """Evict the largest entry; recency breaks ties."""
@@ -79,6 +99,9 @@ class LargestFirstPolicy(ReplacementPolicy):
 
     def victim(self, entries: Iterable[CacheEntry]) -> CacheEntry:
         return min(entries, key=lambda e: (-e.byte_size, e.last_used))
+
+    def rationale(self, entry: CacheEntry) -> str:
+        return f"largest entry ({entry.byte_size} bytes)"
 
 
 class GreedyDualSizePolicy(ReplacementPolicy):
@@ -118,6 +141,13 @@ class GreedyDualSizePolicy(ReplacementPolicy):
             chosen.entry_id, self._inflation
         )
         return chosen
+
+    def rationale(self, entry: CacheEntry) -> str:
+        credit = self._credit.get(entry.entry_id, self._inflation)
+        return (
+            f"minimum credit ({credit:.6f} at "
+            f"inflation {self._inflation:.6f})"
+        )
 
 
 ALL_POLICIES = (

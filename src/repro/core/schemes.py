@@ -40,6 +40,16 @@ class SchemePolicy:
         if self.handles_containment and not self.caches:
             raise ValueError("an active scheme must cache")
 
+    def describe(self) -> dict[str, bool]:
+        """The capability flags, for the explain layer's decision
+        traces: which cache cases this scheme was *allowed* to try."""
+        return {
+            "caches": self.caches,
+            "handles_containment": self.handles_containment,
+            "handles_region_containment": self.handles_region_containment,
+            "handles_overlap": self.handles_overlap,
+        }
+
 
 class CachingScheme(enum.Enum):
     """The five proxy configurations of the evaluation."""

@@ -60,6 +60,30 @@ CACHE_SIZE_FRACTIONS = (1 / 6, 1 / 3, 1 / 2, 1.0)
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Harness-side observability knobs.
+
+    ``tracing`` turns on a real :class:`~repro.obs.spans.SpanTracer`
+    (the default stays the free null tracer); the capacities bound the
+    span ring buffer and the decision-explain log; ``id_seed`` makes
+    trace/span ids reproducible run to run (``None``: OS entropy).
+    """
+
+    tracing: bool = False
+    trace_capacity: int = 256
+    explain_capacity: int = 256
+    id_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1 or self.explain_capacity < 1:
+            raise ValueError(
+                "observability capacities must be positive: "
+                f"trace={self.trace_capacity} "
+                f"explain={self.explain_capacity}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentScale:
     """One self-consistent experiment parameterization."""
 
@@ -71,6 +95,7 @@ class ExperimentScale:
     proxy_costs: ProxyCostModel = DEFAULT_PROXY_COSTS
     topology: Topology = DEFAULT_TOPOLOGY
     cache_fractions: tuple[float, ...] = CACHE_SIZE_FRACTIONS
+    obs: ObservabilityConfig = ObservabilityConfig()
 
     @staticmethod
     def paper() -> "ExperimentScale":
@@ -129,3 +154,8 @@ class ExperimentScale:
             trace=replace(self.trace, n_queries=n_queries),
             measure_queries=min(self.measure_queries, n_queries),
         )
+
+    def with_observability(
+        self, obs: ObservabilityConfig
+    ) -> "ExperimentScale":
+        return replace(self, obs=obs)

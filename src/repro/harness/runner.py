@@ -3,7 +3,10 @@
 Each run carries the proxy's full metrics-registry snapshot; when the
 runner is built with a ``snapshot_dir``, the snapshot is also written
 as JSON next to the benchmark results, so performance trajectories can
-be diffed across PRs.
+be diffed across PRs.  The scale's
+:class:`~repro.harness.config.ObservabilityConfig` governs the rest of
+the run artifacts: a ``decisions-<label>.json`` explain dump (always),
+and a ``trace-<label>.jsonl`` span export when tracing is enabled.
 """
 
 from __future__ import annotations
@@ -17,6 +20,9 @@ from repro.core.proxy import FunctionProxy
 from repro.core.schemes import CachingScheme
 from repro.core.stats import TraceStats
 from repro.harness.config import ExperimentScale
+from repro.obs.instrument import ProxyInstrumentation
+from repro.obs.propagation import IdGenerator
+from repro.obs.spans import SpanTracer
 from repro.server.origin import OriginServer
 from repro.workload.generator import generate_radial_trace
 from repro.workload.rbe import BrowserEmulator
@@ -123,6 +129,19 @@ class ExperimentRunner:
             cache_bytes=self.cache_bytes_for(cache_fraction),
             costs=costs,
             topology=self.scale.topology,
+            instrumentation=self._build_instrumentation(),
+        )
+
+    def _build_instrumentation(self) -> ProxyInstrumentation:
+        obs = self.scale.obs
+        tracer = None
+        if obs.tracing:
+            tracer = SpanTracer(
+                capacity=obs.trace_capacity,
+                ids=IdGenerator(obs.id_seed),
+            )
+        return ProxyInstrumentation(
+            tracer=tracer, decision_capacity=obs.explain_capacity
         )
 
     def run(
@@ -146,17 +165,34 @@ class ExperimentRunner:
             final_cache_entries=len(proxy.cache),
             metrics_snapshot=proxy.metrics.snapshot(),
         )
-        self._write_snapshot(result)
+        self._write_snapshot(result, proxy)
         return result
 
-    def _write_snapshot(self, result: RunResult) -> Path | None:
-        """Persist the run's metrics snapshot beside benchmark results."""
+    def _write_snapshot(
+        self, result: RunResult, proxy: FunctionProxy
+    ) -> Path | None:
+        """Persist the run's observability artifacts beside the results:
+        the metrics snapshot, the decision-explain dump, and (when the
+        scale enables tracing) the JSONL span export."""
         if self.snapshot_dir is None:
             return None
         self.snapshot_dir.mkdir(parents=True, exist_ok=True)
-        path = self.snapshot_dir / f"metrics-{result.label()}.json"
+        label = result.label()
+        path = self.snapshot_dir / f"metrics-{label}.json"
         path.write_text(
             json.dumps(result.metrics_snapshot, indent=2, sort_keys=True)
             + "\n"
         )
+        explain = {
+            "actions": proxy.obs.decisions.action_counts(),
+            "slo": proxy.obs.slo.snapshot(),
+            "decisions": proxy.obs.decisions.recent(),
+        }
+        (self.snapshot_dir / f"decisions-{label}.json").write_text(
+            json.dumps(explain, indent=2, sort_keys=True) + "\n"
+        )
+        if proxy.tracer.enabled:
+            (self.snapshot_dir / f"trace-{label}.jsonl").write_text(
+                proxy.tracer.export_jsonl()
+            )
         return path

@@ -1,4 +1,4 @@
-"""Observability: structured spans, a metrics registry, and hooks.
+"""Observability: spans, propagation, metrics, decisions, and hooks.
 
 The paper's evaluation leans on internal timing visibility ("the proxy
 servlet records timing information in each step of query processing")
@@ -9,19 +9,41 @@ milliseconds").  This package is the one mechanism behind all of that:
   lifecycle (parse → bind → check → relate → probe → remainder →
   origin → merge → admit) with wall-clock and simulated durations,
   exportable as JSONL;
+* :mod:`repro.obs.propagation` — W3C ``traceparent`` trace-context
+  propagation, stitching proxy- and origin-side spans into one
+  end-to-end tree across the HTTP hop;
 * :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
-  histograms with Prometheus text-format exposition;
+  histograms (with per-bucket trace-id exemplars) and Prometheus
+  text-format exposition;
+* :mod:`repro.obs.decisions` — the explain layer: a per-query
+  :class:`~repro.obs.decisions.DecisionTrace` recording which cache
+  entries were considered, each region-relationship verdict, the
+  chosen action, remainder geometry, and evictions with the policy's
+  rationale, served by ``GET /explain/<query_id>``;
+* :mod:`repro.obs.slo` — per-template hit-ratio / latency objectives
+  with burn-rate gauges on ``/metrics``;
 * :mod:`repro.obs.instrument` — the proxy/origin instrumentation
   bundles threaded through :mod:`repro.core.proxy`,
   :mod:`repro.core.cache`, :mod:`repro.server.origin`, and
   :mod:`repro.network.link`, surfaced over HTTP (``GET /metrics``,
-  ``GET /trace/recent``) and snapshotted by the harness.
+  ``GET /trace/recent``, ``GET /explain/...``) and snapshotted by the
+  harness.
 
 Everything is stdlib-only, and tracing is off by default: the
 :class:`~repro.obs.spans.NullTracer` records nothing and costs a
 no-op method call per step.
 """
 
+from repro.obs.decisions import (
+    ACTION_CODES,
+    CandidateVerdict,
+    DecisionAction,
+    DecisionLog,
+    DecisionTrace,
+    EvictionRecord,
+    action_for,
+    region_summary,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,6 +51,8 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.propagation import IdGenerator, TraceContext, parse_traceparent
+from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.spans import NULL_SPAN, NullTracer, Span, SpanTracer
 from repro.obs.instrument import (
     OriginInstrumentation,
@@ -37,9 +61,16 @@ from repro.obs.instrument import (
 )
 
 __all__ = [
+    "ACTION_CODES",
+    "CandidateVerdict",
     "Counter",
+    "DecisionAction",
+    "DecisionLog",
+    "DecisionTrace",
+    "EvictionRecord",
     "Gauge",
     "Histogram",
+    "IdGenerator",
     "MetricError",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -47,6 +78,12 @@ __all__ = [
     "OriginInstrumentation",
     "ProxyInstrumentation",
     "QueryObservation",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "SpanTracer",
+    "TraceContext",
+    "action_for",
+    "parse_traceparent",
+    "region_summary",
 ]

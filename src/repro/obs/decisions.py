@@ -1,0 +1,376 @@
+"""The cache-decision explain layer: why each query hit or missed.
+
+The paper's central claim is that the proxy classifies every query
+against the cache purely from region checks — yet spans and metrics
+record only *timings*.  This module records the *reasoning*: one
+:class:`DecisionTrace` per query capturing the candidate entries
+considered, each region-relationship verdict with the compared bounds,
+the chosen action, the remainder-query geometry, and any evictions
+with the replacement policy's victim rationale.  ``GET
+/explain/<query_id>`` on the proxy app serves the stored trace.
+
+Actions have stable codes (mirroring the ``FPxxx`` diagnostic table;
+pinned in DESIGN.md), so dashboards and tests can filter without
+string-matching prose:
+
+========  ===================  =========================================
+Code      Action               Meaning
+========  ===================  =========================================
+``DA01``  exact                served from an identical cached query
+``DA02``  contained            evaluated locally over a subsuming entry
+``DA03``  region-contained     merged subsumed entries via the origin
+``DA04``  remainder            probe + remainder over overlapping entries
+``DA05``  miss                 forwarded whole (disjoint or unhandled)
+``DA06``  tunnel               never considered for caching
+``DA07``  degraded             cache answer served stale (origin down)
+``DA08``  partial              cached portion only; remainder failed
+``DA09``  failed               no answer; structured failure
+========  ===================  =========================================
+
+Everything here is plain data + a bounded ring buffer; the proxy's
+instrumentation owns one :class:`DecisionLog` and the query processor
+fills one :class:`DecisionTrace` as it works.  This module must stay
+importable from anywhere below :mod:`repro.core` (it only depends on
+:mod:`repro.geometry`), so the core layers can describe regions
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geometry.regions import (
+    ConvexPolytope,
+    DifferenceRegion,
+    HyperRect,
+    HyperSphere,
+    Region,
+)
+
+
+class DecisionAction(enum.Enum):
+    """The chosen per-query action of the semantic cache."""
+
+    EXACT = "exact"
+    CONTAINED = "contained"
+    REGION_CONTAINED = "region-contained"
+    REMAINDER = "remainder"
+    MISS = "miss"
+    TUNNEL = "tunnel"
+    DEGRADED = "degraded"
+    PARTIAL = "partial"
+    FAILED = "failed"
+
+    @property
+    def code(self) -> str:
+        return ACTION_CODES[self]
+
+
+#: Stable codes, pinned by a golden test and the DESIGN.md table.
+ACTION_CODES: dict[DecisionAction, str] = {
+    DecisionAction.EXACT: "DA01",
+    DecisionAction.CONTAINED: "DA02",
+    DecisionAction.REGION_CONTAINED: "DA03",
+    DecisionAction.REMAINDER: "DA04",
+    DecisionAction.MISS: "DA05",
+    DecisionAction.TUNNEL: "DA06",
+    DecisionAction.DEGRADED: "DA07",
+    DecisionAction.PARTIAL: "DA08",
+    DecisionAction.FAILED: "DA09",
+}
+
+#: QueryStatus.value -> the action taken when the outcome was a full
+#: fresh serve.  Degraded/partial/failed outcomes override (below).
+_STATUS_ACTIONS: dict[str, DecisionAction] = {
+    "exact": DecisionAction.EXACT,
+    "contained": DecisionAction.CONTAINED,
+    "region-containment": DecisionAction.REGION_CONTAINED,
+    "overlap": DecisionAction.REMAINDER,
+    "disjoint": DecisionAction.MISS,
+    "forwarded": DecisionAction.MISS,
+    "no-cache": DecisionAction.TUNNEL,
+    "failed": DecisionAction.FAILED,
+}
+
+
+def action_for(status: str, outcome: str) -> DecisionAction:
+    """The decision action for a (status, outcome) pair.
+
+    Takes the enum *values* (strings), not the core enums themselves,
+    so this module stays importable below :mod:`repro.core`.
+    """
+    if outcome == "failed":
+        return DecisionAction.FAILED
+    if outcome == "degraded":
+        return DecisionAction.DEGRADED
+    if outcome == "partial":
+        return DecisionAction.PARTIAL
+    try:
+        return _STATUS_ACTIONS[status]
+    except KeyError:
+        raise ValueError(f"unknown query status {status!r}") from None
+
+
+def region_summary(region: Region) -> dict[str, Any]:
+    """A JSON-able description of a region's shape and bounds.
+
+    The explain layer reports the *compared bounds* of every region
+    check; this is the one rendering used for query regions, candidate
+    entry regions, and remainder geometry alike.
+    """
+    if isinstance(region, HyperSphere):
+        return {
+            "shape": "hypersphere",
+            "center": list(region.center),
+            "radius": region.radius,
+        }
+    if isinstance(region, HyperRect):
+        return {
+            "shape": "hyperrect",
+            "lows": list(region.lows),
+            "highs": list(region.highs),
+        }
+    if isinstance(region, ConvexPolytope):
+        return {
+            "shape": "polytope",
+            "halfspaces": [
+                {"normal": list(h.normal), "offset": h.offset}
+                for h in region.halfspaces
+            ],
+        }
+    if isinstance(region, DifferenceRegion):
+        return {
+            "shape": "difference",
+            "base": region_summary(region.base),
+            "holes": [region_summary(hole) for hole in region.holes],
+        }
+    box = region.bounding_box()
+    return {
+        "shape": type(region).__name__,
+        "bounding_box": {"lows": list(box.lows), "highs": list(box.highs)},
+    }
+
+
+@dataclass(frozen=True)
+class CandidateVerdict:
+    """One cache entry's examination during the description check.
+
+    ``relation`` is the region-relationship verdict (``equal`` /
+    ``contains`` / ``contained`` / ``overlap`` / ``disjoint``) for
+    entries that reached the geometric comparison, or ``skipped`` with
+    a ``note`` explaining why (signature mismatch, truncated entry).
+    """
+
+    entry_id: int
+    relation: str
+    entry_region: dict[str, Any]
+    rows: int = 0
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "entry_id": self.entry_id,
+            "relation": self.relation,
+            "entry_region": self.entry_region,
+            "rows": self.rows,
+        }
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One eviction, with the replacement policy's victim rationale."""
+
+    entry_id: int
+    policy: str
+    rationale: str
+    byte_size: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "entry_id": self.entry_id,
+            "policy": self.policy,
+            "rationale": self.rationale,
+            "byte_size": self.byte_size,
+        }
+
+
+@dataclass
+class DecisionTrace:
+    """The full reasoning record of one query's cache decision."""
+
+    query_id: int
+    template_id: str
+    query_region: dict[str, Any] | None = None
+    scheme: str = ""
+    policy: dict[str, bool] = field(default_factory=dict)
+    candidates: list[CandidateVerdict] = field(default_factory=list)
+    remainder: dict[str, Any] | None = None
+    evictions: list[EvictionRecord] = field(default_factory=list)
+    consolidated: list[int] = field(default_factory=list)
+    admitted: bool | None = None
+    notes: list[str] = field(default_factory=list)
+    status: str = ""
+    outcome: str = ""
+    action: DecisionAction | None = None
+    trace_id: str | None = None
+
+    # -------------------------------------------------------- recording
+    def note(self, message: str) -> None:
+        """Free-form reasoning breadcrumb (tunnel reasons, fallbacks)."""
+        self.notes.append(message)
+
+    def record_candidate(
+        self,
+        entry_id: int,
+        relation: str,
+        entry_region: Region,
+        rows: int = 0,
+        note: str = "",
+    ) -> None:
+        self.candidates.append(
+            CandidateVerdict(
+                entry_id=entry_id,
+                relation=relation,
+                entry_region=region_summary(entry_region),
+                rows=rows,
+                note=note,
+            )
+        )
+
+    def record_remainder(
+        self, geometry: dict[str, Any], sql: str = ""
+    ) -> None:
+        self.remainder = dict(geometry)
+        if sql:
+            self.remainder["sql"] = sql
+
+    def record_eviction(self, eviction: EvictionRecord) -> None:
+        self.evictions.append(eviction)
+
+    def record_admission(
+        self, admitted: bool, consolidated: list[int] | None = None
+    ) -> None:
+        self.admitted = admitted
+        if consolidated:
+            self.consolidated.extend(consolidated)
+
+    def finish(
+        self, status: str, outcome: str, trace_id: str | None = None
+    ) -> None:
+        """Seal the trace with the final disposition and span link."""
+        self.status = status
+        self.outcome = outcome
+        self.action = action_for(status, outcome)
+        self.trace_id = trace_id
+
+    # ---------------------------------------------------------- export
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "query_id": self.query_id,
+            "template_id": self.template_id,
+            "action": self.action.value if self.action else "",
+            "action_code": self.action.code if self.action else "",
+            "status": self.status,
+            "outcome": self.outcome,
+            "scheme": self.scheme,
+            "policy": dict(self.policy),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "evictions": [e.to_dict() for e in self.evictions],
+            "consolidated": list(self.consolidated),
+            "notes": list(self.notes),
+        }
+        if self.query_region is not None:
+            payload["query_region"] = self.query_region
+        if self.remainder is not None:
+            payload["remainder"] = self.remainder
+        if self.admitted is not None:
+            payload["admitted"] = self.admitted
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
+
+
+class DecisionLog:
+    """A bounded ring buffer of finished decision traces.
+
+    Indexed by query id for ``GET /explain/<query_id>``; the index
+    drops entries as the ring evicts them, so memory stays bounded by
+    ``capacity`` regardless of trace length.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+        self._traces: list[DecisionTrace] = []
+        self._by_id: dict[int, DecisionTrace] = {}
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def begin(
+        self,
+        query_id: int,
+        template_id: str,
+        query_region: dict[str, Any] | None = None,
+        scheme: str = "",
+        policy: dict[str, bool] | None = None,
+    ) -> DecisionTrace:
+        """A fresh trace; it enters the ring only when ``record``-ed."""
+        return DecisionTrace(
+            query_id=query_id,
+            template_id=template_id,
+            query_region=query_region,
+            scheme=scheme,
+            policy=dict(policy or {}),
+        )
+
+    def record(self, trace: DecisionTrace) -> None:
+        self._traces.append(trace)
+        self._by_id[trace.query_id] = trace
+        while len(self._traces) > self._capacity:
+            evicted = self._traces.pop(0)
+            if self._by_id.get(evicted.query_id) is evicted:
+                del self._by_id[evicted.query_id]
+
+    def resize(self, capacity: int) -> None:
+        """Change the retention bound, trimming oldest traces to fit."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self._capacity = capacity
+        while len(self._traces) > self._capacity:
+            evicted = self._traces.pop(0)
+            if self._by_id.get(evicted.query_id) is evicted:
+                del self._by_id[evicted.query_id]
+
+    def get(self, query_id: int) -> DecisionTrace | None:
+        return self._by_id.get(query_id)
+
+    def recent(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The most recent decisions as dicts, oldest first."""
+        traces = self._traces
+        if n is not None:
+            traces = traces[-n:] if n > 0 else []
+        return [trace.to_dict() for trace in traces]
+
+    def action_counts(self) -> dict[str, int]:
+        """How many retained decisions took each action."""
+        counts: dict[str, int] = {}
+        for trace in self._traces:
+            if trace.action is not None:
+                key = trace.action.value
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._traces.clear()
+        self._by_id.clear()

@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.obs.decisions import DecisionLog, DecisionTrace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.spans import NullTracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -57,7 +60,7 @@ class _PhaseHandle:
 
     __slots__ = ("name", "span", "sim_ms", "wall_ms", "_clock")
 
-    def __init__(self, name: str, span, clock=None) -> None:
+    def __init__(self, name: str, span: Any, clock: Any = None) -> None:
         self.name = name
         self.span = span
         self.sim_ms = 0.0
@@ -75,7 +78,7 @@ class _PhaseHandle:
         if self._clock is not None:
             self._clock.advance(sim_ms)
 
-    def annotate(self, **attrs) -> None:
+    def annotate(self, **attrs: Any) -> None:
         self.span.annotate(**attrs)
 
 
@@ -92,13 +95,27 @@ class QueryObservation:
     place where per-step costs and the proxy's timeline stay in sync.
     """
 
-    __slots__ = ("steps", "check_wall_ms", "_tracer", "_root", "_clock")
+    __slots__ = (
+        "steps",
+        "check_wall_ms",
+        "decision",
+        "_tracer",
+        "_root",
+        "_clock",
+    )
 
     def __init__(
-        self, tracer, *, index: int, template_id: str, clock=None
+        self,
+        tracer: Any,
+        *,
+        index: int,
+        template_id: str,
+        clock: Any = None,
     ) -> None:
         self.steps: dict[str, float] = {}
         self.check_wall_ms = 0.0
+        #: The explain-layer trace the proxy fills while deciding.
+        self.decision: DecisionTrace | None = None
         self._tracer = tracer
         self._clock = clock
         self._root = tracer.span("query", index=index, template=template_id)
@@ -107,10 +124,21 @@ class QueryObservation:
         self._root.__enter__()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        return self._root.__exit__(exc_type, exc, tb)
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return bool(self._root.__exit__(exc_type, exc, tb))
 
-    def charge(self, step: str, sim_ms: float, **attrs) -> None:
+    @property
+    def trace_id(self) -> str | None:
+        """The distributed trace id of this query's root span."""
+        trace_id = getattr(self._root, "trace_id", None)
+        return trace_id if isinstance(trace_id, str) else None
+
+    def charge(self, step: str, sim_ms: float, **attrs: Any) -> None:
         """Record a purely simulated step (no interesting wall time)."""
         self.steps[step] = self.steps.get(step, 0.0) + sim_ms
         if self._clock is not None:
@@ -119,7 +147,7 @@ class QueryObservation:
 
     @contextmanager
     def phase(
-        self, step: str, record: bool = True, **attrs
+        self, step: str, record: bool = True, **attrs: Any
     ) -> Iterator[_PhaseHandle]:
         """A step that does real work: spans it and times the wall.
 
@@ -142,7 +170,7 @@ class QueryObservation:
         if record:
             self.steps[step] = self.steps.get(step, 0.0) + handle.sim_ms
 
-    def annotate(self, **attrs) -> None:
+    def annotate(self, **attrs: Any) -> None:
         self._root.annotate(**attrs)
 
     def charge_root(self, sim_ms: float) -> None:
@@ -150,15 +178,19 @@ class QueryObservation:
 
 
 class ProxyInstrumentation:
-    """The proxy's metric families, tracer, and lower-layer hooks."""
+    """The proxy's metric families, tracer, decision log, and hooks."""
 
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
-        tracer=None,
+        tracer: Any = None,
+        decision_capacity: int = 256,
+        slo: SloObjective | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.decisions = DecisionLog(capacity=decision_capacity)
+        self.slo = SloTracker(self.registry, objective=slo)
         r = self.registry
         self.queries = r.counter(
             "proxy_queries_total",
@@ -257,7 +289,7 @@ class ProxyInstrumentation:
         )
 
     # ------------------------------------------------- analysis observation
-    def record_diagnostic(self, diagnostic) -> None:
+    def record_diagnostic(self, diagnostic: Any) -> None:
         """Template-manager analysis hook; counts one diagnostic."""
         self.analysis_diagnostics.labels(
             code=diagnostic.code, severity=diagnostic.severity.value
@@ -278,22 +310,36 @@ class ProxyInstrumentation:
 
     # --------------------------------------------------------- per query
     def observe_query(
-        self, index: int, template_id: str, clock=None
+        self, index: int, template_id: str, clock: Any = None
     ) -> QueryObservation:
         return QueryObservation(
             self.tracer, index=index, template_id=template_id, clock=clock
         )
 
-    def observe_record(self, record: "QueryRecord") -> None:
-        """Fold one finished query record into the metric families."""
+    def observe_record(
+        self, record: "QueryRecord", trace_id: str | None = None
+    ) -> None:
+        """Fold one finished query record into the metric families.
+
+        ``trace_id`` (the query's root span trace) becomes the exemplar
+        on every latency-histogram bucket the record lands in, linking
+        a p95 bucket to the trace that caused it.
+        """
         self.queries.labels(
             status=record.status.value, template=record.template_id
         ).inc()
         for step, sim_ms in record.steps_ms.items():
-            self.step_ms.labels(step=step).observe(sim_ms)
-        self.response_ms.observe(record.response_ms)
+            self.step_ms.labels(step=step).observe(sim_ms, trace_id=trace_id)
+        self.response_ms.observe(record.response_ms, trace_id=trace_id)
         if "check" in record.steps_ms:
-            self.check_wall_ms.observe(record.check_wall_ms)
+            self.check_wall_ms.observe(
+                record.check_wall_ms, trace_id=trace_id
+            )
+        self.slo.observe(
+            record.template_id,
+            hit=not record.contacted_origin,
+            latency_ms=record.response_ms,
+        )
         self.cache_bytes.set(record.cache_bytes_after)
         self.cache_entries.set(record.cache_entries_after)
         if record.contacted_origin:
@@ -337,7 +383,7 @@ class OriginInstrumentation:
     def __init__(
         self,
         registry: MetricsRegistry | None = None,
-        tracer=None,
+        tracer: Any = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()

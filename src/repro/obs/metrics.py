@@ -14,12 +14,19 @@ set.  Families without labels are used directly (``family.inc()``).
 The registry renders the classic text format (``# HELP`` / ``# TYPE`` /
 samples) for scraping and a JSON-able :meth:`MetricsRegistry.snapshot`
 for the harness's per-run files.  Stdlib only, no external client.
+
+Histograms additionally keep one *exemplar* per bucket — the most
+recent ``(value, trace_id)`` observation that landed there — so a p95
+bucket links to the distributed trace that caused it.  Classic
+exposition is unchanged (version 0.0.4 has no exemplar syntax);
+``exposition(exemplars=True)`` appends them OpenMetrics-style
+(``... 42 # {trace_id="..."} 3.25``) and snapshots always carry them.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -42,6 +49,8 @@ def _escape_label_value(value: str) -> str:
 
 
 def _format_value(value: float) -> str:
+    if value != value:  # NaN: is_integer()/repr() would render 'nan'
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
     if value == float("-inf"):
@@ -51,7 +60,7 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def _label_pairs(labelnames: tuple, key: tuple) -> str:
+def _label_pairs(labelnames: tuple[str, ...], key: tuple[str, ...]) -> str:
     if not labelnames:
         return ""
     body = ",".join(
@@ -71,19 +80,19 @@ class _Metric:
     ) -> None:
         if not _NAME_RE.match(name):
             raise MetricError(f"invalid metric name: {name!r}")
-        labelnames = tuple(labelnames)
-        for label in labelnames:
+        names = tuple(labelnames)
+        for label in names:
             if not _LABEL_RE.match(label) or label.startswith("__"):
                 raise MetricError(f"invalid label name: {label!r}")
-        if len(labelnames) != len(set(labelnames)):
-            raise MetricError(f"duplicate label names: {labelnames}")
+        if len(names) != len(set(names)):
+            raise MetricError(f"duplicate label names: {names}")
         self.name = name
         self.help = help
-        self.labelnames = labelnames
-        self._children: dict[tuple, Any] = {}
+        self.labelnames = names
+        self._children: dict[tuple[str, ...], Any] = {}
 
     # ---------------------------------------------------------- children
-    def labels(self, **labels: Any):
+    def labels(self, **labels: Any) -> Any:
         if set(labels) != set(self.labelnames):
             raise MetricError(
                 f"{self.name}: expected labels {self.labelnames}, "
@@ -95,7 +104,7 @@ class _Metric:
             child = self._children[key] = self._new_child()
         return child
 
-    def _default_child(self):
+    def _default_child(self) -> Any:
         if self.labelnames:
             raise MetricError(
                 f"{self.name} carries labels {self.labelnames}; "
@@ -103,7 +112,7 @@ class _Metric:
             )
         return self.labels()
 
-    def _new_child(self):  # pragma: no cover - overridden
+    def _new_child(self) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
 
     # ------------------------------------------------------- exposition
@@ -117,10 +126,10 @@ class _Metric:
     def sample_lines(self) -> list[str]:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def snapshot_values(self) -> dict:  # pragma: no cover - overridden
+    def snapshot_values(self) -> dict[str, Any]:  # pragma: no cover
         raise NotImplementedError
 
-    def _sorted_children(self):
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], Any]]:
         return sorted(self._children.items())
 
 
@@ -158,7 +167,7 @@ class Counter(_Metric):
             for key, child in self._sorted_children()
         ]
 
-    def snapshot_values(self) -> dict:
+    def snapshot_values(self) -> dict[str, Any]:
         return {
             _label_pairs(self.labelnames, key): child.value
             for key, child in self._sorted_children()
@@ -207,22 +216,29 @@ class Gauge(_Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("counts", "sum", "count", "_uppers")
+    __slots__ = ("counts", "sum", "count", "exemplars", "_uppers")
 
     def __init__(self, uppers: tuple[float, ...]) -> None:
         self._uppers = uppers
         self.counts = [0] * (len(uppers) + 1)  # last slot: +Inf
+        #: Per bucket, the latest traced observation: (value, trace_id).
+        self.exemplars: list[tuple[float, str] | None] = [None] * (
+            len(uppers) + 1
+        )
         self.sum = 0.0
         self.count = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         self.sum += value
         self.count += 1
+        slot = len(self._uppers)
         for i, upper in enumerate(self._uppers):
             if value <= upper:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+                slot = i
+                break
+        self.counts[slot] += 1
+        if trace_id:
+            self.exemplars[slot] = (value, trace_id)
 
     def cumulative(self) -> list[int]:
         total = 0
@@ -258,42 +274,56 @@ class Histogram(_Metric):
     def _new_child(self) -> _HistogramChild:
         return _HistogramChild(self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._default_child().observe(value)
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        self._default_child().observe(value, trace_id=trace_id)
 
     @property
     def total_count(self) -> int:
         return sum(child.count for child in self._children.values())
 
-    def sample_lines(self) -> list[str]:
+    def sample_lines(self, exemplars: bool = False) -> list[str]:
         lines = []
         for key, child in self._sorted_children():
             cumulative = child.cumulative()
             bounds = [*self.buckets, float("inf")]
-            for upper, total in zip(bounds, cumulative):
+            for i, (upper, total) in enumerate(zip(bounds, cumulative)):
                 le = _escape_label_value(_format_value(upper))
                 pairs = [
                     f'{n}="{_escape_label_value(v)}"'
                     for n, v in zip(self.labelnames, key)
                 ]
                 pairs.append(f'le="{le}"')
-                lines.append(
-                    f"{self.name}_bucket{{{','.join(pairs)}}} {total}"
-                )
+                line = f"{self.name}_bucket{{{','.join(pairs)}}} {total}"
+                exemplar = child.exemplars[i] if exemplars else None
+                if exemplar is not None:
+                    value, trace_id = exemplar
+                    line += (
+                        f' # {{trace_id="{_escape_label_value(trace_id)}"}}'
+                        f" {_format_value(value)}"
+                    )
+                lines.append(line)
             plain = _label_pairs(self.labelnames, key)
             lines.append(f"{self.name}_sum{plain} {_format_value(child.sum)}")
             lines.append(f"{self.name}_count{plain} {child.count}")
         return lines
 
-    def snapshot_values(self) -> dict:
-        out = {}
+    def snapshot_values(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
         for key, child in self._sorted_children():
             bounds = [*map(_format_value, self.buckets), "+Inf"]
-            out[_label_pairs(self.labelnames, key)] = {
+            entry: dict[str, Any] = {
                 "count": child.count,
                 "sum": child.sum,
                 "buckets": dict(zip(bounds, child.cumulative())),
             }
+            exemplars = {
+                bound: {"value": exemplar[0], "trace_id": exemplar[1]}
+                for bound, exemplar in zip(bounds, child.exemplars)
+                if exemplar is not None
+            }
+            if exemplars:
+                entry["exemplars"] = exemplars
+            out[_label_pairs(self.labelnames, key)] = entry
         return out
 
 
@@ -304,7 +334,14 @@ class MetricsRegistry:
         self._families: dict[str, _Metric] = {}
 
     # ------------------------------------------------------ registration
-    def _register(self, cls, name, help, labelnames, **kwargs):
+    def _register(
+        self,
+        cls: type[Any],
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        **kwargs: Any,
+    ) -> Any:
         existing = self._families.get(name)
         if existing is not None:
             if type(existing) is not cls or (
@@ -347,15 +384,23 @@ class MetricsRegistry:
         return self._families.values()
 
     # -------------------------------------------------------- rendering
-    def exposition(self) -> str:
-        """The Prometheus text format (version 0.0.4)."""
+    def exposition(self, exemplars: bool = False) -> str:
+        """The Prometheus text format (version 0.0.4).
+
+        ``exemplars=True`` appends OpenMetrics-style exemplar suffixes
+        to histogram bucket lines; the classic format (the default) has
+        no exemplar syntax, so scrapers get byte-identical output.
+        """
         lines: list[str] = []
         for family in self._families.values():
             lines.extend(family.header_lines())
-            lines.extend(family.sample_lines())
+            if exemplars and isinstance(family, Histogram):
+                lines.extend(family.sample_lines(exemplars=True))
+            else:
+                lines.extend(family.sample_lines())
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """A JSON-able view: {name: {type, help, values}}."""
         return {
             family.name: {

@@ -1,0 +1,103 @@
+"""W3C-style trace-context propagation across the proxy/origin hop.
+
+A :class:`TraceContext` is the (trace id, span id) pair one process
+hands the next so both sides' spans stitch into a single end-to-end
+tree.  The wire form is the W3C Trace Context ``traceparent`` header::
+
+    traceparent: 00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+
+The proxy's HTTP origin client injects the header on every remainder /
+full fetch (:mod:`repro.webapp.http_origin`); the origin app extracts
+it and parents its execution spans under the proxy's ``origin`` phase
+(:mod:`repro.webapp.origin_app`), so ``/trace/recent`` on either side
+reports the same trace id for one replayed query.
+
+Ids come from an :class:`IdGenerator` — a seeded RNG when replay
+determinism matters (the harness), OS entropy otherwise.  Parsing is
+deliberately forgiving: anything malformed yields ``None`` and the
+receiver simply starts a fresh trace, never an error (tracing must not
+break serving).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from random import Random
+
+#: The only traceparent version this reproduction emits.
+TRACEPARENT_VERSION = "00"
+
+#: Flag byte for a sampled (recorded) trace.
+SAMPLED_FLAG = 0x01
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's view of the distributed trace: ids plus sampling."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this context."""
+        flags = SAMPLED_FLAG if self.sampled else 0x00
+        return (
+            f"{TRACEPARENT_VERSION}-{self.trace_id}-"
+            f"{self.span_id}-{flags:02x}"
+        )
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Extract a :class:`TraceContext` from a ``traceparent`` header.
+
+    Returns ``None`` for anything invalid — missing header, bad
+    lengths, non-hex digits, the forbidden ``ff`` version, or all-zero
+    trace/span ids — so a garbled header degrades to a fresh local
+    trace instead of a failed request.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    if match["version"] == "ff":
+        return None
+    trace_id = match["trace_id"]
+    span_id = match["span_id"]
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    sampled = bool(int(match["flags"], 16) & SAMPLED_FLAG)
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+class IdGenerator:
+    """Mints non-zero trace (128-bit) and span (64-bit) ids.
+
+    ``seed=None`` draws from OS entropy — two processes (proxy and
+    origin) must not mint colliding trace ids.  Pass an explicit seed
+    when a replay has to produce identical ids run to run.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = Random(seed)
+
+    def trace_id(self) -> str:
+        value = 0
+        while value == 0:
+            value = self._rng.getrandbits(128)
+        return f"{value:032x}"
+
+    def span_id(self) -> str:
+        value = 0
+        while value == 0:
+            value = self._rng.getrandbits(64)
+        return f"{value:016x}"

@@ -6,6 +6,15 @@ spans.  The tracer keeps an open-span stack (``span()`` nests under
 whatever is currently open) and a bounded ring buffer of finished root
 spans for the ``/trace/recent`` endpoint and JSONL export.
 
+Every recorded span carries distributed-tracing identity: a 128-bit
+trace id shared by the whole tree and a 64-bit span id of its own
+(:mod:`repro.obs.propagation`).  A root span normally mints a fresh
+trace id; opened under :meth:`SpanTracer.remote_context` it instead
+joins the caller's trace — that is how the origin's execution spans
+parent under the proxy's ``origin`` phase across the HTTP hop.
+:meth:`SpanTracer.current_traceparent` renders the W3C header the
+HTTP client injects on outbound requests.
+
 Two tracers share the interface:
 
 * :class:`SpanTracer` — records everything;
@@ -22,7 +31,11 @@ from __future__ import annotations
 import json
 import time
 from collections import deque
+from contextlib import contextmanager
+from types import TracebackType
 from typing import Any, Callable, Iterator
+
+from repro.obs.propagation import IdGenerator, TraceContext
 
 
 class Span:
@@ -34,16 +47,24 @@ class Span:
         "children",
         "wall_ms",
         "sim_ms",
+        "trace_id",
+        "span_id",
+        "parent_id",
         "_tracer",
         "_start",
     )
 
-    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict) -> None:
+    def __init__(
+        self, tracer: "SpanTracer", name: str, attrs: dict[str, Any]
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.children: list[Span] = []
         self.wall_ms = 0.0
         self.sim_ms = 0.0
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
         self._tracer = tracer
         self._start = 0.0
 
@@ -52,7 +73,12 @@ class Span:
         self._start = self._tracer._clock()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.wall_ms = (self._tracer._clock() - self._start) * 1000.0
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
@@ -69,12 +95,24 @@ class Span:
         self.sim_ms += sim_ms
         return self
 
-    def to_dict(self) -> dict:
+    def context(self) -> TraceContext | None:
+        """This span's trace context (``None`` before it is entered)."""
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def to_dict(self) -> dict[str, Any]:
         payload: dict[str, Any] = {
             "name": self.name,
             "wall_ms": round(self.wall_ms, 6),
             "sim_ms": round(self.sim_ms, 6),
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
         if self.attrs:
             payload["attrs"] = dict(self.attrs)
         if self.children:
@@ -97,13 +135,23 @@ class SpanTracer:
         self,
         capacity: int = 256,
         clock: Callable[[], float] = time.perf_counter,
+        ids: IdGenerator | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
         self._clock = clock
+        self._ids = ids if ids is not None else IdGenerator()
         self._stack: list[Span] = []
         self._finished: deque[Span] = deque(maxlen=capacity)
+        self._remote_parent: TraceContext | None = None
         self.spans_started = 0
+
+    @property
+    def capacity(self) -> int:
+        """The ring-buffer bound on retained root spans."""
+        maxlen = self._finished.maxlen
+        assert maxlen is not None
+        return maxlen
 
     # ------------------------------------------------------------ record
     def span(self, name: str, **attrs: Any) -> Span:
@@ -116,6 +164,16 @@ class SpanTracer:
             span.charge(sim_ms)
 
     def _push(self, span: Span) -> None:
+        span.span_id = self._ids.span_id()
+        if self._stack:
+            parent = self._stack[-1]
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        elif self._remote_parent is not None:
+            span.trace_id = self._remote_parent.trace_id
+            span.parent_id = self._remote_parent.span_id
+        else:
+            span.trace_id = self._ids.trace_id()
         self._stack.append(span)
         self.spans_started += 1
 
@@ -130,8 +188,45 @@ class SpanTracer:
         else:
             self._finished.append(span)
 
+    # ------------------------------------------------------- propagation
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span's trace context, if any.
+
+        With no span open but a remote parent adopted, the remote
+        context itself is current — an instrumentation-free stretch of
+        a request still belongs to its caller's trace.
+        """
+        if self._stack:
+            return self._stack[-1].context()
+        return self._remote_parent
+
+    def current_traceparent(self) -> str | None:
+        """The W3C ``traceparent`` header for the current context."""
+        context = self.current_context()
+        return None if context is None else context.to_traceparent()
+
+    @contextmanager
+    def remote_context(
+        self, context: TraceContext | None
+    ) -> Iterator[None]:
+        """Adopt a caller's trace context for the duration of the block.
+
+        Root spans opened inside join ``context``'s trace with the
+        caller's span as their parent.  ``None`` is a no-op, so the
+        receiving side can pass ``parse_traceparent(...)`` straight in.
+        """
+        if context is None:
+            yield
+            return
+        previous = self._remote_parent
+        self._remote_parent = context
+        try:
+            yield
+        finally:
+            self._remote_parent = previous
+
     # ------------------------------------------------------------ export
-    def recent(self, n: int | None = None) -> list[dict]:
+    def recent(self, n: int | None = None) -> list[dict[str, Any]]:
         """The most recent finished root spans, oldest first.
 
         ``n`` bounds the result; zero and negative values yield [].
@@ -140,6 +235,14 @@ class SpanTracer:
         if n is not None:
             roots = roots[-n:] if n > 0 else []
         return [root.to_dict() for root in roots]
+
+    def find_trace(self, trace_id: str) -> list[dict[str, Any]]:
+        """All retained root spans belonging to one trace id."""
+        return [
+            root.to_dict()
+            for root in self._finished
+            if root.trace_id == trace_id
+        ]
 
     def iter_jsonl(self) -> Iterator[str]:
         for root in self._finished:
@@ -150,7 +253,7 @@ class SpanTracer:
         lines = list(self.iter_jsonl())
         return "\n".join(lines) + ("\n" if lines else "")
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: Any) -> int:
         """Append finished roots to ``path``; returns spans written."""
         lines = list(self.iter_jsonl())
         if lines:
@@ -169,13 +272,21 @@ class _NullSpan:
     name = ""
     wall_ms = 0.0
     sim_ms = 0.0
-    attrs: dict = {}
-    children: list = []
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+    attrs: dict[str, Any] = {}
+    children: list["_NullSpan"] = []
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
     def annotate(self, **attrs: Any) -> "_NullSpan":
@@ -184,7 +295,10 @@ class _NullSpan:
     def charge(self, sim_ms: float) -> "_NullSpan":
         return self
 
-    def to_dict(self) -> dict:
+    def context(self) -> TraceContext | None:
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
         return {}
 
     def __repr__(self) -> str:
@@ -200,6 +314,7 @@ class NullTracer:
 
     enabled = False
     spans_started = 0
+    capacity = 0
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return NULL_SPAN
@@ -207,7 +322,22 @@ class NullTracer:
     def event(self, name: str, sim_ms: float = 0.0, **attrs: Any) -> None:
         return None
 
-    def recent(self, n: int | None = None) -> list[dict]:
+    def current_context(self) -> TraceContext | None:
+        return None
+
+    def current_traceparent(self) -> str | None:
+        return None
+
+    @contextmanager
+    def remote_context(
+        self, context: TraceContext | None
+    ) -> Iterator[None]:
+        yield
+
+    def recent(self, n: int | None = None) -> list[dict[str, Any]]:
+        return []
+
+    def find_trace(self, trace_id: str) -> list[dict[str, Any]]:
         return []
 
     def iter_jsonl(self) -> Iterator[str]:
@@ -216,7 +346,7 @@ class NullTracer:
     def export_jsonl(self) -> str:
         return ""
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: Any) -> int:
         return 0
 
     def clear(self) -> None:

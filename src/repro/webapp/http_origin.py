@@ -19,6 +19,14 @@ client updates ``data_version`` from the ``X-Data-Version`` header of
 each origin response, so the proxy notices a flush-worthy change on
 its next origin contact (a cache-only stretch keeps serving the prior
 snapshot — the same window any TTL-free HTTP cache has).
+
+Trace propagation: :meth:`HttpOriginClient.bind_tracer` attaches the
+proxy's span tracer (the :class:`~repro.core.proxy.FunctionProxy`
+constructor does this automatically); every remainder/full fetch then
+carries the W3C ``traceparent`` header for the currently open span, so
+the origin app parents its execution spans under the proxy's
+``origin`` phase and both ``/trace/recent`` endpoints stitch into one
+end-to-end tree.
 """
 
 from __future__ import annotations
@@ -69,8 +77,19 @@ class HttpOriginClient:
         self.timeout_s = timeout_s
         self.templates = TemplateManager()
         self.data_version: int | None = None
+        self._tracer = None
         self._bootstrap_templates()
         self._fetch_data_version()
+
+    def bind_tracer(self, tracer) -> None:
+        """Propagate ``tracer``'s open trace context on every fetch.
+
+        The proxy calls this with its span tracer; each subsequent
+        origin request carries the W3C ``traceparent`` header for the
+        span open at fetch time (the ``origin`` phase), stitching
+        proxy- and origin-side spans into one tree.
+        """
+        self._tracer = tracer
 
     def _fetch_data_version(self) -> None:
         import json
@@ -125,6 +144,10 @@ class HttpOriginClient:
         )
         if n_holes is not None:
             request.add_header("X-Remainder-Holes", str(n_holes))
+        if self._tracer is not None:
+            traceparent = self._tracer.current_traceparent()
+            if traceparent is not None:
+                request.add_header("traceparent", traceparent)
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout_s

@@ -21,6 +21,12 @@ Routes:
     histograms by kind in Prometheus text format, and recent execution
     spans (when the origin's tracer is enabled).
 
+Trace propagation: ``/search`` and ``/sql`` honor an incoming W3C
+``traceparent`` header — the origin's execution spans join the
+caller's trace (the proxy injects the header on every fetch), so both
+sides' ``/trace/recent`` report the same trace id for one query.  A
+malformed header degrades to a fresh local trace, never an error.
+
 ``GET /analyze``
     A fresh static-cacheability analysis of the site's registered
     templates, checked against the origin's own function catalog (so
@@ -34,6 +40,8 @@ from __future__ import annotations
 
 from repro.analysis.analyzer import analyze_manager
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.propagation import parse_traceparent
+from repro.obs.spans import SpanTracer
 from repro.relational.errors import RelationalError
 from repro.server.origin import OriginServer
 from repro.sqlparser.errors import ParseError
@@ -41,8 +49,16 @@ from repro.sqlparser.parser import parse_select
 from repro.templates.errors import TemplateError
 
 
-def create_origin_app(origin: OriginServer):
-    """Build the Flask app for an origin server."""
+def create_origin_app(
+    origin: OriginServer, trace_capacity: int | None = None
+):
+    """Build the Flask app for an origin server.
+
+    ``trace_capacity`` replaces the origin's tracer with a fresh
+    :class:`~repro.obs.spans.SpanTracer` retaining that many root
+    spans (harness-configurable; default: whatever tracer the origin
+    was built with, usually the null tracer).
+    """
     try:
         from flask import Flask, request
     except ImportError:  # pragma: no cover - optional dependency
@@ -51,6 +67,11 @@ def create_origin_app(origin: OriginServer):
         ) from None
 
     app = Flask("repro-origin")
+    if trace_capacity is not None:
+        origin.instrumentation.tracer = SpanTracer(capacity=trace_capacity)
+
+    def incoming_context():
+        return parse_traceparent(request.headers.get("traceparent"))
 
     startup = analyze_manager(origin.templates, origin.catalog.functions)
     app.logger.info("template analysis at startup: %s", startup.summary())
@@ -70,8 +91,10 @@ def create_origin_app(origin: OriginServer):
 
     @app.get("/search/<form_name>")
     def search(form_name: str):
+        tracer = origin.instrumentation.tracer
         try:
-            response = origin.execute_form(form_name, request.args)
+            with tracer.remote_context(incoming_context()):
+                response = origin.execute_form(form_name, request.args)
         except (TemplateError, ParseError, RelationalError) as exc:
             return {"error": str(exc)}, 400
         return xml_response(response.result, response.server_ms)
@@ -80,14 +103,16 @@ def create_origin_app(origin: OriginServer):
     def sql():
         text = request.get_data(as_text=True)
         holes_header = request.headers.get("X-Remainder-Holes")
+        tracer = origin.instrumentation.tracer
         try:
-            if holes_header is not None:
-                statement = parse_select(text)
-                response = origin.execute_remainder(
-                    statement, int(holes_header)
-                )
-            else:
-                response = origin.execute_sql(text)
+            with tracer.remote_context(incoming_context()):
+                if holes_header is not None:
+                    statement = parse_select(text)
+                    response = origin.execute_remainder(
+                        statement, int(holes_header)
+                    )
+                else:
+                    response = origin.execute_sql(text)
         except (ParseError, RelationalError, ValueError) as exc:
             return {"error": str(exc)}, 400
         return xml_response(response.result, response.server_ms)

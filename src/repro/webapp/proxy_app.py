@@ -27,7 +27,17 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 
 ``GET /trace/recent?n=20``
     The most recent finished query spans as JSON (empty unless the
-    proxy was built with an enabled tracer).
+    proxy was built with an enabled tracer).  Spans carry W3C trace /
+    span ids; for queries that touched the origin over HTTP, the
+    origin app's ``/trace/recent`` reports the same trace id.
+
+``GET /explain/<query_id>`` / ``GET /explain/recent?n=20``
+    The cache-decision explain layer: for one query (by its 1-based
+    index) or the latest N, the full reasoning record — the chosen
+    action with its stable ``DAxx`` code, every candidate entry
+    examined with its region-relationship verdict and compared bounds,
+    remainder-query geometry, evictions with the replacement policy's
+    victim rationale, and the linked trace id.
 
 ``GET /analyze``
     A fresh static-cacheability analysis of every registered template
@@ -52,13 +62,25 @@ from repro.core.stats import QueryOutcome
 from repro.faults.errors import FaultPlanError
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.spans import SpanTracer
 from repro.relational.errors import RelationalError
 from repro.sqlparser.errors import ParseError
 from repro.templates.errors import TemplateError
 
 
-def create_proxy_app(proxy: FunctionProxy):
-    """Build the Flask app for a function proxy."""
+def create_proxy_app(
+    proxy: FunctionProxy,
+    trace_capacity: int | None = None,
+    explain_capacity: int | None = None,
+):
+    """Build the Flask app for a function proxy.
+
+    ``trace_capacity`` replaces the proxy's tracer with a fresh
+    :class:`~repro.obs.spans.SpanTracer` retaining that many root
+    spans; ``explain_capacity`` resizes the decision log backing the
+    ``/explain`` endpoints.  Both default to whatever the proxy's
+    instrumentation was built with.
+    """
     try:
         from flask import Flask, request
     except ImportError:  # pragma: no cover - optional dependency
@@ -67,6 +89,13 @@ def create_proxy_app(proxy: FunctionProxy):
         ) from None
 
     app = Flask("repro-proxy")
+    if trace_capacity is not None:
+        proxy.obs.tracer = SpanTracer(capacity=trace_capacity)
+        binder = getattr(proxy.origin, "bind_tracer", None)
+        if callable(binder):
+            binder(proxy.obs.tracer)
+    if explain_capacity is not None:
+        proxy.obs.decisions.resize(explain_capacity)
 
     def _function_registry():
         catalog = getattr(proxy.origin, "catalog", None)
@@ -146,8 +175,9 @@ def create_proxy_app(proxy: FunctionProxy):
 
     @app.get("/metrics")
     def metrics():
+        with_exemplars = request.args.get("exemplars") in ("1", "true")
         return (
-            proxy.metrics.exposition(),
+            proxy.metrics.exposition(exemplars=with_exemplars),
             200,
             {"Content-Type": PROMETHEUS_CONTENT_TYPE},
         )
@@ -159,6 +189,25 @@ def create_proxy_app(proxy: FunctionProxy):
             "enabled": proxy.tracer.enabled,
             "spans": proxy.tracer.recent(limit),
         }
+
+    @app.get("/explain/recent")
+    def explain_recent():
+        limit = request.args.get("n", default=20, type=int)
+        return {
+            "capacity": proxy.obs.decisions.capacity,
+            "actions": proxy.obs.decisions.action_counts(),
+            "decisions": proxy.obs.decisions.recent(limit),
+        }
+
+    @app.get("/explain/<int:query_id>")
+    def explain(query_id: int):
+        trace = proxy.obs.decisions.get(query_id)
+        if trace is None:
+            return {
+                "error": f"no retained decision for query {query_id}",
+                "retained": len(proxy.obs.decisions),
+            }, 404
+        return trace.to_dict()
 
     @app.get("/analyze")
     def analyze():

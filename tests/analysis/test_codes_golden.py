@@ -42,6 +42,7 @@ GOLDEN = {
     "FP303": (Severity.ERROR, None),
     "FP304": (Severity.ERROR, None),
     "FP305": (Severity.ERROR, 1),
+    "FP306": (Severity.ERROR, None),
 }
 
 

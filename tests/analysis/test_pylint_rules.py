@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP305) on synthetic modules."""
+"""The repository lint rules (FP301-FP306) on synthetic modules."""
 
 import pathlib
 
@@ -224,6 +224,61 @@ class TestUnseededRandomRule:
             tmp_path,
             "tests/core/x.py",
             "import random\nx = random.random()\n",
+        )
+        assert len(report) == 0
+
+
+class TestManualContextRule:
+    def test_manual_enter_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "span = tracer.span('serve')\nspan.__enter__()\n",
+        )
+        assert report.codes() == {"FP306"}
+        (diagnostic,) = report
+        assert diagnostic.span.line == 2
+        assert "with" in diagnostic.hint
+
+    def test_manual_exit_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "span.__exit__(None, None, None)\n",
+        )
+        assert report.codes() == {"FP306"}
+
+    def test_with_block_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "with tracer.span('serve') as span:\n    pass\n",
+        )
+        assert len(report) == 0
+
+    def test_other_dunder_calls_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "n = xs.__len__()\n",
+        )
+        assert len(report) == 0
+
+    def test_obs_package_exempt(self, tmp_path):
+        # QueryObservation legitimately delegates its context-manager
+        # protocol to its root span.
+        report = lint(
+            tmp_path,
+            "repro/obs/x.py",
+            "self._root.__enter__()\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/obs/x.py",
+            "span.__enter__()\n",
         )
         assert len(report) == 0
 

@@ -175,5 +175,95 @@ class TestExposition:
     def test_empty_registry_renders_empty(self, registry):
         assert registry.exposition() == ""
 
+    def test_empty_registry_renders_empty_with_exemplars(self, registry):
+        assert registry.exposition(exemplars=True) == ""
+
     def test_content_type_constant(self):
         assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+
+
+class TestExpositionEdgeCases:
+    """Text-exposition corners: escaping, non-finite values, exemplars."""
+
+    def _sample_lines(self, registry, **kwargs):
+        return [
+            line
+            for line in registry.exposition(**kwargs).splitlines()
+            if not line.startswith("#")
+        ]
+
+    def test_backslash_escaped(self, registry):
+        registry.counter("c_total", "", ("path",)).labels(
+            path="a\\b"
+        ).inc()
+        [line] = self._sample_lines(registry)
+        assert line == 'c_total{path="a\\\\b"} 1'
+
+    def test_newline_escaped(self, registry):
+        registry.counter("c_total", "", ("q",)).labels(q="a\nb").inc()
+        [line] = self._sample_lines(registry)
+        assert line == 'c_total{q="a\\nb"} 1'
+        assert "\n" not in line
+
+    def test_quote_escaped(self, registry):
+        registry.counter("c_total", "", ("q",)).labels(q='a"b').inc()
+        [line] = self._sample_lines(registry)
+        assert line == 'c_total{q="a\\"b"} 1'
+
+    def test_positive_infinity_value(self, registry):
+        registry.gauge("g", "").set(float("inf"))
+        [line] = self._sample_lines(registry)
+        assert line == "g +Inf"
+
+    def test_negative_infinity_value(self, registry):
+        registry.gauge("g", "").set(float("-inf"))
+        [line] = self._sample_lines(registry)
+        assert line == "g -Inf"
+
+    def test_nan_value(self, registry):
+        registry.gauge("g", "").set(float("nan"))
+        [line] = self._sample_lines(registry)
+        assert line == "g NaN"
+
+    def test_histogram_exemplars_off_by_default(self, registry):
+        histogram = registry.histogram("h_ms", "", buckets=(1.0,))
+        histogram.observe(0.5, trace_id="0af7651916cd43dd8448eb211c80319c")
+        text = registry.exposition()
+        assert "trace_id" not in text
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert SAMPLE_LINE.match(line), line
+
+    def test_histogram_exemplars_opt_in(self, registry):
+        histogram = registry.histogram("h_ms", "", buckets=(1.0, 5.0))
+        histogram.observe(0.5, trace_id="0af7651916cd43dd8448eb211c80319c")
+        histogram.observe(3.0)
+        lines = self._sample_lines(registry, exemplars=True)
+        [bucket_1] = [ln for ln in lines if 'le="1"' in ln]
+        assert bucket_1 == (
+            'h_ms_bucket{le="1"} 1 '
+            '# {trace_id="0af7651916cd43dd8448eb211c80319c"} 0.5'
+        )
+        # Buckets without a recorded exemplar stay plain samples.
+        [bucket_5] = [ln for ln in lines if 'le="5"' in ln]
+        assert bucket_5 == 'h_ms_bucket{le="5"} 2'
+
+    def test_exemplar_keeps_latest_observation(self, registry):
+        histogram = registry.histogram("h_ms", "", buckets=(10.0,))
+        histogram.observe(1.0, trace_id="a" * 32)
+        histogram.observe(2.0, trace_id="b" * 32)
+        [bucket] = [
+            ln
+            for ln in self._sample_lines(registry, exemplars=True)
+            if 'le="10"' in ln
+        ]
+        assert f'trace_id="{"b" * 32}"' in bucket
+        assert bucket.endswith("} 2")
+
+    def test_exemplars_survive_snapshot(self, registry):
+        histogram = registry.histogram("h_ms", "", buckets=(1.0,))
+        histogram.observe(0.5, trace_id="c" * 32)
+        snapshot = registry.snapshot()
+        exemplars = snapshot["h_ms"]["values"][""]["exemplars"]
+        assert exemplars == {"1": {"value": 0.5, "trace_id": "c" * 32}}
+        json.dumps(snapshot)

@@ -1,0 +1,136 @@
+"""W3C traceparent propagation: formatting, parsing, id generation."""
+
+import pytest
+
+from repro.obs.propagation import IdGenerator, TraceContext, parse_traceparent
+from repro.obs.spans import SpanTracer
+
+TRACE = "0af7651916cd43dd8448eb211c80319c"
+SPAN = "b7ad6b7169203331"
+
+
+class TestTraceContext:
+    def test_to_traceparent_sampled(self):
+        context = TraceContext(trace_id=TRACE, span_id=SPAN)
+        assert context.to_traceparent() == f"00-{TRACE}-{SPAN}-01"
+
+    def test_to_traceparent_unsampled(self):
+        context = TraceContext(trace_id=TRACE, span_id=SPAN, sampled=False)
+        assert context.to_traceparent() == f"00-{TRACE}-{SPAN}-00"
+
+    def test_round_trip(self):
+        context = TraceContext(trace_id=TRACE, span_id=SPAN)
+        parsed = parse_traceparent(context.to_traceparent())
+        assert parsed == context
+
+
+class TestParseTraceparent:
+    def test_valid_header(self):
+        parsed = parse_traceparent(f"00-{TRACE}-{SPAN}-01")
+        assert parsed is not None
+        assert parsed.trace_id == TRACE
+        assert parsed.span_id == SPAN
+        assert parsed.sampled
+
+    def test_unsampled_flags(self):
+        parsed = parse_traceparent(f"00-{TRACE}-{SPAN}-00")
+        assert parsed is not None
+        assert not parsed.sampled
+
+    def test_future_version_accepted(self):
+        assert parse_traceparent(f"01-{TRACE}-{SPAN}-01") is not None
+
+    def test_uppercase_hex_normalized(self):
+        # Forgiving parse: uppercase hex is lowered, not rejected.
+        parsed = parse_traceparent(f"00-{TRACE.upper()}-{SPAN}-01")
+        assert parsed is not None
+        assert parsed.trace_id == TRACE
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            f"00-{TRACE}-{SPAN}",  # missing flags
+            f"00-{TRACE}-{SPAN}-01-extra",
+            f"00-{TRACE[:-1]}-{SPAN}-01",  # short trace id
+            f"00-{TRACE}-{SPAN[:-1]}-01",  # short span id
+            f"00-{TRACE[:-1]}g-{SPAN}-01",  # non-hex
+            f"ff-{TRACE}-{SPAN}-01",  # version ff reserved
+            f"00-{'0' * 32}-{SPAN}-01",  # all-zero trace id
+            f"00-{TRACE}-{'0' * 16}-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_headers_yield_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+class TestIdGenerator:
+    def test_shapes(self):
+        ids = IdGenerator(seed=1)
+        trace_id = ids.trace_id()
+        span_id = ids.span_id()
+        assert len(trace_id) == 32 and int(trace_id, 16) != 0
+        assert len(span_id) == 16 and int(span_id, 16) != 0
+
+    def test_seeded_generators_are_deterministic(self):
+        a, b = IdGenerator(seed=7), IdGenerator(seed=7)
+        assert [a.trace_id() for _ in range(3)] == [
+            b.trace_id() for _ in range(3)
+        ]
+        assert a.span_id() == b.span_id()
+
+    def test_different_seeds_diverge(self):
+        assert IdGenerator(seed=1).trace_id() != IdGenerator(seed=2).trace_id()
+
+
+class TestTracerPropagation:
+    def test_spans_carry_ids(self):
+        tracer = SpanTracer(ids=IdGenerator(seed=3))
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+
+    def test_current_traceparent_inside_span(self):
+        tracer = SpanTracer(ids=IdGenerator(seed=3))
+        assert tracer.current_traceparent() is None
+        with tracer.span("serve") as span:
+            header = tracer.current_traceparent()
+            parsed = parse_traceparent(header)
+            assert parsed is not None
+            assert parsed.trace_id == span.trace_id
+            assert parsed.span_id == span.span_id
+        assert tracer.current_traceparent() is None
+
+    def test_remote_context_adopts_incoming_trace(self):
+        tracer = SpanTracer(ids=IdGenerator(seed=3))
+        incoming = TraceContext(trace_id=TRACE, span_id=SPAN)
+        with tracer.remote_context(incoming):
+            with tracer.span("execute") as span:
+                assert span.trace_id == TRACE
+                assert span.parent_id == SPAN
+        # Outside the context the tracer is back to minting fresh traces.
+        with tracer.span("later") as span:
+            assert span.trace_id != TRACE
+
+    def test_remote_context_none_is_a_noop(self):
+        tracer = SpanTracer(ids=IdGenerator(seed=3))
+        with tracer.remote_context(None):
+            with tracer.span("execute") as span:
+                assert span.trace_id != TRACE
+                assert span.parent_id is None
+
+    def test_export_includes_ids(self):
+        tracer = SpanTracer(ids=IdGenerator(seed=3))
+        with tracer.span("serve"):
+            with tracer.span("check"):
+                pass
+        [root] = tracer.recent(1)
+        assert set(root) >= {"trace_id", "span_id"}
+        assert "parent_id" not in root  # roots omit the absent parent
+        [child] = root["children"]
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
