@@ -22,6 +22,7 @@ import pytest
 
 from repro.harness.config import ExperimentScale
 from repro.harness.runner import ExperimentRunner
+from repro.persistence.atomic import atomic_write_text
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -60,7 +61,7 @@ def record_result():
     def write(name: str, text: str) -> None:
         print()
         print(text)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
 
     return write
 
@@ -71,8 +72,9 @@ def record_json():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def write(name: str, payload: dict) -> None:
-        (RESULTS_DIR / f"{name}.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            RESULTS_DIR / f"{name}.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
 
     return write

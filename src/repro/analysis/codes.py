@@ -143,6 +143,10 @@ CODES: dict[str, CodeInfo] = {
             "FP306", _E,
             "manual __enter__/__exit__ call; use a with block",
         ),
+        CodeInfo(
+            "FP307", _E,
+            "non-atomic whole-file write outside persistence/",
+        ),
     )
 }
 

@@ -25,6 +25,15 @@ Five invariants the generic tools cannot express:
   ``from random import random`` calls are all forbidden outside test
   code.  Every legitimate use constructs ``random.Random(seed)`` with
   an explicit seed.
+* **FP307 — atomic artifact writes.**  A plain ``open(path, "w")``
+  (or ``Path.write_text`` / ``write_bytes``) leaves a truncated file
+  behind if the process dies mid-write — exactly the torn state the
+  persistence layer exists to survive.  Outside ``persistence/``
+  (which owns the temp+rename discipline) every whole-file write must
+  go through :func:`repro.persistence.atomic.atomic_write_text` /
+  ``atomic_write_bytes``.  Append ("a") and update ("r+") modes are
+  allowed: appends are the journal's own idiom and updates are
+  in-place patches, not whole-file replacements.
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -411,12 +420,70 @@ def manual_context_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
             )
 
 
+# ------------------------------------------------------------------- FP307
+def _open_write_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open()`` call when it truncates."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return None  # default "r"
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None  # dynamic mode: out of scope
+    # "w"/"x" truncate or create whole files; "a" and "r+" do not.
+    if mode.value.startswith(("w", "x")):
+        return mode.value
+    return None
+
+
+def non_atomic_write_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP307: whole-file writes outside persistence/ must be atomic."""
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    parts = module.repro_parts
+    if parts and parts[0] == "persistence":
+        return
+    hint = (
+        "use repro.persistence.atomic.atomic_write_text / "
+        "atomic_write_bytes (temp file + os.replace)"
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_write_mode(node)
+            if mode is not None:
+                yield module.diagnostic(
+                    "FP307",
+                    f'open(..., "{mode}") truncates in place; a crash '
+                    "mid-write leaves a torn file",
+                    node,
+                    hint=hint,
+                )
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            yield module.diagnostic(
+                "FP307",
+                f"{func.attr}() replaces the file non-atomically; a "
+                "crash mid-write leaves a torn file",
+                node,
+                hint=hint,
+            )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
     error_hierarchy_rule,
     unseeded_random_rule,
     manual_context_rule,
+    non_atomic_write_rule,
 )
 
 

@@ -121,6 +121,14 @@ class CacheManager:
         #: n_bytes, current_bytes, entries)`` method (see
         #: :class:`repro.obs.instrument.ProxyInstrumentation`).
         self.observer = observer
+        #: Optional durability hook with ``admitted(entry)``,
+        #: ``removed(entry, reason)`` and ``cleared(removed)`` methods
+        #: (see :class:`repro.persistence.persister.CachePersister`).
+        #: Reasons are ``evict`` (budget pressure), ``consolidate``
+        #: (region containment) and ``replace`` (identical query
+        #: re-admitted); a full flush is one ``cleared`` record, not a
+        #: stream of per-entry removals.
+        self.mutation_log = None
         self._entries: dict[int, CacheEntry] = {}
         self._by_key: dict[tuple, int] = {}
         self._ids = itertools.count(1)
@@ -174,7 +182,9 @@ class CacheManager:
         existing = self._by_key.get(key)
         if existing is not None:
             # Identical query raced in (e.g. after an eviction); replace.
-            report.description_work += self._remove(self._entries[existing])
+            old = self._entries[existing]
+            report.description_work += self._remove(old)
+            self._log_removed(old, "replace")
         size = result.byte_size()
         if self.max_bytes is not None and size > self.max_bytes:
             return None, report
@@ -200,6 +210,8 @@ class CacheManager:
         report.stored_bytes = size
         report.description_work += self.description.add(entry)
         self._notify("insert", size)
+        if self.mutation_log is not None:
+            self.mutation_log.admitted(entry)
         return entry, report
 
     def clear(self) -> int:
@@ -211,6 +223,8 @@ class CacheManager:
             removed += 1
         if removed:
             self._notify("clear", 0)
+            if self.mutation_log is not None:
+                self.mutation_log.cleared(removed)
         return removed
 
     def remove(self, entry: CacheEntry) -> MaintenanceReport:
@@ -223,6 +237,7 @@ class CacheManager:
         if entry.entry_id in self._entries:
             report.description_work += self._remove(entry)
             self._notify("remove", entry.byte_size)
+            self._log_removed(entry, "consolidate")
         return report
 
     # ----------------------------------------------------------- private
@@ -246,7 +261,12 @@ class CacheManager:
             report.evicted_entries += 1
             self.evictions += 1
             self._notify("evict", victim.byte_size)
+            self._log_removed(victim, "evict")
         return work
+
+    def _log_removed(self, entry: CacheEntry, reason: str) -> None:
+        if self.mutation_log is not None:
+            self.mutation_log.removed(entry, reason)
 
     def _notify(self, kind: str, n_bytes: int) -> None:
         if self.observer is not None:

@@ -90,6 +90,8 @@ from repro.network.clock import SimulatedClock
 from repro.network.link import Topology
 from repro.obs.decisions import region_summary
 from repro.obs.instrument import ProxyInstrumentation, QueryObservation
+from repro.persistence.persister import CachePersister
+from repro.persistence.recovery import RecoveryReport, recover_cache
 from repro.relational.result import ResultTable
 from repro.relational.schema import Schema
 from repro.server.origin import OriginServer
@@ -127,6 +129,8 @@ class FunctionProxy:
         resilience: ResilienceConfig | None = None,
         fault_plan: FaultPlan | None = None,
         clock: SimulatedClock | None = None,
+        persistence: CachePersister | None = None,
+        recover: bool = True,
     ) -> None:
         if max_holes < 1:
             raise ValueError("max_holes must be at least 1")
@@ -186,6 +190,30 @@ class FunctionProxy:
         self.fault_plan: FaultPlan | None = None
         if fault_plan is not None:
             self.install_fault_plan(fault_plan)
+        # --------------------------------------------------- persistence
+        #: Crash-consistent durability sidecar; when set, every cache
+        #: mutation is journaled and a warm restart replays it back.
+        self.persistence = persistence
+        #: The report of the warm-restart replay run at construction, or
+        #: None (no persister, or ``recover=False`` for a cold start).
+        self.recovery_report: RecoveryReport | None = None
+        if persistence is not None:
+            persistence.bind(
+                self.cache,
+                self.clock,
+                # Read through self.origin each call, so journaled
+                # versions track scheduled bumps even behind a fault
+                # wrapper installed later.
+                version_of=lambda: getattr(
+                    self.origin, "data_version", None
+                ),
+                obs=self.obs,
+            )
+            self.cache.mutation_log = persistence
+            if recover:
+                self.recovery_report = recover_cache(
+                    persistence, self.cache, self.templates, obs=self.obs
+                )
 
     @property
     def metrics(self):

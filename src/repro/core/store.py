@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.persistence.atomic import atomic_write_text
 from repro.relational.result import ResultTable
 
 
@@ -63,7 +64,9 @@ class FileResultStore:
         return self.directory / f"entry-{entry_id}.xml"
 
     def put(self, entry_id: int, result: ResultTable) -> None:
-        self._path(entry_id).write_text(result.to_xml(), encoding="utf-8")
+        # Atomic so a crash mid-write never leaves a half-parsed result
+        # file behind for warm-restart recovery to trip over.
+        atomic_write_text(self._path(entry_id), result.to_xml())
 
     def get(self, entry_id: int) -> ResultTable:
         path = self._path(entry_id)

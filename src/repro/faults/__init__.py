@@ -14,12 +14,16 @@ The paper's setting — a slow origin across a WAN — silently assumed a
   proxy -> origin hop, and the degradation policy that keeps cached
   answers flowing while the origin is down;
 * :mod:`repro.faults.errors` — the retryable injected errors and the
-  structured terminal outcomes.
+  structured terminal outcomes;
+* :mod:`repro.faults.crash` — seeded crash plans for the *proxy
+  itself*: scheduled process deaths at journal-record offsets with
+  deterministic torn-write damage (see :mod:`repro.persistence`).
 
 Everything is deterministic under a fixed seed: replaying the same
 plan over the same trace yields identical query-record streams.
 """
 
+from repro.faults.crash import CrashPlan, CrashSession
 from repro.faults.errors import (
     FaultError,
     FaultPlanError,
@@ -27,6 +31,7 @@ from repro.faults.errors import (
     OriginTimeoutError,
     OriginUnavailable,
     OriginUnavailableError,
+    SimulatedCrash,
 )
 from repro.faults.injection import FaultyOrigin, FaultyTopology
 from repro.faults.plan import (
@@ -51,6 +56,8 @@ __all__ = [
     "BREAKER_STATE_VALUES",
     "BreakerState",
     "CircuitBreaker",
+    "CrashPlan",
+    "CrashSession",
     "DegradationPolicy",
     "FaultDecision",
     "FaultError",
@@ -68,5 +75,6 @@ __all__ = [
     "OutageWindow",
     "ResilienceConfig",
     "RetryPolicy",
+    "SimulatedCrash",
     "SlowdownWindow",
 ]

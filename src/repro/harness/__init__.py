@@ -12,7 +12,9 @@ One module per experiment, mirroring DESIGN.md's per-experiment index:
 * :mod:`repro.harness.ablations` — the checking-time claim (< 100 ms,
   array vs R-tree) and the remainder-query tradeoff discussion;
 * :mod:`repro.harness.fault_availability` — answered fraction per
-  scheme under an origin outage (the resilience layer's headline).
+  scheme under an origin outage (the resilience layer's headline);
+* :mod:`repro.harness.recovery` — post-crash hit ratio, warm restart
+  (journal + snapshot recovery) vs cold, per scheme.
 
 Every experiment takes an :class:`~repro.harness.config.ExperimentScale`
 so the same code runs at paper scale (11,323 queries) or at the smaller

@@ -5,8 +5,9 @@ Usage::
     python -m repro.harness [quick|default|paper]
 
 Regenerates, in order: the Section 4.1 trace profile, Table 1,
-Figure 5, Figure 6, the two ablations, and the fault-availability
-table (origin outage + resilience layer).  The same code backs the
+Figure 5, Figure 6, the two ablations, the fault-availability
+table (origin outage + resilience layer), and the crash-recovery
+table (warm vs cold restart).  The same code backs the
 ``benchmarks/`` suite; this entry point is for eyeballing a full run
 without pytest.
 """
@@ -23,6 +24,7 @@ from repro.harness.config import ExperimentScale
 from repro.harness.fault_availability import run_fault_availability
 from repro.harness.fig5 import run_fig5
 from repro.harness.fig6 import run_fig6
+from repro.harness.recovery import run_recovery
 from repro.harness.runner import ExperimentRunner
 from repro.harness.table1 import run_table1
 from repro.harness.trace_stats import run_trace_stats
@@ -53,6 +55,7 @@ def main(argv: list[str]) -> int:
         ("description ablation", lambda: run_description_ablation(runner)),
         ("remainder ablation", lambda: run_remainder_ablation(scale)),
         ("fault availability", lambda: run_fault_availability(runner)),
+        ("crash recovery", lambda: run_recovery(runner)),
     ]
     for label, run in experiments:
         watch = Stopwatch()

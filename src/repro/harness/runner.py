@@ -23,6 +23,7 @@ from repro.harness.config import ExperimentScale
 from repro.obs.instrument import ProxyInstrumentation
 from repro.obs.propagation import IdGenerator
 from repro.obs.spans import SpanTracer
+from repro.persistence.atomic import atomic_write_text
 from repro.server.origin import OriginServer
 from repro.workload.generator import generate_radial_trace
 from repro.workload.rbe import BrowserEmulator
@@ -110,6 +111,7 @@ class ExperimentRunner:
         scheme: CachingScheme,
         description_kind: str = "array",
         cache_fraction: float | None = None,
+        **proxy_kwargs,
     ) -> FunctionProxy:
         costs = self.scale.proxy_costs
         if description_kind == "array":
@@ -130,6 +132,7 @@ class ExperimentRunner:
             costs=costs,
             topology=self.scale.topology,
             instrumentation=self._build_instrumentation(),
+            **proxy_kwargs,
         )
 
     def _build_instrumentation(self) -> ProxyInstrumentation:
@@ -173,26 +176,31 @@ class ExperimentRunner:
     ) -> Path | None:
         """Persist the run's observability artifacts beside the results:
         the metrics snapshot, the decision-explain dump, and (when the
-        scale enables tracing) the JSONL span export."""
+        scale enables tracing) the JSONL span export.  Writes are
+        atomic (temp + rename), so an interrupted run never leaves a
+        half-written artifact for a later diff to choke on."""
         if self.snapshot_dir is None:
             return None
         self.snapshot_dir.mkdir(parents=True, exist_ok=True)
         label = result.label()
         path = self.snapshot_dir / f"metrics-{label}.json"
-        path.write_text(
+        atomic_write_text(
+            path,
             json.dumps(result.metrics_snapshot, indent=2, sort_keys=True)
-            + "\n"
+            + "\n",
         )
         explain = {
             "actions": proxy.obs.decisions.action_counts(),
             "slo": proxy.obs.slo.snapshot(),
             "decisions": proxy.obs.decisions.recent(),
         }
-        (self.snapshot_dir / f"decisions-{label}.json").write_text(
-            json.dumps(explain, indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            self.snapshot_dir / f"decisions-{label}.json",
+            json.dumps(explain, indent=2, sort_keys=True) + "\n",
         )
         if proxy.tracer.enabled:
-            (self.snapshot_dir / f"trace-{label}.jsonl").write_text(
-                proxy.tracer.export_jsonl()
+            atomic_write_text(
+                self.snapshot_dir / f"trace-{label}.jsonl",
+                proxy.tracer.export_jsonl(),
             )
         return path

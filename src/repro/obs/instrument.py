@@ -287,6 +287,22 @@ class ProxyInstrumentation:
             "exhausted, by terminal reason.",
             ("reason",),
         )
+        self.journal_records = r.counter(
+            "journal_records_total",
+            "Cache-mutation records appended to (or replayed from) the "
+            "persistence journal, by record type and direction.",
+            ("type", "direction"),
+        )
+        self.recovery_entries = r.counter(
+            "recovery_entries_total",
+            "Cache entries processed by warm-restart recovery, by "
+            "disposition (restored, stale, error, rejected).",
+            ("disposition",),
+        )
+        self.snapshot_age = r.gauge(
+            "snapshot_age_seconds",
+            "Simulated seconds since the last persistence snapshot.",
+        )
 
     # ------------------------------------------------- analysis observation
     def record_diagnostic(self, diagnostic: Any) -> None:
@@ -353,6 +369,28 @@ class ProxyInstrumentation:
         )
         if record.outcome.value != "served":
             self.degraded_responses.labels(kind=record.outcome.value).inc()
+
+    # -------------------------------------------------- persistence hooks
+    def journal_append(self, record_type: str) -> None:
+        """Persister hook: one record was appended to the journal."""
+        self.journal_records.labels(
+            type=record_type, direction="append"
+        ).inc()
+
+    def journal_replayed(self, record_type: str) -> None:
+        """Recovery hook: one journal record was replayed."""
+        self.journal_records.labels(
+            type=record_type, direction="replay"
+        ).inc()
+
+    def recovery_disposition(self, disposition: str, count: int) -> None:
+        """Recovery hook: ``count`` entries ended as ``disposition``."""
+        if count:
+            self.recovery_entries.labels(disposition=disposition).inc(count)
+
+    def set_snapshot_age(self, seconds: float) -> None:
+        """Persister hook: the snapshot-age gauge's new value."""
+        self.snapshot_age.set(seconds)
 
     # ------------------------------------------------- cache observation
     def cache_event(

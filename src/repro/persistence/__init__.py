@@ -1,0 +1,83 @@
+"""Crash-consistent cache persistence for the function proxy.
+
+The proxy's semantic cache used to die with the process; this package
+makes it restart warm:
+
+* :mod:`repro.persistence.atomic` — temp-file + ``os.replace`` writes,
+  the only sanctioned way to write whole artifacts (lint rule FP307);
+* :mod:`repro.persistence.records` — the journal record types and
+  their length-prefixed, CRC32-checksummed wire format;
+* :mod:`repro.persistence.journal` — the append-only mutation journal
+  and its torn-tail-tolerant reader;
+* :mod:`repro.persistence.snapshot` — periodic full-cache snapshots,
+  atomically replaced, after which the journal is truncated;
+* :mod:`repro.persistence.persister` — the
+  :class:`~repro.persistence.persister.CachePersister` mutation-log
+  hook the cache manager reports to, with snapshot cadence and
+  seeded crash injection (:class:`~repro.faults.crash.CrashPlan`);
+* :mod:`repro.persistence.recovery` — warm-restart replay: snapshot +
+  journal prefix, version fencing against the origin's current data
+  version, and the structured
+  :class:`~repro.persistence.recovery.RecoveryReport`.
+
+Everything is deterministic: journal contents are a pure function of
+the mutation stream, and crash damage comes from seeded plans, so
+recovery experiments replay bit-identically.
+"""
+
+from repro.persistence.atomic import atomic_write_bytes, atomic_write_text
+from repro.persistence.errors import PersistenceError, SnapshotFormatError
+from repro.persistence.journal import (
+    Journal,
+    JournalReadResult,
+    READ_BUFFER_SIZE,
+)
+from repro.persistence.persister import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    CachePersister,
+)
+from repro.persistence.records import (
+    AdmitRecord,
+    ClearRecord,
+    EvictRecord,
+    HEADER_SIZE,
+    JournalRecord,
+    WIRE_FORMAT_VERSION,
+    encode_record,
+    region_from_dict,
+    region_to_dict,
+)
+from repro.persistence.recovery import RecoveryReport, recover_cache
+from repro.persistence.snapshot import (
+    Snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "AdmitRecord",
+    "CachePersister",
+    "ClearRecord",
+    "EvictRecord",
+    "HEADER_SIZE",
+    "JOURNAL_NAME",
+    "Journal",
+    "JournalReadResult",
+    "JournalRecord",
+    "PersistenceError",
+    "READ_BUFFER_SIZE",
+    "RecoveryReport",
+    "SNAPSHOT_NAME",
+    "Snapshot",
+    "SnapshotFormatError",
+    "WIRE_FORMAT_VERSION",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "encode_record",
+    "load_snapshot",
+    "recover_cache",
+    "region_from_dict",
+    "region_to_dict",
+    "write_snapshot",
+]

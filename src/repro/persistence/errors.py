@@ -1,0 +1,18 @@
+"""The persistence layer's error hierarchy."""
+
+from __future__ import annotations
+
+
+class PersistenceError(Exception):
+    """Root of the persistence layer's errors (journal/snapshot misuse,
+    unusable directories, malformed records built by callers)."""
+
+
+class SnapshotFormatError(PersistenceError):
+    """A snapshot file exists but cannot be understood.
+
+    Recovery treats this as *absence with a diagnosis* — the snapshot
+    contributes nothing and the report records why — rather than a
+    crash: a half-written snapshot cannot occur (snapshots are written
+    atomically) but a corrupted disk can still hand back garbage.
+    """

@@ -1,0 +1,261 @@
+"""The cache persister: mutation log + snapshot cadence in one object.
+
+A :class:`CachePersister` is the proxy's durability sidecar.  The
+cache manager reports every mutation to it (the ``mutation_log`` hook
+on :class:`~repro.core.cache.CacheManager`); the persister appends a
+framed record to the journal and, every ``snapshot_every`` records,
+serializes the full live entry set to the snapshot file (atomically)
+and truncates the journal.  The write ordering is the crash-consistency
+argument:
+
+1. journal append is the *only* mutation between snapshots, so a crash
+   tears at most the journal tail;
+2. the snapshot replaces its predecessor via ``os.replace`` and is
+   fsync'd *before* the journal is truncated, so every instant has a
+   complete (snapshot, journal) pair to recover from.
+
+A seeded :class:`~repro.faults.crash.CrashPlan` can be installed to
+kill the process at scheduled journal offsets: the persister applies
+the plan's tail damage and raises
+:class:`~repro.faults.errors.SimulatedCrash` after the fatal append —
+the in-process equivalent of ``kill -9`` mid-write.
+
+The persister is deliberately ignorant of *how* to rebuild a cache;
+that is :mod:`repro.persistence.recovery`'s job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.faults.errors import SimulatedCrash
+from repro.persistence.errors import PersistenceError
+from repro.persistence.journal import Journal
+from repro.persistence.records import (
+    AdmitRecord,
+    ClearRecord,
+    EvictRecord,
+    region_to_dict,
+)
+from repro.persistence.snapshot import (
+    Snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cache import CacheEntry, CacheManager
+    from repro.faults.crash import CrashPlan, CrashSession
+
+JOURNAL_NAME = "journal.bin"
+SNAPSHOT_NAME = "snapshot.json"
+
+#: Reasons a single entry can leave the cache (whole-cache flushes are
+#: a ``clear`` record instead).
+REMOVAL_REASONS = ("evict", "consolidate", "replace")
+
+
+class CachePersister:
+    """Journal + snapshot management for one cache directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        snapshot_every: int = 64,
+        durable: bool = False,
+        crash_plan: "CrashPlan | None" = None,
+    ) -> None:
+        if snapshot_every < 1:
+            raise PersistenceError(
+                f"snapshot_every must be at least 1: {snapshot_every}"
+            )
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot create persistence directory "
+                f"{self.directory}: {exc}"
+            ) from exc
+        self.snapshot_every = snapshot_every
+        self.durable = durable
+        self.journal = Journal(self.directory / JOURNAL_NAME)
+        self.snapshot_path = self.directory / SNAPSHOT_NAME
+        #: Set while recovery re-admits entries; hooks become no-ops so
+        #: replaying the journal does not re-journal itself.
+        self.suspended = False
+        self.total_records = 0  # lifetime appends, unaffected by resets
+        self.last_snapshot_ts_ms: float | None = None
+        self.last_recovery: dict[str, Any] | None = None
+        self._cache: "CacheManager | None" = None
+        self._clock: Any = None
+        self._version_of: Callable[[], int | None] = lambda: None
+        self._obs: Any = None
+        self._crash_session: "CrashSession | None" = (
+            crash_plan.session() if crash_plan is not None else None
+        )
+        self.crash_plan = crash_plan
+
+    # ------------------------------------------------------------ wiring
+    def bind(
+        self,
+        cache: "CacheManager",
+        clock: Any,
+        version_of: Callable[[], int | None],
+        obs: Any = None,
+    ) -> None:
+        """Attach the live proxy parts the persister reads from.
+
+        Called by :class:`~repro.core.proxy.FunctionProxy` during
+        construction; ``version_of`` must read the *current* origin
+        (through any fault-injection wrapper) so journaled versions
+        track scheduled bumps.
+        """
+        self._cache = cache
+        self._clock = clock
+        self._version_of = version_of
+        self._obs = obs
+
+    def current_version(self) -> int | None:
+        """The origin's current data version, through any fault wrapper."""
+        return self._version_of()
+
+    def install_crash_plan(self, plan: "CrashPlan | None") -> None:
+        """Arm (or disarm) a seeded crash schedule."""
+        self.crash_plan = plan
+        self._crash_session = plan.session() if plan is not None else None
+
+    @property
+    def crash_session(self) -> "CrashSession | None":
+        return self._crash_session
+
+    # ------------------------------------------------- mutation-log hooks
+    def admitted(self, entry: "CacheEntry") -> None:
+        """Cache-manager hook: ``entry`` just entered the cache."""
+        if self.suspended:
+            return
+        self._append(self._admit_record(entry))
+
+    def removed(self, entry: "CacheEntry", reason: str) -> None:
+        """Cache-manager hook: ``entry`` left the cache for ``reason``."""
+        if self.suspended:
+            return
+        if reason not in REMOVAL_REASONS:
+            raise PersistenceError(f"unknown removal reason {reason!r}")
+        self._append(
+            EvictRecord(
+                entry_id=entry.entry_id,
+                reason=reason,
+                data_version=self._version_of(),
+                ts_ms=self._now_ms(),
+            )
+        )
+
+    def cleared(self, removed: int) -> None:
+        """Cache-manager hook: the whole cache was flushed."""
+        if self.suspended:
+            return
+        self._append(
+            ClearRecord(
+                data_version=self._version_of(),
+                removed=removed,
+                ts_ms=self._now_ms(),
+            )
+        )
+
+    # -------------------------------------------------------- snapshotting
+    def checkpoint(self) -> Snapshot:
+        """Snapshot the full live cache now and truncate the journal."""
+        if self._cache is None:
+            raise PersistenceError(
+                "persister is not bound to a cache; call bind() first"
+            )
+        entries = tuple(
+            self._admit_record(entry)
+            for entry in sorted(
+                self._cache.entries(), key=lambda e: e.entry_id
+            )
+        )
+        snapshot = Snapshot(
+            data_version=self._version_of(),
+            ts_ms=self._now_ms(),
+            entries=entries,
+        )
+        write_snapshot(self.snapshot_path, snapshot)
+        self.journal.reset()
+        self.last_snapshot_ts_ms = snapshot.ts_ms
+        self._update_snapshot_age()
+        return snapshot
+
+    def load_snapshot(self) -> Snapshot | None:
+        """The snapshot currently on disk (may raise SnapshotFormatError)."""
+        return load_snapshot(self.snapshot_path)
+
+    # ------------------------------------------------------------- status
+    def status(self) -> dict[str, Any]:
+        """The ``GET /persistence`` payload."""
+        return {
+            "directory": str(self.directory),
+            "snapshot_every": self.snapshot_every,
+            "durable": self.durable,
+            "journal": {
+                "path": str(self.journal.path),
+                "size_bytes": self.journal.size_bytes,
+                "records_since_snapshot": self.journal.records_appended,
+            },
+            "total_records": self.total_records,
+            "snapshot": {
+                "path": str(self.snapshot_path),
+                "exists": self.snapshot_path.exists(),
+                "ts_ms": self.last_snapshot_ts_ms,
+                "age_seconds": self._snapshot_age_seconds(),
+            },
+            "crash_plan": (
+                self.crash_plan.to_dict()
+                if self.crash_plan is not None
+                else None
+            ),
+            "last_recovery": self.last_recovery,
+        }
+
+    # ------------------------------------------------------------ private
+    def _admit_record(self, entry: "CacheEntry") -> AdmitRecord:
+        template_id, param_items = entry.cache_key
+        return AdmitRecord(
+            entry_id=entry.entry_id,
+            template_id=template_id,
+            params=dict(param_items),
+            region=region_to_dict(entry.region),
+            signature=entry.signature,
+            truncated=entry.truncated,
+            result_xml=entry.result.to_xml(),
+            data_version=self._version_of(),
+            ts_ms=self._now_ms(),
+        )
+
+    def _now_ms(self) -> float:
+        return 0.0 if self._clock is None else self._clock.now_ms
+
+    def _append(self, record: Any) -> None:
+        self.journal.append(record, durable=self.durable)
+        self.total_records += 1
+        if self._obs is not None:
+            self._obs.journal_append(record.type)
+        self._update_snapshot_age()
+        session = self._crash_session
+        if session is not None and session.should_crash(self.total_records):
+            damage = session.apply_damage(self.journal.path)
+            raise SimulatedCrash(self.total_records, damage["damage"])
+        if self.journal.records_appended >= self.snapshot_every:
+            self.checkpoint()
+
+    def _snapshot_age_seconds(self) -> float | None:
+        if self.last_snapshot_ts_ms is None or self._clock is None:
+            return None
+        return max(0.0, self._clock.now_ms - self.last_snapshot_ts_ms) / 1e3
+
+    def _update_snapshot_age(self) -> None:
+        age = self._snapshot_age_seconds()
+        if age is not None and self._obs is not None:
+            self._obs.set_snapshot_age(age)

@@ -47,6 +47,12 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 ``POST /cache/clear``
     Drops every cached entry (for experiment hygiene between runs).
 
+``GET /persistence``
+    The crash-consistent persistence sidecar's status: journal size and
+    record counts, snapshot age, the installed crash plan, and the last
+    warm-restart :class:`~repro.persistence.recovery.RecoveryReport`
+    (``enabled: false`` when the proxy runs without a persister).
+
 ``POST /faults`` / ``GET /faults`` / ``DELETE /faults``
     Install a seeded :class:`~repro.faults.plan.FaultPlan` (JSON body,
     the ``FaultPlan.to_dict`` shape) against the live proxy, inspect
@@ -223,6 +229,23 @@ def create_proxy_app(
     @app.post("/cache/clear")
     def clear():
         return {"removed": proxy.cache.clear()}
+
+    @app.get("/persistence")
+    def persistence():
+        persister = proxy.persistence
+        if persister is None:
+            return {
+                "enabled": False,
+                "reason": "proxy was built without a persister",
+            }
+        payload = persister.status()
+        payload["enabled"] = True
+        payload["recovery"] = (
+            proxy.recovery_report.to_dict()
+            if proxy.recovery_report is not None
+            else None
+        )
+        return payload
 
     @app.post("/faults")
     def install_faults():

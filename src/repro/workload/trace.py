@@ -65,19 +65,21 @@ class Trace:
 
     # --------------------------------------------------------------- io
     def save(self, path: str | Path) -> None:
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            for query in self.queries:
-                handle.write(
-                    json.dumps(
-                        {
-                            "template": query.template_id,
-                            "params": query.param_dict(),
-                        },
-                        sort_keys=True,
-                    )
-                )
-                handle.write("\n")
+        # Atomic (temp + rename): an interrupted save never leaves a
+        # truncated trace that a later load would replay short.
+        from repro.persistence.atomic import atomic_write_text
+
+        lines = [
+            json.dumps(
+                {
+                    "template": query.template_id,
+                    "params": query.param_dict(),
+                },
+                sort_keys=True,
+            )
+            for query in self.queries
+        ]
+        atomic_write_text(path, "".join(line + "\n" for line in lines))
 
     @staticmethod
     def load(path: str | Path) -> "Trace":

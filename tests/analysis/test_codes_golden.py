@@ -43,6 +43,7 @@ GOLDEN = {
     "FP304": (Severity.ERROR, None),
     "FP305": (Severity.ERROR, 1),
     "FP306": (Severity.ERROR, None),
+    "FP307": (Severity.ERROR, None),
 }
 
 

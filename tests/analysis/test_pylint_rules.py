@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP306) on synthetic modules."""
+"""The repository lint rules (FP301-FP307) on synthetic modules."""
 
 import pathlib
 
@@ -279,6 +279,77 @@ class TestManualContextRule:
             tmp_path,
             "tests/obs/x.py",
             "span.__enter__()\n",
+        )
+        assert len(report) == 0
+
+
+class TestNonAtomicWriteRule:
+    def test_open_write_mode_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "with open(p, 'w') as h:\n    h.write(s)\n",
+        )
+        assert report.codes() == {"FP307"}
+        (diagnostic,) = report
+        assert "atomic_write_text" in diagnostic.hint
+
+    def test_open_mode_keyword_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "h = open(p, mode='wb')\n",
+        )
+        assert report.codes() == {"FP307"}
+
+    def test_exclusive_creation_flagged(self, tmp_path):
+        report = lint(tmp_path, "repro/core/x.py", "h = open(p, 'x')\n")
+        assert report.codes() == {"FP307"}
+
+    def test_path_write_text_flagged(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/core/x.py", "path.write_text(payload)\n"
+        )
+        assert report.codes() == {"FP307"}
+
+    def test_path_write_bytes_flagged(self, tmp_path):
+        report = lint(
+            tmp_path, "repro/core/x.py", "path.write_bytes(payload)\n"
+        )
+        assert report.codes() == {"FP307"}
+
+    def test_read_mode_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "a = open(p)\nb = open(p, 'rb')\n",
+        )
+        assert len(report) == 0
+
+    def test_append_mode_allowed(self, tmp_path):
+        # Appends are the journal's own idiom (obs/spans.py exports).
+        report = lint(tmp_path, "repro/obs/x.py", "h = open(p, 'a')\n")
+        assert len(report) == 0
+
+    def test_update_mode_allowed(self, tmp_path):
+        # In-place patches (the crash injector's bitflip) do not
+        # truncate, so they cannot tear the whole file.
+        report = lint(
+            tmp_path, "repro/faults/x.py", "h = open(p, 'r+b')\n"
+        )
+        assert len(report) == 0
+
+    def test_persistence_package_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/persistence/x.py",
+            "with open(p, 'w') as h:\n    h.write(s)\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path, "tests/core/x.py", "path.write_text('x')\n"
         )
         assert len(report) == 0
 

@@ -83,6 +83,105 @@ class TestVictimSelection:
         assert policy.victim([survivor, refreshed]) is survivor
 
 
+class TestRationale:
+    """Every policy must explain its victim (the explain layer and the
+    recovery report both surface these strings verbatim)."""
+
+    MARKERS = {
+        "lru": "least recently used",
+        "fifo": "oldest entry",
+        "lfu": "least frequently used",
+        "largest-first": "largest entry",
+        "gds": "minimum credit",
+    }
+
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES,
+                             ids=lambda c: c.name)
+    def test_rationale_names_the_policy_criterion(self, policy_cls):
+        policy = policy_cls()
+        entries = [
+            entry(1, last_used=3, access_count=2, byte_size=100),
+            entry(2, last_used=1, access_count=1, byte_size=400),
+            entry(3, last_used=7, access_count=5, byte_size=50),
+        ]
+        for e in entries:
+            policy.on_insert(e)
+        victim = policy.victim(entries)
+        rationale = policy.rationale(victim)
+        assert self.MARKERS[policy.name] in rationale
+
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES,
+                             ids=lambda c: c.name)
+    def test_rationale_cites_the_victims_own_numbers(self, policy_cls):
+        policy = policy_cls()
+        victim = entry(4, last_used=11, access_count=6, byte_size=256)
+        policy.on_insert(victim)
+        rationale = policy.rationale(victim)
+        cited = {
+            "lru": str(victim.last_used),
+            "fifo": str(victim.entry_id),
+            "lfu": str(victim.access_count),
+            "largest-first": str(victim.byte_size),
+            "gds": "inflation",
+        }
+        assert cited[policy.name] in rationale
+
+    def test_base_class_default_rationale(self):
+        from repro.core.replacement import ReplacementPolicy
+
+        class NoOpinionPolicy(ReplacementPolicy):
+            name = "no-opinion"
+
+            def victim(self, entries):
+                return next(iter(entries))
+
+        assert NoOpinionPolicy().rationale(entry(1)) == (
+            "selected by no-opinion"
+        )
+
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES,
+                             ids=lambda c: c.name)
+    def test_eviction_reports_carry_the_rationale(self, policy_cls):
+        """The manager asks for the rationale *before* removal, so
+        policies with bookkeeping (GDS credit) can still answer."""
+        manager = CacheManager(
+            ArrayDescription(), max_bytes=250, policy=policy_cls()
+        )
+        store = MemoryResultStore()
+        manager.result_store = store
+
+        class _FakeResult:
+            def __init__(self, size):
+                self._size = size
+
+            def byte_size(self):
+                return self._size
+
+            def __len__(self):
+                return 1
+
+        class _FakeBound:
+            def __init__(self, key):
+                self.template_id = "t"
+                self._key = key
+                self.region = HyperSphere((float(key), 0.0), 0.1)
+
+            def cache_key(self):
+                return ("t", self._key)
+
+        _, first_report = manager.store(
+            _FakeBound(1), _FakeResult(200), "", False
+        )
+        assert first_report.evictions == []
+        _, report = manager.store(
+            _FakeBound(2), _FakeResult(200), "", False
+        )
+        assert len(report.evictions) == 1
+        eviction = report.evictions[0]
+        assert eviction.policy == policy_cls.name
+        assert self.MARKERS[policy_cls.name] in eviction.rationale
+
+
 class TestManagerIntegration:
     def _manager(self, policy, budget):
         return CacheManager(

@@ -1,0 +1,48 @@
+"""Atomic whole-file writes: temp + rename, no partial states."""
+
+import os
+
+import pytest
+
+from repro.persistence.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_bytes(b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_text(target, "x" * 10_000)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "artifact.json"
+        ]
+
+    def test_durable_flag_writes_identically(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02", durable=True)
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_failed_replace_preserves_original_and_cleans_up(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "artifact.json"
+        target.write_text("original")
+
+        def boom(src, dst):
+            raise OSError("injected replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="injected"):
+            atomic_write_text(target, "replacement")
+        # The reader's view never changed, and the temp file is gone.
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]

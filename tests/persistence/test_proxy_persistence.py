@@ -1,0 +1,146 @@
+"""Persistence wired through the full proxy: warm restarts, crashes,
+version fencing against a live origin, and the observability surface."""
+
+import pytest
+
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryStatus
+from repro.faults.crash import CrashPlan
+from repro.faults.errors import SimulatedCrash
+from repro.obs import ProxyInstrumentation
+from repro.persistence import CachePersister
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+def build_proxy(origin, directory, **kwargs):
+    return FunctionProxy(
+        origin,
+        origin.templates,
+        persistence=CachePersister(directory),
+        **kwargs,
+    )
+
+
+@pytest.fixture()
+def bind(origin, radial_params):
+    def run(**overrides):
+        return origin.templates.bind(
+            RADIAL_TEMPLATE_ID, dict(radial_params, **overrides)
+        )
+
+    return run
+
+
+class TestProxyWarmRestart:
+    def test_restart_turns_a_miss_into_an_exact_hit(
+        self, origin, tmp_path, bind
+    ):
+        first = build_proxy(origin, tmp_path)
+        assert first.recovery_report.clean
+        assert first.serve(bind()).record.contacted_origin
+        restarted = build_proxy(origin, tmp_path)
+        assert restarted.recovery_report.entries_restored == 1
+        response = restarted.serve(bind())
+        assert response.record.status is QueryStatus.EXACT
+        assert not response.record.contacted_origin
+        assert response.result.to_xml() == (
+            origin.execute_bound(bind()).result.to_xml()
+        )
+
+    def test_cold_start_skips_recovery(self, origin, tmp_path, bind):
+        warm = build_proxy(origin, tmp_path)
+        warm.serve(bind())
+        cold = build_proxy(origin, tmp_path, recover=False)
+        assert cold.recovery_report is None
+        assert cold.serve(bind()).record.contacted_origin
+
+    def test_no_persister_means_no_report(self, origin):
+        proxy = FunctionProxy(origin, origin.templates)
+        assert proxy.persistence is None
+        assert proxy.recovery_report is None
+
+    def test_version_bump_fences_the_restart(self, origin, tmp_path, bind):
+        warm = build_proxy(origin, tmp_path)
+        warm.serve(bind())
+        origin.bump_data_version()
+        try:
+            restarted = build_proxy(origin, tmp_path)
+            report = restarted.recovery_report
+            assert report.entries_stale == 1
+            assert report.entries_restored == 0
+            assert restarted.serve(bind()).record.contacted_origin
+        finally:
+            # The origin fixture is session-scoped; put its version back.
+            origin.data_version -= 1
+
+
+class TestProxyCrash:
+    def test_simulated_crash_escapes_serve(self, origin, tmp_path, bind):
+        proxy = build_proxy(origin, tmp_path)
+        proxy.persistence.install_crash_plan(
+            CrashPlan(seed=5, crash_after_records=(2,))
+        )
+        proxy.serve(bind())
+        with pytest.raises(SimulatedCrash):
+            proxy.serve(bind(ra=166.0))
+        # The crash model: recover in a fresh process, prefix intact.
+        restarted = build_proxy(origin, tmp_path)
+        report = restarted.recovery_report
+        assert report.stop_reason == "torn"
+        assert report.entries_restored == 1
+
+
+class TestObservability:
+    def test_journal_and_recovery_metrics(self, origin, tmp_path, bind):
+        warm = build_proxy(origin, tmp_path)
+        warm.serve(bind())
+        warm.serve(bind(ra=166.0))
+        obs = ProxyInstrumentation()
+        restarted = FunctionProxy(
+            origin,
+            origin.templates,
+            persistence=CachePersister(tmp_path),
+            instrumentation=obs,
+        )
+        assert restarted.recovery_report.entries_restored == 2
+        text = obs.registry.exposition()
+        assert (
+            'journal_records_total{type="admit",direction="replay"} 2'
+            in text
+        )
+        assert 'recovery_entries_total{disposition="restored"} 2' in text
+        assert "snapshot_age_seconds" in text
+
+
+flask = pytest.importorskip("flask")
+
+from repro.webapp.proxy_app import create_proxy_app  # noqa: E402
+
+
+class TestPersistenceEndpoint:
+    def test_disabled_when_proxy_has_no_persister(self, origin):
+        client = create_proxy_app(
+            FunctionProxy(origin, origin.templates)
+        ).test_client()
+        payload = client.get("/persistence").get_json()
+        assert payload == {
+            "enabled": False,
+            "reason": "proxy was built without a persister",
+        }
+
+    def test_status_and_recovery_shape(self, origin, tmp_path, bind):
+        warm = build_proxy(origin, tmp_path)
+        warm.serve(bind())
+        restarted = build_proxy(origin, tmp_path)
+        payload = (
+            create_proxy_app(restarted)
+            .test_client()
+            .get("/persistence")
+            .get_json()
+        )
+        assert payload["enabled"] is True
+        assert payload["journal"]["size_bytes"] == 0  # post-recovery ckpt
+        assert payload["snapshot"]["exists"] is True
+        assert payload["recovery"]["entries_restored"] == 1
+        assert payload["recovery"]["stop_reason"] is None
+        assert payload["last_recovery"] == payload["recovery"]
