@@ -21,7 +21,7 @@ from repro.workload.rbe import BrowserEmulator
 
 
 @pytest.fixture(scope="module")
-def comparison(runner, record_result):
+def comparison(runner, record_result, bench_report):
     rows = []
     measured = {}
 
@@ -62,6 +62,26 @@ def comparison(runner, record_result):
         rows,
     )
     record_result("ablation_adaptive", text)
+
+    report = bench_report("ablation_adaptive")
+    for key, label in (
+        ("full_static", "full semantic (static)"),
+        ("adaptive", "adaptive"),
+        ("containment_static", "containment only (static)"),
+    ):
+        report.metric(
+            f"{key}_response_ms",
+            measured[label].average_response_ms,
+            unit="ms",
+        )
+    report.metric(
+        "adaptive_efficiency",
+        measured["adaptive"].average_cache_efficiency,
+        unit="fraction",
+        polarity="higher",
+    )
+    report.finish()
+
     measured["_decisions"] = adaptive.adaptive
     return measured
 

@@ -20,9 +20,26 @@ from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
 @pytest.fixture(scope="module")
-def ablation(scale, record_result):
+def ablation(scale, record_result, bench_report):
     result = run_remainder_ablation(scale)
     record_result("ablation_remainder", result.render())
+
+    report = bench_report("ablation_remainder")
+    for label in ("remainder", "forward-whole"):
+        key = label.replace("-", "_")
+        report.metric(
+            f"{key}_response_ms", result.response_ms[label], unit="ms"
+        )
+        report.metric(
+            f"{key}_origin_bytes", result.origin_bytes[label], unit="bytes"
+        )
+        report.metric(
+            f"{key}_efficiency",
+            result.efficiency[label],
+            unit="fraction",
+            polarity="higher",
+        )
+    report.finish()
     return result
 
 

@@ -20,7 +20,7 @@ from repro.workload.rbe import BrowserEmulator
 
 
 @pytest.fixture(scope="module")
-def policy_comparison(runner, record_result):
+def policy_comparison(runner, record_result, bench_report):
     budget = runner.cache_bytes_for(1 / 6)
     rows = []
     measured = {}
@@ -64,6 +64,19 @@ def policy_comparison(runner, record_result):
         rows,
     )
     record_result("ablation_replacement", text)
+
+    report = bench_report("ablation_replacement")
+    for policy in ("lru", "fifo", "gds"):
+        report.metric(
+            f"{policy}_efficiency",
+            measured[policy]["efficiency"],
+            unit="fraction",
+            polarity="higher",
+        )
+    report.metric(
+        "lru_response_ms", measured["lru"]["response"], unit="ms"
+    )
+    report.finish()
     return measured
 
 

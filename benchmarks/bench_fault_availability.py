@@ -24,12 +24,28 @@ from repro.harness.fault_availability import run_fault_availability
 from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
-def test_fault_availability(runner, record_result, record_json, benchmark):
+def test_fault_availability(
+    runner, record_result, record_json, bench_report, benchmark
+):
     result = run_fault_availability(runner)
     record_result("fault_availability", result.render())
     record_json("fault_availability", result.to_dict())
 
     answered = result.answered_fraction
+    report = bench_report("fault_availability")
+    report.metric(
+        "ac_full_answered_fraction",
+        answered["ac-full"],
+        unit="fraction",
+        polarity="higher",
+    )
+    report.metric(
+        "nc_answered_fraction",
+        answered["nc"],
+        unit="fraction",
+        polarity="higher",
+    )
+    report.finish()
     # The availability headline: the semantic cache keeps answering
     # queries through the outage that a cacheless proxy cannot.
     assert answered["ac-full"] > answered["nc"]

@@ -13,12 +13,31 @@ from repro.harness.fig5 import run_fig5
 from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
-def test_fig5(runner, record_result, benchmark):
+def test_fig5(runner, record_result, bench_report, benchmark):
     result = run_fig5(runner)
     record_result("fig5_response_time", result.render())
 
     series = result.response_ms
     fractions = sorted(series["NC"])
+
+    # Headline metrics: average response time per configuration at the
+    # full cache size — the gated Figure 5 numbers (all simulated, so
+    # deterministic run to run).
+    report = bench_report("fig5")
+    full = fractions[-1]
+    for label in ("NC", "PC", "ACNR", "ACR"):
+        report.metric(
+            f"{label.lower()}_response_ms",
+            series[label][full],
+            unit="ms",
+        )
+    report.metric(
+        "pc_over_nc",
+        series["PC"][full] / series["NC"][full],
+        unit="ratio",
+    )
+    report.finish()
+
     for fraction in fractions:
         nc = series["NC"][fraction]
         pc = series["PC"][fraction]

@@ -21,12 +21,25 @@ from repro.harness.fig6 import run_fig6
 from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
-def test_fig6(runner, record_result, benchmark):
+def test_fig6(runner, record_result, bench_report, benchmark):
     result = run_fig6(runner)
     record_result("fig6_scheme_comparison", result.render())
 
     response = result.response_ms
     efficiency = result.efficiency
+
+    report = bench_report("fig6")
+    for label in ("First", "Second", "Third"):
+        report.metric(
+            f"{label.lower()}_response_ms", response[label], unit="ms"
+        )
+        report.metric(
+            f"{label.lower()}_efficiency",
+            efficiency[label],
+            unit="fraction",
+            polarity="higher",
+        )
+    report.finish()
 
     # Efficiency order matches the paper exactly.
     assert efficiency["First"] >= efficiency["Second"] >= (

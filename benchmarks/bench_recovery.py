@@ -24,7 +24,9 @@ from repro.persistence import CachePersister
 from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
-def test_recovery(runner, record_result, record_json, benchmark, tmp_path):
+def test_recovery(
+    runner, record_result, record_json, bench_report, benchmark, tmp_path
+):
     # Keep each scheme's persistence directory (recovered snapshot +
     # truncated journal) under the results tree for CI to upload.
     result = run_recovery(
@@ -32,6 +34,22 @@ def test_recovery(runner, record_result, record_json, benchmark, tmp_path):
     )
     record_result("recovery", result.render())
     record_json("recovery", result.to_dict())
+
+    ac_row = result.schemes["ac-full"]
+    report = bench_report("recovery")
+    report.metric(
+        "warm_hit_ratio",
+        ac_row.warm_hit_ratio,
+        unit="fraction",
+        polarity="higher",
+    )
+    report.metric(
+        "cold_hit_ratio",
+        ac_row.cold_hit_ratio,
+        unit="fraction",
+        polarity="higher",
+    )
+    report.finish()
 
     # The durability headline: after the same crash, the recovered
     # cache answers strictly more of the remaining trace than an empty

@@ -18,11 +18,30 @@ from repro.harness.table1 import run_table1
 from repro.workload.rbe import BrowserEmulator
 
 
-def test_table1(runner, record_result, benchmark):
+def test_table1(runner, record_result, bench_report, benchmark):
     result = run_table1(runner)
     record_result("table1_cache_efficiency", result.render())
 
     fractions = sorted(result.ac)
+
+    report = bench_report("table1")
+    for tag, fraction in (
+        ("smallest", fractions[0]),
+        ("full", fractions[-1]),
+    ):
+        report.metric(
+            f"ac_efficiency_{tag}",
+            result.ac[fraction],
+            unit="fraction",
+            polarity="higher",
+        )
+        report.metric(
+            f"pc_efficiency_{tag}",
+            result.pc[fraction],
+            unit="fraction",
+            polarity="higher",
+        )
+    report.finish()
     for fraction in fractions:
         ratio = result.ac[fraction] / result.pc[fraction]
         assert 1.3 <= ratio <= 3.0, (

@@ -11,7 +11,9 @@ from repro.harness.trace_stats import run_trace_stats
 from repro.workload.analyzer import analyze_trace
 
 
-def test_trace_profile(runner, record_result, record_json, benchmark):
+def test_trace_profile(
+    runner, record_result, record_json, bench_report, benchmark
+):
     result = run_trace_stats(runner)
     record_result("trace_stats", result.render())
     # Machine-readable twin of the table, via the metrics registry,
@@ -19,6 +21,25 @@ def test_trace_profile(runner, record_result, record_json, benchmark):
     record_json("trace_stats", result.snapshot())
 
     profile = result.profile
+
+    # Workload composition, not proxy performance: recorded for the
+    # trajectory but never gated (neither direction is "better").
+    report = bench_report("trace_stats")
+    report.metric(
+        "fully_answerable",
+        profile.fully_answerable,
+        unit="fraction",
+        polarity="higher",
+        gated=False,
+    )
+    report.metric(
+        "overlap_fraction",
+        profile.overlap,
+        unit="fraction",
+        polarity="higher",
+        gated=False,
+    )
+    report.finish()
     assert 0.40 <= profile.fully_answerable <= 0.65
     assert 0.04 <= profile.overlap <= 0.15
 

@@ -6,25 +6,40 @@ printed and also written to ``benchmarks/results/<name>.txt`` so a
 ``--benchmark-only`` run leaves the full comparison on disk;
 EXPERIMENTS.md records a reference run.
 
+Headline numbers additionally flow through the shared
+:class:`~repro.perf.reporter.BenchReporter` (the ``bench_report``
+fixture): every bench writes a schema-valid
+``results/<bench_id>.bench.json`` and appends to the repo-root
+``BENCH_<bench_id>.json`` trajectory, which is what the CI perf job
+gates against ``results/baselines/`` with ``python -m repro.perf
+compare``.
+
 Scale selection: set ``REPRO_SCALE`` to ``quick`` / ``default`` /
 ``paper`` (default: ``default``).  All scales share the calibrated cost
 models; ``paper`` replays the full 11,323-query trace and takes tens of
-minutes.
+minutes.  Set ``REPRO_PROFILE=1`` to run every harness replay with the
+hot-path profiler on; each run then writes a ``profile-<label>.json``
+artifact next to the reproduction tables.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
 
 from repro.harness.config import ExperimentScale
 from repro.harness.runner import ExperimentRunner
+from repro.network.clock import SimulatedClock
+from repro.perf.reporter import BenchReporter
 from repro.persistence.atomic import atomic_write_text
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def _select_scale() -> ExperimentScale:
@@ -38,7 +53,35 @@ def _select_scale() -> ExperimentScale:
         raise ValueError(
             f"REPRO_SCALE={name!r}; expected quick, default, or paper"
         )
-    return factory()
+    scale = factory()
+    if os.environ.get("REPRO_PROFILE") in ("1", "true"):
+        scale = scale.with_observability(
+            replace(scale.obs, profiling=True)
+        )
+    return scale
+
+
+@pytest.fixture(autouse=True)
+def deterministic_run():
+    """Pin every per-bench source of run-to-run drift.
+
+    Seeds the stdlib and numpy global RNGs (third-party code may draw
+    from them; all first-party randomness is already seeded locally)
+    and asserts the simulated clock's pinned start, so repeated runs
+    are comparable and the regression gate's noise bounds reflect
+    machine noise only — not workload drift.
+    """
+    random.seed(0)
+    try:
+        import numpy
+    except ImportError:
+        pass
+    else:
+        numpy.random.seed(0)
+    assert SimulatedClock().now_ms == 0, (
+        "simulated clock must start at t=0 for comparable bench runs"
+    )
+    yield
 
 
 @pytest.fixture(scope="session")
@@ -51,6 +94,28 @@ def runner(scale) -> ExperimentRunner:
     # Per-run metrics snapshots land next to the reproduction tables.
     RESULTS_DIR.mkdir(exist_ok=True)
     return ExperimentRunner(scale, snapshot_dir=RESULTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def bench_report(scale):
+    """Factory for the one sanctioned result emitter (FP308).
+
+    ``bench_report("fig5")`` returns a
+    :class:`~repro.perf.reporter.BenchReporter` wired to this run's
+    scale, the shared results directory, and the repo-root trajectory
+    store; the bench records metrics and calls ``finish()``.
+    """
+
+    def make(bench_id: str) -> BenchReporter:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        return BenchReporter(
+            bench_id,
+            scale=scale.name,
+            results_dir=RESULTS_DIR,
+            trajectory_dir=REPO_ROOT,
+        )
+
+    return make
 
 
 @pytest.fixture(scope="session")

@@ -147,6 +147,10 @@ CODES: dict[str, CodeInfo] = {
             "FP307", _E,
             "non-atomic whole-file write outside persistence/",
         ),
+        CodeInfo(
+            "FP308", _E,
+            "benchmark prints results outside BenchReporter",
+        ),
     )
 }
 

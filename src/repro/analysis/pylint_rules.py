@@ -1,6 +1,6 @@
 """Custom AST lint rules enforcing repository invariants (FP3xx).
 
-Five invariants the generic tools cannot express:
+Invariants the generic tools cannot express:
 
 * **FP301 — simulated time only.**  Experiment results must be
   reproducible, so nothing outside ``network/clock.py`` (the simulated
@@ -34,6 +34,13 @@ Five invariants the generic tools cannot express:
   ``atomic_write_bytes``.  Append ("a") and update ("r+") modes are
   allowed: appends are the journal's own idiom and updates are
   in-place patches, not whole-file replacements.
+* **FP308 — benchmarks report through BenchReporter.**  A bare
+  ``print`` in a ``bench_*.py`` file is a result that escapes the
+  unified bench schema: it reaches a terminal but never the
+  ``*.bench.json`` documents the regression gate compares.  Benchmark
+  modules must emit numbers via
+  :class:`repro.perf.reporter.BenchReporter` (whose ``finish`` prints
+  the one sanctioned summary table) and prose via ``record_result``.
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -477,6 +484,28 @@ def non_atomic_write_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
             )
 
 
+# ------------------------------------------------------------------- FP308
+def bench_print_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP308: ``print`` calls in benchmark modules."""
+    if not module.path.name.startswith("bench_"):
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield module.diagnostic(
+                "FP308",
+                "print() in a benchmark; results that bypass "
+                "BenchReporter never reach the *.bench.json documents "
+                "the regression gate compares",
+                node,
+                hint="record numbers with bench_report(...).metric(...) "
+                "and tables with record_result(...)",
+            )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
@@ -484,6 +513,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     unseeded_random_rule,
     manual_context_rule,
     non_atomic_write_rule,
+    bench_print_rule,
 )
 
 

@@ -35,6 +35,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
 class CacheDescription(Protocol):
     """Probe-and-maintain interface shared by array and R-tree."""
 
+    #: Short implementation tag ("array", "rtree"); the profiler names
+    #: its probe stage ``probe.<kind>`` after it.
+    kind: str
+
     def add(self, entry: "CacheEntry") -> float:
         """Index an entry; returns simulated maintenance milliseconds."""
 
@@ -54,6 +58,8 @@ class CacheDescription(Protocol):
 
 class ArrayDescription:
     """Flat per-template entry lists, scanned linearly (ACNR)."""
+
+    kind = "array"
 
     def __init__(self, costs: ProxyCostModel | None = None) -> None:
         self.costs = costs or ProxyCostModel()
@@ -89,6 +95,8 @@ class ArrayDescription:
 
 class RTreeDescription:
     """Per-template R-trees over region bounding boxes (ACR)."""
+
+    kind = "rtree"
 
     def __init__(
         self, costs: ProxyCostModel | None = None, max_entries: int = 8

@@ -225,6 +225,11 @@ class FunctionProxy:
         """The proxy's span tracer (``GET /trace/recent`` source)."""
         return self.obs.tracer
 
+    @property
+    def profiler(self):
+        """The proxy's hot-path profiler (``GET /profile`` source)."""
+        return self.obs.profiler
+
     # --------------------------------------------------- fault injection
     def install_fault_plan(self, plan: FaultPlan | None) -> None:
         """Wrap the origin and the WAN hop in a seeded fault schedule.
@@ -370,10 +375,17 @@ class FunctionProxy:
         time, not modelled time).
         """
         decision = observation.decision
+        description = self.cache.description
+        probe_stage = f"probe.{getattr(description, 'kind', 'custom')}"
         with observation.phase("check") as check:
-            candidates, probe_ms = self.cache.description.candidates(
-                bound.template_id, bound.region
-            )
+            # The probe sub-stage carries calls, wall time, and region
+            # counters; its simulated cost is charged to the enclosing
+            # ``check`` step (the cost model's unit of account).
+            with observation.stage(probe_stage) as probe:
+                candidates, probe_ms = description.candidates(
+                    bound.template_id, bound.region
+                )
+                probe.count("candidates", len(candidates))
             signature = self._signature(bound)
             usable = []
             for entry in candidates:
@@ -398,9 +410,12 @@ class FunctionProxy:
                 else:
                     usable.append(entry)
             with self.tracer.span("relate", pairs=len(usable)):
-                relations = [
-                    relate(bound.region, entry.region) for entry in usable
-                ]
+                with observation.stage("relate") as relate_stage:
+                    relations = [
+                        relate(bound.region, entry.region)
+                        for entry in usable
+                    ]
+                    relate_stage.count("pairs", len(usable))
             if decision is not None:
                 for entry, relation in zip(usable, relations):
                     decision.record_candidate(
@@ -496,6 +511,8 @@ class FunctionProxy:
             local_eval.charge(
                 self.costs.eval_per_tuple_ms * outcome.tuples_evaluated
             )
+            local_eval.count("tuples_evaluated", outcome.tuples_evaluated)
+            local_eval.count("tuples_read", outcome.tuples_read)
         observation.charge(
             "read", self.costs.read_per_tuple_ms * outcome.tuples_read
         )
@@ -531,6 +548,8 @@ class FunctionProxy:
             local_eval.charge(
                 self.costs.eval_per_tuple_ms * probe.tuples_evaluated
             )
+            local_eval.count("tuples_evaluated", probe.tuples_evaluated)
+            local_eval.count("tuples_read", probe.tuples_read)
         observation.charge(
             "read", self.costs.read_per_tuple_ms * probe.tuples_read
         )
@@ -538,6 +557,7 @@ class FunctionProxy:
         with observation.phase("remainder_build", record=False) as build:
             remainder = build_remainder(bound, [e.region for e in used])
             build.annotate(holes=remainder.n_holes)
+            build.count("holes", remainder.n_holes)
         if observation.decision is not None:
             observation.decision.record_remainder(
                 remainder.geometry(), sql=remainder.sql
@@ -568,6 +588,7 @@ class FunctionProxy:
                 origin_response.result, bound.key_column
             )
             merge.charge(self.costs.merge_per_tuple_ms * len(merged))
+            merge.count("tuples", len(merged))
         result = self.evaluator.finalize(bound, merged)
 
         # Count the cached contribution that survived into the answer.
@@ -599,6 +620,9 @@ class FunctionProxy:
                 evicted=report.evicted_entries,
                 consolidated=len(used_subsumed) if entry is not None else 0,
             )
+            admit.count("evicted", report.evicted_entries)
+            if entry is not None:
+                admit.count("consolidated", len(used_subsumed))
             decision = observation.decision
             if decision is not None:
                 for eviction in report.evictions:

@@ -67,12 +67,18 @@ class ObservabilityConfig:
     (the default stays the free null tracer); the capacities bound the
     span ring buffer and the decision-explain log; ``id_seed`` makes
     trace/span ids reproducible run to run (``None``: OS entropy).
+    ``profiling`` swaps the no-op profiler for a real
+    :class:`~repro.obs.profiling.Profiler` aggregating the hot-path
+    stages, with ``profile_top_k`` slowest queries retained; the
+    runner then writes a ``profile-<label>.json`` artifact per run.
     """
 
     tracing: bool = False
     trace_capacity: int = 256
     explain_capacity: int = 256
     id_seed: int | None = None
+    profiling: bool = False
+    profile_top_k: int = 10
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1 or self.explain_capacity < 1:
@@ -80,6 +86,11 @@ class ObservabilityConfig:
                 "observability capacities must be positive: "
                 f"trace={self.trace_capacity} "
                 f"explain={self.explain_capacity}"
+            )
+        if self.profile_top_k < 1:
+            raise ValueError(
+                "profile_top_k must be positive: "
+                f"{self.profile_top_k}"
             )
 
 

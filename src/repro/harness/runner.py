@@ -6,7 +6,8 @@ as JSON next to the benchmark results, so performance trajectories can
 be diffed across PRs.  The scale's
 :class:`~repro.harness.config.ObservabilityConfig` governs the rest of
 the run artifacts: a ``decisions-<label>.json`` explain dump (always),
-and a ``trace-<label>.jsonl`` span export when tracing is enabled.
+a ``trace-<label>.jsonl`` span export when tracing is enabled, and a
+``profile-<label>.json`` hot-path profile when profiling is enabled.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.core.schemes import CachingScheme
 from repro.core.stats import TraceStats
 from repro.harness.config import ExperimentScale
 from repro.obs.instrument import ProxyInstrumentation
+from repro.obs.profiling import Profiler
 from repro.obs.propagation import IdGenerator
 from repro.obs.spans import SpanTracer
 from repro.persistence.atomic import atomic_write_text
@@ -143,8 +145,13 @@ class ExperimentRunner:
                 capacity=obs.trace_capacity,
                 ids=IdGenerator(obs.id_seed),
             )
+        profiler = None
+        if obs.profiling:
+            profiler = Profiler(top_k=obs.profile_top_k)
         return ProxyInstrumentation(
-            tracer=tracer, decision_capacity=obs.explain_capacity
+            tracer=tracer,
+            decision_capacity=obs.explain_capacity,
+            profiler=profiler,
         )
 
     def run(
@@ -202,5 +209,13 @@ class ExperimentRunner:
             atomic_write_text(
                 self.snapshot_dir / f"trace-{label}.jsonl",
                 proxy.tracer.export_jsonl(),
+            )
+        if proxy.profiler.enabled:
+            atomic_write_text(
+                self.snapshot_dir / f"profile-{label}.json",
+                json.dumps(
+                    proxy.profiler.snapshot(), indent=2, sort_keys=True
+                )
+                + "\n",
             )
         return path

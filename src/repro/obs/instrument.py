@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.obs.decisions import DecisionLog, DecisionTrace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import NULL_PROFILER
 from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.spans import NullTracer
 
@@ -58,28 +59,40 @@ BYTES_BUCKETS = (
 class _PhaseHandle:
     """What an instrumented phase yields: charge sim time, annotate."""
 
-    __slots__ = ("name", "span", "sim_ms", "wall_ms", "_clock")
+    __slots__ = ("name", "span", "sim_ms", "wall_ms", "_clock", "_frame")
 
-    def __init__(self, name: str, span: Any, clock: Any = None) -> None:
+    def __init__(
+        self, name: str, span: Any, clock: Any = None, frame: Any = None
+    ) -> None:
         self.name = name
         self.span = span
         self.sim_ms = 0.0
         self.wall_ms = 0.0
         self._clock = clock
+        self._frame = frame
 
     def charge(self, sim_ms: float) -> None:
         """Add simulated milliseconds to this phase's step charge.
 
         Advances the observation's simulated clock immediately, so
         time-dependent machinery (fault windows, breaker cooldowns)
-        sees intra-phase progress in charge order.
+        sees intra-phase progress in charge order.  The charge also
+        lands on the phase's profiler stage frame right away, so the
+        profile reflects work charged before an in-phase failure.
         """
         self.sim_ms += sim_ms
+        if self._frame is not None:
+            self._frame.add_sim(sim_ms)
         if self._clock is not None:
             self._clock.advance(sim_ms)
 
     def annotate(self, **attrs: Any) -> None:
         self.span.annotate(**attrs)
+
+    def count(self, counter: str, n: float = 1) -> None:
+        """Bump an operator counter on this phase's profiler stage."""
+        if self._frame is not None:
+            self._frame.count(counter, n)
 
 
 class QueryObservation:
@@ -102,6 +115,7 @@ class QueryObservation:
         "_tracer",
         "_root",
         "_clock",
+        "_profiler",
     )
 
     def __init__(
@@ -111,6 +125,7 @@ class QueryObservation:
         index: int,
         template_id: str,
         clock: Any = None,
+        profiler: Any = None,
     ) -> None:
         self.steps: dict[str, float] = {}
         self.check_wall_ms = 0.0
@@ -118,6 +133,7 @@ class QueryObservation:
         self.decision: DecisionTrace | None = None
         self._tracer = tracer
         self._clock = clock
+        self._profiler = profiler if profiler is not None else NULL_PROFILER
         self._root = tracer.span("query", index=index, template=template_id)
 
     def __enter__(self) -> "QueryObservation":
@@ -138,12 +154,44 @@ class QueryObservation:
         trace_id = getattr(self._root, "trace_id", None)
         return trace_id if isinstance(trace_id, str) else None
 
+    def _accumulate(
+        self,
+        step: str,
+        sim_ms: float,
+        record: bool = True,
+        profile: bool = True,
+    ) -> None:
+        """The single step-accumulation path.
+
+        Every simulated charge — immediate (:meth:`charge`) or
+        deferred to a phase's exit (:meth:`phase`) — lands here: into
+        the profiler (which routes it to the innermost open stage
+        frame of that name, or flat), and, unless ``record=False``,
+        into the ``steps`` dict that becomes
+        :attr:`~repro.core.stats.QueryRecord.steps_ms`.  A phase
+        passes ``profile=False`` because its handle already charged
+        the stage frame live.
+        """
+        if profile:
+            self._profiler.accumulate(step, sim_ms)
+        if record:
+            self.steps[step] = self.steps.get(step, 0.0) + sim_ms
+
     def charge(self, step: str, sim_ms: float, **attrs: Any) -> None:
         """Record a purely simulated step (no interesting wall time)."""
-        self.steps[step] = self.steps.get(step, 0.0) + sim_ms
+        self._accumulate(step, sim_ms)
         if self._clock is not None:
             self._clock.advance(sim_ms)
         self._tracer.event(step, sim_ms=sim_ms, **attrs)
+
+    def stage(self, name: str) -> Any:
+        """Open a bare profiler sub-stage (no tracer span, no step key).
+
+        For hot-path sections *inside* a phase that deserve their own
+        profile row — the description probe and the exact relation
+        checks inside ``check`` — without widening ``steps_ms``.
+        """
+        return self._profiler.stage(name)
 
     @contextmanager
     def phase(
@@ -159,16 +207,16 @@ class QueryObservation:
         no simulated charge of their own, e.g. remainder building).
         """
         start = time.perf_counter()
-        with self._tracer.span(step, **attrs) as span:
-            handle = _PhaseHandle(step, span, self._clock)
-            try:
-                yield handle
-            finally:
-                handle.wall_ms = (time.perf_counter() - start) * 1000.0
-                span.charge(handle.sim_ms)
-                span.annotate(wall_ms=round(handle.wall_ms, 6))
-        if record:
-            self.steps[step] = self.steps.get(step, 0.0) + handle.sim_ms
+        with self._profiler.stage(step) as frame:
+            with self._tracer.span(step, **attrs) as span:
+                handle = _PhaseHandle(step, span, self._clock, frame)
+                try:
+                    yield handle
+                finally:
+                    handle.wall_ms = (time.perf_counter() - start) * 1000.0
+                    span.charge(handle.sim_ms)
+                    span.annotate(wall_ms=round(handle.wall_ms, 6))
+        self._accumulate(step, handle.sim_ms, record, profile=False)
 
     def annotate(self, **attrs: Any) -> None:
         self._root.annotate(**attrs)
@@ -186,9 +234,11 @@ class ProxyInstrumentation:
         tracer: Any = None,
         decision_capacity: int = 256,
         slo: SloObjective | None = None,
+        profiler: Any = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.decisions = DecisionLog(capacity=decision_capacity)
         self.slo = SloTracker(self.registry, objective=slo)
         r = self.registry
@@ -329,7 +379,11 @@ class ProxyInstrumentation:
         self, index: int, template_id: str, clock: Any = None
     ) -> QueryObservation:
         return QueryObservation(
-            self.tracer, index=index, template_id=template_id, clock=clock
+            self.tracer,
+            index=index,
+            template_id=template_id,
+            clock=clock,
+            profiler=self.profiler,
         )
 
     def observe_record(
@@ -369,6 +423,12 @@ class ProxyInstrumentation:
         )
         if record.outcome.value != "served":
             self.degraded_responses.labels(kind=record.outcome.value).inc()
+        self.profiler.record_query(
+            record.index,
+            record.template_id,
+            record.response_ms,
+            status=record.status.value,
+        )
 
     # -------------------------------------------------- persistence hooks
     def journal_append(self, record_type: str) -> None:
@@ -376,12 +436,14 @@ class ProxyInstrumentation:
         self.journal_records.labels(
             type=record_type, direction="append"
         ).inc()
+        self.profiler.hit("journal.append")
 
     def journal_replayed(self, record_type: str) -> None:
         """Recovery hook: one journal record was replayed."""
         self.journal_records.labels(
             type=record_type, direction="replay"
         ).inc()
+        self.profiler.hit("journal.replay")
 
     def recovery_disposition(self, disposition: str, count: int) -> None:
         """Recovery hook: ``count`` entries ended as ``disposition``."""
@@ -405,6 +467,7 @@ class ProxyInstrumentation:
             self.cache_removals.inc()
         elif kind == "clear":
             self.cache_invalidations.inc()
+        self.profiler.hit(f"cache.{kind}")
         self.cache_bytes.set(current_bytes)
         self.cache_entries.set(entries)
 
@@ -422,9 +485,11 @@ class OriginInstrumentation:
         self,
         registry: MetricsRegistry | None = None,
         tracer: Any = None,
+        profiler: Any = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         r = self.registry
         self.requests = r.counter(
             "origin_requests_total",
@@ -452,3 +517,6 @@ class OriginInstrumentation:
         self.requests.labels(kind=kind).inc()
         self.server_ms.labels(kind=kind).observe(server_ms)
         self.result_bytes.labels(kind=kind).observe(result_bytes)
+        # Calls were counted by the execution stage frame; here only
+        # the simulated server cost (known post-execution) is charged.
+        self.profiler.add_sim(f"origin.{kind}", server_ms, calls=0)

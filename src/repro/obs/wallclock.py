@@ -13,6 +13,16 @@ from __future__ import annotations
 import time
 
 
+def utc_timestamp() -> str:
+    """The current UTC time as ISO-8601 (``2026-08-08T12:34:56Z``).
+
+    For run *metadata* only (bench-result provenance, artifact
+    stamps) — never for measurements, which use :class:`Stopwatch`
+    or the simulated clock.
+    """
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
 class Stopwatch:
     """Measures real elapsed seconds with a monotonic clock.
 

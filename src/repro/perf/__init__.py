@@ -1,0 +1,40 @@
+"""Unified bench telemetry and the perf-regression gate.
+
+Every benchmark under ``benchmarks/`` emits its headline numbers
+through one :class:`~repro.perf.reporter.BenchReporter`, producing a
+canonical JSON document (:mod:`repro.perf.schema`): bench id, metrics
+with units and higher/lower-is-better polarity, run metadata, and
+repeat statistics with median/IQR noise bounds.  Results land in three
+places:
+
+* ``benchmarks/results/<bench_id>.bench.json`` — the latest run;
+* ``benchmarks/results/baselines/`` — committed reference runs the
+  regression gate compares against;
+* ``BENCH_<bench_id>.json`` at the repo root — an append-only
+  trajectory, one entry per run, so performance history is diffable
+  across PRs.
+
+The gate (``python -m repro.perf compare``) pairs current results with
+baselines and exits nonzero on any noise-adjusted regression — the
+before/after instrument every speed claim in ROADMAP items 2–5 is
+measured with.
+"""
+
+from repro.perf.compare import MetricComparison, compare_results
+from repro.perf.reporter import BenchReporter
+from repro.perf.schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    Metric,
+    PerfSchemaError,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchReporter",
+    "BenchResult",
+    "Metric",
+    "MetricComparison",
+    "PerfSchemaError",
+    "compare_results",
+]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.profiling import NULL_PROFILER
 from repro.relational.aggregates import (
     contains_aggregate,
     evaluate_with_aggregates,
@@ -52,12 +53,19 @@ Env = dict[str, Any]
 class Executor:
     """Executes :class:`SelectStatement` values against one catalog."""
 
-    def __init__(self, catalog: Catalog) -> None:
+    def __init__(self, catalog: Catalog, profiler: Any = None) -> None:
         self.catalog = catalog
+        # Operator counters land here (``executor.*`` stages).  The
+        # origin re-points this at its instrumentation's profiler per
+        # request, so the default stays a shared no-op.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
 
     # ------------------------------------------------------------ public
     def execute(self, statement: SelectStatement) -> ResultTable:
+        profiler = self.profiler
         source_schema, rows = self._materialize_source(statement.source)
+        profiler.hit("executor.scan")
+        profiler.count("executor.scan", "rows", len(rows))
         schemas = [(statement.source.binding_name, source_schema)]
 
         for join in statement.joins:
@@ -71,7 +79,11 @@ class Executor:
 
         if statement.where is not None:
             predicate = statement.where
+            rows_in = len(rows)
             rows = [env for env in rows if predicate.evaluate(env) is True]
+            profiler.hit("executor.filter")
+            profiler.count("executor.filter", "rows_in", rows_in)
+            profiler.count("executor.filter", "rows_out", len(rows))
 
         if statement.group_by or self._has_aggregates(statement):
             return self._execute_grouped(rows, schemas, statement)
@@ -144,7 +156,7 @@ class Executor:
                         merged = dict(env)
                         merged.update(zip(names, match))
                         joined.append(merged)
-                return joined
+                return self._count_join("pk_lookup", joined)
             # Hash join: build on the (usually smaller) inner table.
             buckets: dict[Any, list[tuple[Any, ...]]] = {}
             for row in table.rows:
@@ -157,7 +169,7 @@ class Executor:
                     merged = dict(env)
                     merged.update(zip(names, row))
                     joined.append(merged)
-            return joined
+            return self._count_join("hash", joined)
 
         # General nested-loop join with the full condition.
         joined = []
@@ -167,6 +179,12 @@ class Executor:
                 merged.update(zip(names, row))
                 if condition.evaluate(merged) is True:
                     joined.append(merged)
+        return self._count_join("nested_loop", joined)
+
+    def _count_join(self, strategy: str, joined: list[Env]) -> list[Env]:
+        self.profiler.hit("executor.join")
+        self.profiler.count("executor.join", strategy, 1)
+        self.profiler.count("executor.join", "rows_out", len(joined))
         return joined
 
     def _equi_join_columns(
@@ -291,6 +309,8 @@ class Executor:
             )
             for group_rows in groups.values()
         ]
+        self.profiler.hit("executor.aggregate")
+        self.profiler.count("executor.aggregate", "groups", len(groups))
         schema = Schema(
             tuple(
                 Column(
@@ -434,6 +454,8 @@ class Executor:
         projected = [
             tuple(expr.evaluate(env) for expr in expressions) for env in rows
         ]
+        self.profiler.hit("executor.project")
+        self.profiler.count("executor.project", "rows", len(projected))
         return ResultTable(schema, projected)
 
     def _output_type(

@@ -93,10 +93,18 @@ class OriginServer:
     # ----------------------------------------------------------- serving
     def _execute(self, statement: SelectStatement, kind: str, **attrs):
         """Execute one statement under an ``origin.<kind>`` span."""
+        # Re-point the executor's operator counters at whatever profiler
+        # the instrumentation currently holds (web apps swap it in when
+        # profiling is requested after construction).
+        self.executor.profiler = self.instrumentation.profiler
         with self.instrumentation.tracer.span(
             f"origin.{kind}", **attrs
         ) as span:
-            result = self.executor.execute(statement)
+            with self.instrumentation.profiler.stage(
+                f"origin.{kind}"
+            ) as stage:
+                result = self.executor.execute(statement)
+                stage.count("rows", len(result))
             span.annotate(rows=len(result))
         return result
 

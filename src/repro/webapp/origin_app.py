@@ -16,10 +16,12 @@ Routes:
     The site's registered templates, for proxy bootstrap: query
     template SQL, function template XML, and info file XML.
 
-``GET /metrics`` / ``GET /trace/recent``
+``GET /metrics`` / ``GET /trace/recent`` / ``GET /profile``
     The origin's observability surface: request counters and cost
-    histograms by kind in Prometheus text format, and recent execution
-    spans (when the origin's tracer is enabled).
+    histograms by kind in Prometheus text format, recent execution
+    spans (when the origin's tracer is enabled), and the execution
+    profiler's per-kind aggregate (JSON, or ``?format=text`` for the
+    flat table; ``enabled: false`` under the default no-op profiler).
 
 Trace propagation: ``/search`` and ``/sql`` honor an incoming W3C
 ``traceparent`` header — the origin's execution spans join the
@@ -40,6 +42,7 @@ from __future__ import annotations
 
 from repro.analysis.analyzer import analyze_manager
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.profiling import Profiler
 from repro.obs.propagation import parse_traceparent
 from repro.obs.spans import SpanTracer
 from repro.relational.errors import RelationalError
@@ -50,14 +53,17 @@ from repro.templates.errors import TemplateError
 
 
 def create_origin_app(
-    origin: OriginServer, trace_capacity: int | None = None
+    origin: OriginServer,
+    trace_capacity: int | None = None,
+    profile_top_k: int | None = None,
 ):
     """Build the Flask app for an origin server.
 
     ``trace_capacity`` replaces the origin's tracer with a fresh
     :class:`~repro.obs.spans.SpanTracer` retaining that many root
     spans (harness-configurable; default: whatever tracer the origin
-    was built with, usually the null tracer).
+    was built with, usually the null tracer); ``profile_top_k``
+    likewise swaps in a real profiler for ``/profile``.
     """
     try:
         from flask import Flask, request
@@ -69,6 +75,8 @@ def create_origin_app(
     app = Flask("repro-origin")
     if trace_capacity is not None:
         origin.instrumentation.tracer = SpanTracer(capacity=trace_capacity)
+    if profile_top_k is not None:
+        origin.instrumentation.profiler = Profiler(top_k=profile_top_k)
 
     def incoming_context():
         return parse_traceparent(request.headers.get("traceparent"))
@@ -151,6 +159,22 @@ def create_origin_app(
         tracer = origin.instrumentation.tracer
         limit = request.args.get("n", default=20, type=int)
         return {"enabled": tracer.enabled, "spans": tracer.recent(limit)}
+
+    @app.get("/profile")
+    def profile():
+        profiler = origin.instrumentation.profiler
+        fmt = request.args.get("format", "json")
+        if fmt == "text":
+            try:
+                text = profiler.render_text(
+                    sort=request.args.get("sort", "cum")
+                )
+            except ValueError as exc:
+                return {"error": str(exc)}, 400
+            return text, 200, {"Content-Type": "text/plain; charset=utf-8"}
+        if fmt != "json":
+            return {"error": f"unknown format {fmt!r}; use json or text"}, 400
+        return profiler.snapshot()
 
     @app.get("/analyze")
     def analyze():

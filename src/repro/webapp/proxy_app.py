@@ -25,6 +25,13 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
     status counters, per-step latency histograms, cache occupancy
     gauges, origin/network byte counters.
 
+``GET /profile?format=json|text&sort=cum|self|wall|calls``
+    The hot-path profiler's aggregate: per-stage call counts,
+    cumulative/self time on both clocks, operator counters, and the
+    top-K slowest queries — as JSON (default) or a ``pprof``-style
+    flat text table.  Reports ``enabled: false`` under the default
+    no-op profiler.
+
 ``GET /trace/recent?n=20``
     The most recent finished query spans as JSON (empty unless the
     proxy was built with an enabled tracer).  Spans carry W3C trace /
@@ -68,6 +75,7 @@ from repro.core.stats import QueryOutcome
 from repro.faults.errors import FaultPlanError
 from repro.faults.plan import FaultPlan
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.profiling import Profiler
 from repro.obs.spans import SpanTracer
 from repro.relational.errors import RelationalError
 from repro.sqlparser.errors import ParseError
@@ -78,14 +86,17 @@ def create_proxy_app(
     proxy: FunctionProxy,
     trace_capacity: int | None = None,
     explain_capacity: int | None = None,
+    profile_top_k: int | None = None,
 ):
     """Build the Flask app for a function proxy.
 
     ``trace_capacity`` replaces the proxy's tracer with a fresh
     :class:`~repro.obs.spans.SpanTracer` retaining that many root
     spans; ``explain_capacity`` resizes the decision log backing the
-    ``/explain`` endpoints.  Both default to whatever the proxy's
-    instrumentation was built with.
+    ``/explain`` endpoints; ``profile_top_k`` swaps the proxy's
+    profiler for a real :class:`~repro.obs.profiling.Profiler`
+    retaining that many slowest queries (``/profile`` source).  All
+    default to whatever the proxy's instrumentation was built with.
     """
     try:
         from flask import Flask, request
@@ -102,6 +113,8 @@ def create_proxy_app(
             binder(proxy.obs.tracer)
     if explain_capacity is not None:
         proxy.obs.decisions.resize(explain_capacity)
+    if profile_top_k is not None:
+        proxy.obs.profiler = Profiler(top_k=profile_top_k)
 
     def _function_registry():
         catalog = getattr(proxy.origin, "catalog", None)
@@ -187,6 +200,22 @@ def create_proxy_app(
             200,
             {"Content-Type": PROMETHEUS_CONTENT_TYPE},
         )
+
+    @app.get("/profile")
+    def profile():
+        profiler = proxy.obs.profiler
+        fmt = request.args.get("format", "json")
+        if fmt == "text":
+            try:
+                text = profiler.render_text(
+                    sort=request.args.get("sort", "cum")
+                )
+            except ValueError as exc:
+                return {"error": str(exc)}, 400
+            return text, 200, {"Content-Type": "text/plain; charset=utf-8"}
+        if fmt != "json":
+            return {"error": f"unknown format {fmt!r}; use json or text"}, 400
+        return profiler.snapshot()
 
     @app.get("/trace/recent")
     def trace_recent():

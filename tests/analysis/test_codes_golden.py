@@ -44,6 +44,7 @@ GOLDEN = {
     "FP305": (Severity.ERROR, 1),
     "FP306": (Severity.ERROR, None),
     "FP307": (Severity.ERROR, None),
+    "FP308": (Severity.ERROR, None),
 }
 
 

@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP307) on synthetic modules."""
+"""The repository lint rules (FP301-FP308) on synthetic modules."""
 
 import pathlib
 
@@ -354,6 +354,31 @@ class TestNonAtomicWriteRule:
         assert len(report) == 0
 
 
+class TestBenchPrintRule:
+    def test_print_in_bench_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            "print('nc response', 2081.4)\n",
+        )
+        assert report.codes() == {"FP308"}
+
+    def test_non_bench_module_exempt(self, tmp_path):
+        report = lint(tmp_path, "benchmarks/conftest.py", "print('x')\n")
+        assert len(report) == 0
+
+    def test_bench_without_print_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "benchmarks/bench_demo.py",
+            "def test_x(bench_report):\n"
+            "    report = bench_report('demo')\n"
+            "    report.metric('m', 1.0, unit='ms')\n"
+            "    report.finish()\n",
+        )
+        assert len(report) == 0
+
+
 class TestDriver:
     def test_fp304_syntax_error(self, tmp_path):
         report = lint(tmp_path, "repro/core/x.py", "def broken(:\n")
@@ -370,4 +395,9 @@ class TestDriver:
 
     def test_the_repository_is_lint_clean(self):
         report = run_lint([SRC_REPRO])
+        assert not report.has_errors, report.render()
+
+    def test_the_benchmarks_are_lint_clean(self):
+        benchmarks = SRC_REPRO.parents[1] / "benchmarks"
+        report = run_lint([benchmarks])
         assert not report.has_errors, report.render()

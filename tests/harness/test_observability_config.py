@@ -96,3 +96,50 @@ class TestRunnerInstrumentation:
         label = result.label()
         assert (tmp_path / f"decisions-{label}.json").exists()
         assert not (tmp_path / f"trace-{label}.jsonl").exists()
+
+
+class TestProfiling:
+    def test_profiling_defaults_off(self):
+        obs = ObservabilityConfig()
+        assert obs.profiling is False
+        assert obs.profile_top_k == 10
+
+    def test_profile_top_k_validated(self):
+        with pytest.raises(ValueError):
+            ObservabilityConfig(profile_top_k=0)
+
+    def test_unprofiled_run_writes_no_profile(self, tmp_path):
+        scale = ExperimentScale.quick().with_trace_length(8)
+        runner = ExperimentRunner(scale, snapshot_dir=tmp_path)
+        result = runner.run(CachingScheme.FULL_SEMANTIC)
+        profiles = list(tmp_path.glob("profile-*.json"))
+        assert profiles == []
+        # And the proxy paid only the no-op profiler.
+        proxy = runner.build_proxy(CachingScheme.FULL_SEMANTIC)
+        assert proxy.profiler.enabled is False
+        assert len(result.stats) > 0
+
+    def test_profiled_run_writes_artifact(self, tmp_path):
+        scale = ExperimentScale.quick().with_trace_length(25)
+        scale = scale.with_observability(
+            ObservabilityConfig(profiling=True, profile_top_k=4)
+        )
+        runner = ExperimentRunner(scale, snapshot_dir=tmp_path)
+        result = runner.run(CachingScheme.FULL_SEMANTIC)
+        label = result.label()
+
+        profile = json.loads(
+            (tmp_path / f"profile-{label}.json").read_text()
+        )
+        assert profile["enabled"] is True
+        assert profile["top_k"] == 4
+        stages = profile["stages"]
+        # Hot-path stages saw real traffic during the replay.
+        for stage in ("parse", "check", "probe.array"):
+            assert stages[stage]["calls"] > 0, stage
+        assert stages["check"]["cum_sim_ms"] > 0
+        assert len(profile["slowest_queries"]) <= 4
+        assert profile["slowest_queries"] == sorted(
+            profile["slowest_queries"],
+            key=lambda q: -q["response_sim_ms"],
+        )

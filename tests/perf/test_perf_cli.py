@@ -1,0 +1,134 @@
+"""The ``python -m repro.perf`` command line (the CI gate's entry)."""
+
+import json
+
+import pytest
+
+from repro.perf.__main__ import main
+from repro.perf.schema import BenchResult, Metric
+
+
+def write_result(directory, bench_id, value, scale="quick"):
+    directory.mkdir(parents=True, exist_ok=True)
+    document = BenchResult(
+        bench_id=bench_id,
+        run={"scale": scale},
+        metrics=(Metric("m", "ms", "lower", (value,)),),
+    ).to_dict()
+    (directory / f"{bench_id}.bench.json").write_text(
+        json.dumps(document)
+    )
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baseline = tmp_path / "baselines"
+    current = tmp_path / "current"
+    write_result(baseline, "fig5", 100.0)
+    write_result(current, "fig5", 100.0)
+    return baseline, current
+
+
+def compare_args(baseline, current, *extra):
+    return [
+        "compare", "--baseline", str(baseline),
+        "--current", str(current), *extra,
+    ]
+
+
+class TestCompare:
+    def test_unchanged_exits_zero(self, dirs, capsys):
+        baseline, current = dirs
+        assert main(compare_args(baseline, current)) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, dirs, capsys):
+        baseline, current = dirs
+        write_result(current, "fig5", 120.0)  # 20% above baseline
+        assert main(
+            compare_args(baseline, current, "--tolerance", "0.10")
+        ) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_wider_tolerance_absorbs_it(self, dirs):
+        baseline, current = dirs
+        write_result(current, "fig5", 120.0)
+        assert main(
+            compare_args(baseline, current, "--tolerance", "0.25")
+        ) == 0
+
+    def test_missing_current_result_fails(self, dirs, capsys):
+        baseline, current = dirs
+        write_result(baseline, "fig6", 50.0)
+        assert main(compare_args(baseline, current)) == 1
+        assert "no current" in capsys.readouterr().out
+
+    def test_bench_filter_limits_the_gate(self, dirs):
+        baseline, current = dirs
+        write_result(baseline, "fig6", 50.0)  # no current counterpart
+        assert main(
+            compare_args(baseline, current, "--bench", "fig5")
+        ) == 0
+
+    def test_bench_filter_unknown_id_fails(self, dirs, capsys):
+        baseline, current = dirs
+        assert main(
+            compare_args(baseline, current, "--bench", "nope")
+        ) == 1
+        assert "no baseline for" in capsys.readouterr().out
+
+    def test_missing_baseline_dir_fails(self, tmp_path, dirs):
+        _, current = dirs
+        assert main(
+            compare_args(tmp_path / "empty", current)
+        ) == 1
+
+
+class TestValidate:
+    def test_valid_directory(self, dirs, capsys):
+        baseline, _ = dirs
+        assert main(["validate", str(baseline)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bench.json"
+        bad.write_text("{broken")
+        assert main(["validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().out
+
+    def test_empty_directory(self, tmp_path):
+        assert main(["validate", str(tmp_path)]) == 1
+
+
+class TestPromote:
+    def test_promotes_all(self, dirs):
+        baseline, current = dirs
+        write_result(current, "fig6", 7.0)
+        target = baseline.parent / "fresh_baselines"
+        assert main([
+            "promote", "--current", str(current),
+            "--baseline", str(target),
+        ]) == 0
+        assert sorted(p.name for p in target.glob("*.bench.json")) == [
+            "fig5.bench.json", "fig6.bench.json",
+        ]
+
+    def test_promotes_named_subset(self, dirs):
+        baseline, current = dirs
+        write_result(current, "fig6", 7.0)
+        target = baseline.parent / "subset"
+        assert main([
+            "promote", "--current", str(current),
+            "--baseline", str(target), "fig6",
+        ]) == 0
+        assert [p.name for p in target.glob("*.bench.json")] == [
+            "fig6.bench.json"
+        ]
+
+    def test_unknown_bench_id_fails(self, dirs, capsys):
+        baseline, current = dirs
+        assert main([
+            "promote", "--current", str(current),
+            "--baseline", str(baseline), "nope",
+        ]) == 1
+        assert "no current result" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""The noise-adjusted regression gate."""
+
+import pytest
+
+from repro.perf.compare import compare_results
+from repro.perf.schema import BenchResult, Metric
+
+
+def result(bench_id="fig5", scale="quick", **metrics):
+    """A BenchResult from name -> (values, polarity[, gated])."""
+    built = []
+    for name, spec in metrics.items():
+        values, polarity = spec[0], spec[1]
+        gated = spec[2] if len(spec) > 2 else True
+        built.append(
+            Metric(name, "ms", polarity, tuple(values), gated=gated)
+        )
+    return BenchResult(
+        bench_id=bench_id,
+        run={"scale": scale},
+        metrics=tuple(built),
+    )
+
+
+def only(comparisons, name):
+    matches = [c for c in comparisons if c.name == name]
+    assert len(matches) == 1
+    return matches[0]
+
+
+class TestGate:
+    def test_unchanged_passes(self):
+        base = result(m=([100.0], "lower"))
+        assert not any(
+            c.regressed for c in compare_results(base, base)
+        )
+
+    def test_twenty_percent_slowdown_fails_at_ten_percent(self):
+        base = result(m=([100.0], "lower"))
+        cur = result(m=([120.0], "lower"))
+        verdict = only(compare_results(base, cur, tolerance=0.10), "m")
+        assert verdict.regressed
+        assert verdict.worse_by == pytest.approx(20.0)
+        assert verdict.allowance == pytest.approx(10.0)
+        assert "REGRESSED" in verdict.format()
+
+    def test_improvement_never_fails(self):
+        base = result(m=([100.0], "lower"))
+        cur = result(m=([40.0], "lower"))
+        assert not only(compare_results(base, cur), "m").regressed
+
+    def test_higher_polarity_inverts_direction(self):
+        base = result(m=([0.50], "higher"))
+        worse = result(m=([0.40], "higher"))
+        better = result(m=([0.60], "higher"))
+        assert only(compare_results(base, worse), "m").regressed
+        assert not only(compare_results(base, better), "m").regressed
+
+    def test_noise_widens_the_allowance(self):
+        # 15% worse, but both runs carry an IQR of 15: the noise term
+        # (1.5 * (15 + 15) = 45) absorbs a move the bare 10% tolerance
+        # would have failed.
+        base = result(m=([90.0, 95.0, 105.0, 110.0], "lower"))
+        cur = result(m=([105.0, 110.0, 120.0, 125.0], "lower"))
+        verdict = only(compare_results(base, cur), "m")
+        assert verdict.worse_by == pytest.approx(15.0)
+        assert verdict.allowance == pytest.approx(45.0)
+        assert not verdict.regressed
+
+    def test_ungated_metric_never_fails(self):
+        base = result(m=([100.0], "lower", False))
+        cur = result(m=([500.0], "lower", False))
+        verdict = only(compare_results(base, cur), "m")
+        assert not verdict.regressed
+        assert "ungated" in verdict.format()
+
+
+class TestStructuralFailures:
+    def test_missing_gated_metric_fails(self):
+        base = result(m=([100.0], "lower"))
+        cur = result(other=([1.0], "lower"))
+        verdict = only(compare_results(base, cur), "m")
+        assert verdict.regressed
+        assert "missing" in verdict.note
+
+    def test_missing_ungated_metric_passes(self):
+        base = result(m=([100.0], "lower", False))
+        cur = result(other=([1.0], "lower"))
+        assert not only(compare_results(base, cur), "m").regressed
+
+    def test_polarity_change_fails(self):
+        base = result(m=([100.0], "lower"))
+        cur = result(m=([100.0], "higher"))
+        verdict = only(compare_results(base, cur), "m")
+        assert verdict.regressed
+        assert "polarity" in verdict.note
+
+    def test_scale_mismatch_fails_wholesale(self):
+        base = result(scale="quick", m=([100.0], "lower"))
+        cur = result(scale="paper", m=([100.0], "lower"))
+        comparisons = compare_results(base, cur)
+        assert len(comparisons) == 1
+        assert comparisons[0].name == "<scale>"
+        assert comparisons[0].regressed
+
+    def test_bench_id_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cannot compare"):
+            compare_results(
+                result(bench_id="fig5", m=([1.0], "lower")),
+                result(bench_id="fig6", m=([1.0], "lower")),
+            )
+
+    def test_new_metric_is_reported_not_failed(self):
+        base = result(m=([100.0], "lower"))
+        cur = result(m=([100.0], "lower"), fresh=([1.0], "lower"))
+        verdict = only(compare_results(base, cur), "fresh")
+        assert not verdict.regressed
+        assert "no baseline" in verdict.note

@@ -1,0 +1,140 @@
+"""The canonical bench-result schema."""
+
+import json
+
+import pytest
+
+from repro.perf.schema import (
+    BenchResult,
+    Metric,
+    PerfSchemaError,
+    SCHEMA_VERSION,
+    iqr,
+    load_result,
+    load_results_dir,
+    median,
+)
+
+
+class TestStatistics:
+    def test_median_odd_even(self):
+        assert median((3.0, 1.0, 2.0)) == 2.0
+        assert median((4.0, 1.0, 3.0, 2.0)) == 2.5
+
+    def test_iqr_median_of_halves(self):
+        assert iqr((1.0, 2.0, 3.0, 4.0)) == pytest.approx(2.0)
+        assert iqr((1.0, 1.0, 1.0, 1.0, 9.0)) == pytest.approx(4.0)
+
+    def test_iqr_needs_four_observations(self):
+        assert iqr((1.0, 100.0, 5.0)) == 0.0
+
+
+class TestMetric:
+    def test_roundtrip(self):
+        metric = Metric(
+            "nc_response_ms", "ms", "lower", (2.0, 1.0, 3.0)
+        )
+        payload = metric.to_dict()
+        assert payload["median"] == 2.0
+        restored = Metric.from_dict("nc_response_ms", payload)
+        assert restored == metric
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="", unit="ms", polarity="lower", values=(1.0,)),
+            dict(name="m", unit="ms", polarity="faster", values=(1.0,)),
+            dict(name="m", unit="ms", polarity="lower", values=()),
+            dict(
+                name="m", unit="ms", polarity="lower",
+                values=(float("nan"),),
+            ),
+            dict(name="m", unit="ms", polarity="lower", values=(True,)),
+        ],
+    )
+    def test_invalid_metrics_rejected(self, kwargs):
+        with pytest.raises(PerfSchemaError):
+            Metric(**kwargs)
+
+    def test_tampered_median_rejected(self):
+        payload = Metric("m", "ms", "lower", (1.0, 3.0)).to_dict()
+        payload["median"] = 1.0  # hand-edited: values say 2.0
+        with pytest.raises(PerfSchemaError, match="disagrees"):
+            Metric.from_dict("m", payload)
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(PerfSchemaError, match="missing"):
+            Metric.from_dict("m", {"unit": "ms", "values": [1.0]})
+
+
+class TestBenchResult:
+    def metric(self, name="m"):
+        return Metric(name, "ms", "lower", (1.0,))
+
+    def test_roundtrip(self):
+        result = BenchResult(
+            bench_id="fig5",
+            run={"scale": "quick"},
+            metrics=(self.metric("a"), self.metric("b")),
+        )
+        restored = BenchResult.from_dict(result.to_dict())
+        assert restored.bench_id == "fig5"
+        assert restored.scale == "quick"
+        assert {m.name for m in restored.metrics} == {"a", "b"}
+        assert restored.metric("a") is not None
+        assert restored.metric("zzz") is None
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(PerfSchemaError, match="duplicate"):
+            BenchResult(
+                bench_id="fig5",
+                metrics=(self.metric(), self.metric()),
+            )
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(PerfSchemaError, match="at least one"):
+            BenchResult(bench_id="fig5")
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(PerfSchemaError, match="schema_version"):
+            BenchResult(
+                bench_id="fig5",
+                metrics=(self.metric(),),
+                schema_version=SCHEMA_VERSION + 1,
+            )
+
+
+class TestLoading:
+    def write(self, path, document):
+        path.write_text(json.dumps(document))
+
+    def document(self, bench_id="fig5"):
+        return BenchResult(
+            bench_id=bench_id,
+            run={"scale": "quick"},
+            metrics=(Metric("m", "ms", "lower", (1.0,)),),
+        ).to_dict()
+
+    def test_load_result(self, tmp_path):
+        path = tmp_path / "fig5.bench.json"
+        self.write(path, self.document())
+        assert load_result(path).bench_id == "fig5"
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.bench.json"
+        path.write_text("{nope")
+        with pytest.raises(PerfSchemaError, match="not valid JSON"):
+            load_result(path)
+
+    def test_load_results_dir(self, tmp_path):
+        self.write(tmp_path / "a.bench.json", self.document("a"))
+        self.write(tmp_path / "b.bench.json", self.document("b"))
+        (tmp_path / "ignored.json").write_text("[]")
+        results = load_results_dir(tmp_path)
+        assert sorted(results) == ["a", "b"]
+
+    def test_duplicate_bench_id_across_files(self, tmp_path):
+        self.write(tmp_path / "a.bench.json", self.document("fig5"))
+        self.write(tmp_path / "b.bench.json", self.document("fig5"))
+        with pytest.raises(PerfSchemaError, match="duplicate bench id"):
+            load_results_dir(tmp_path)

@@ -199,3 +199,57 @@ class TestErrors:
     def test_unknown_select_column(self, execute):
         with pytest.raises(ExecutionError, match="unknown column"):
             execute("SELECT salary FROM Users")
+
+
+class TestOperatorCounters:
+    """The ``executor.*`` profiler stages (hot-path operator counters)."""
+
+    @pytest.fixture()
+    def profiled(self, catalog):
+        from repro.obs.profiling import Profiler
+
+        profiler = Profiler(top_k=3, clock=lambda: 0.0)
+        executor = Executor(catalog, profiler=profiler)
+
+        def run(sql):
+            return executor.execute(parse_select(sql))
+
+        return run, profiler
+
+    def test_default_is_noop(self, catalog):
+        from repro.obs.profiling import NULL_PROFILER
+
+        assert Executor(catalog).profiler is NULL_PROFILER
+
+    def test_scan_filter_project(self, profiled):
+        run, profiler = profiled
+        run("SELECT name FROM Users WHERE age > 50")
+        scan = profiler.stats("executor.scan")
+        assert scan.calls == 1
+        assert scan.counters["rows"] == 4
+        filt = profiler.stats("executor.filter")
+        assert filt.counters["rows_in"] == 4
+        assert filt.counters["rows_out"] == 2
+        project = profiler.stats("executor.project")
+        assert project.counters["rows"] == 2
+
+    def test_join_strategy_counters(self, profiled):
+        run, profiler = profiled
+        run("SELECT u.name FROM Orders o JOIN Users u ON o.user_id = u.id")
+        join = profiler.stats("executor.join")
+        assert join.calls == 1
+        assert join.counters["pk_lookup"] == 1
+        assert join.counters["rows_out"] == 3  # dangling user dropped
+
+    def test_nested_loop_counter(self, profiled):
+        run, profiler = profiled
+        run("SELECT u.name FROM Orders o JOIN Users u ON o.total > u.age")
+        join = profiler.stats("executor.join")
+        assert join.counters["nested_loop"] == 1
+
+    def test_aggregate_groups_counter(self, profiled):
+        run, profiler = profiled
+        run("SELECT city, COUNT(*) AS n FROM Users GROUP BY city")
+        agg = profiler.stats("executor.aggregate")
+        assert agg.calls == 1
+        assert agg.counters["groups"] == 3  # london, arlington, NULL

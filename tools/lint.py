@@ -1,10 +1,10 @@
 #!/usr/bin/env python
 """CI driver for the repository lint rules (FP3xx).
 
-Runs :mod:`repro.analysis.pylint_rules` over ``src/repro`` (and any
-paths given on the command line), prints the diagnostics
-compiler-style, and exits nonzero when any error-severity diagnostic
-is found.
+Runs :mod:`repro.analysis.pylint_rules` over ``src/repro`` and
+``benchmarks`` (or any paths given on the command line), prints the
+diagnostics compiler-style, and exits nonzero when any error-severity
+diagnostic is found.
 
 Usage::
 
@@ -23,7 +23,10 @@ from repro.analysis.pylint_rules import run_lint  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    paths = argv or [str(REPO_ROOT / "src" / "repro")]
+    paths = argv or [
+        str(REPO_ROOT / "src" / "repro"),
+        str(REPO_ROOT / "benchmarks"),
+    ]
     report = run_lint(paths)
     print(report.render())
     return 1 if report.has_errors else 0
