@@ -1,0 +1,71 @@
+"""Concurrency-safety analysis: guarded state and lock order (FP4xx).
+
+The serve path is about to go multi-threaded (ROADMAP items 1-2), and
+nothing in a dynamic test suite reliably catches the races that will
+introduce.  This package is the static leg of the concurrency story
+(the runtime leg is :mod:`repro.locking`): an AST/dataflow pass over
+``src/repro`` that enforces three invariants, each with a stable
+diagnostic code flowing through the normal :mod:`repro.analysis`
+plumbing:
+
+* **Inventory** (``FP401``) — every piece of shared mutable state on
+  the serve path (module-level mutables, instance attributes written
+  after ``__init__`` by classes in the serve-path modules) must be
+  *registered*: either ``@guarded_by("<lock>", ...)`` naming the
+  :func:`repro.locking.named_lock` role that protects it, or an
+  explicit ``@unshared`` / ``@read_only`` waiver (comment conventions
+  ``# guarded-by: <lock>`` / ``# unshared`` / ``# read-only`` work
+  too).  Unregistered shared state is an error: the point is that the
+  *author* decides the discipline, and the analyzer holds them to it.
+
+* **Guarded writes** (``FP402``/``FP403``/``FP405``/``FP406``) — every
+  write to a ``guarded`` attribute must be lexically inside a ``with
+  <lock>:`` block for the declared lock, where "lexically" extends
+  across same-class private helper calls (a private method whose every
+  call site holds the lock counts as locked) and through the
+  ``acquire()`` / ``try/finally release()`` idiom.  Writes inside any
+  ``__init__`` are exempt: construction is single-threaded by
+  convention.  ``read-only`` attributes must never be written after
+  ``__init__`` at all.
+
+* **Lock order** (``FP404``) — nested ``with`` blocks and
+  lock-acquiring calls build a lock-acquisition-order graph over the
+  named-lock roles; a cycle in that graph is a potential deadlock.
+  The same graph is exported (:func:`build_lock_graph`) so tests can
+  assert the runtime :class:`repro.locking.LockOrderSanitizer` never
+  observes an edge the static analysis did not predict.
+
+The pass is deliberately *under-approximate* where Python defeats
+static reasoning: a write through a receiver whose type cannot be
+resolved is not checked (and produces no diagnostic), so every
+diagnostic it does produce is actionable.  Receiver types come from
+``__init__`` constructor calls, dataclass field and parameter
+annotations, and the ``# lock-class: <Class>`` comment escape hatch.
+
+Run it as ``python -m repro.analysis.concurrency [--strict] [paths]``;
+CI runs it over ``src/repro`` with ``--strict`` (warnings fatal).
+"""
+
+from repro.analysis.concurrency.checker import analyze_concurrency
+from repro.analysis.concurrency.lockorder import (
+    LockGraph,
+    build_lock_graph,
+)
+from repro.analysis.concurrency.model import (
+    MUTATING_METHODS,
+    SERVE_PATH_MODULES,
+    SERVE_PATH_PRAGMA,
+    Project,
+    build_project,
+)
+
+__all__ = [
+    "LockGraph",
+    "MUTATING_METHODS",
+    "Project",
+    "SERVE_PATH_MODULES",
+    "SERVE_PATH_PRAGMA",
+    "analyze_concurrency",
+    "build_lock_graph",
+    "build_project",
+]

@@ -1,0 +1,88 @@
+"""CLI for the concurrency-safety analyzer.
+
+Usage::
+
+    python -m repro.analysis.concurrency [--strict] [--json] [--graph]
+                                         [paths...]
+
+``paths`` defaults to ``src/repro`` (resolved against the current
+directory, falling back to the installed package's source).  Exits 1
+when any error-severity diagnostic is found — or, with ``--strict``,
+when any warning is found either (CI runs strict so stale
+registrations cannot accumulate).  ``--graph`` prints the static
+lock-acquisition-order graph after the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.analysis.concurrency.checker import analyze_concurrency
+
+
+def _default_paths() -> list[pathlib.Path]:
+    candidate = pathlib.Path("src") / "repro"
+    if candidate.is_dir():
+        return [candidate]
+    package = pathlib.Path(__file__).resolve().parents[2]
+    return [package]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concurrency",
+        description="guarded-state and lock-order analysis (FP4xx)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (FP406) as fatal",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as a JSON document instead of text",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="also print the static lock-acquisition-order graph",
+    )
+    options = parser.parse_args(argv)
+    paths = list(options.paths) or _default_paths()
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    report, graph = analyze_concurrency(paths)
+    if options.json:
+        document = report.to_dict()
+        document["lock_order_edges"] = [
+            list(edge) for edge in sorted(graph.edge_set())
+        ]
+        document["lock_order_cycles"] = [list(c) for c in graph.cycles]
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if options.graph:
+            print(graph.render())
+
+    if report.has_errors:
+        return 1
+    if options.strict and report.warnings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,357 @@
+"""The FP4xx checks over the extracted source model.
+
+One entry point, :func:`analyze_concurrency`, producing a normal
+:class:`repro.analysis.diagnostics.AnalysisReport`:
+
+* ``FP401`` — shared mutable state (a module-level mutable, or an
+  instance attribute a serve-path class writes after ``__init__``)
+  with no ``guarded_by`` / ``unshared`` / ``read-only`` registration;
+* ``FP402`` — a write to a ``guarded`` attribute whose declared lock
+  is not held, lexically or via the private-helper entry-held rule;
+* ``FP403`` — a post-``__init__`` write to a ``read-only`` attribute;
+* ``FP404`` — a cycle in the lock-acquisition-order graph
+  (:mod:`repro.analysis.concurrency.lockorder`);
+* ``FP405`` — a ``guarded_by`` registration naming a lock role that no
+  ``named_lock("...")`` call in the analyzed tree constructs;
+* ``FP406`` (warning) — a ``guarded`` registration whose attribute is
+  never written outside ``__init__`` anywhere: stale, and hiding the
+  real discipline (``--strict`` makes it fatal so the registry stays
+  honest).
+
+Diagnostics are sorted by location so output is stable for goldens.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass
+
+from repro.analysis.codes import severity_of
+from repro.analysis.diagnostics import (
+    AnalysisReport,
+    Diagnostic,
+    SourceSpan,
+)
+from repro.analysis.concurrency.lockorder import LockGraph, build_graph
+from repro.analysis.concurrency.model import (
+    GUARDED,
+    READ_ONLY,
+    ClassModel,
+    MethodSummary,
+    ModuleModel,
+    Project,
+    Registration,
+    WriteSite,
+    build_project,
+    compute_entry_held,
+    summarize_methods,
+)
+
+_REGISTER_HINT = (
+    'register it: @guarded_by("<lock>", ...) when a named lock protects '
+    "it, @unshared for per-query/per-thread state, @read_only when it is "
+    "set once during construction (comment forms: # guarded-by: <lock>, "
+    "# unshared, # read-only)"
+)
+
+
+def _node_span(module: ModuleModel, node: ast.AST) -> SourceSpan:
+    start, end, line, column, snippet = module.span_args(node)
+    return SourceSpan(
+        source=module.path.as_posix(),
+        start=start,
+        end=end,
+        line=line,
+        column=column,
+        snippet=snippet,
+    )
+
+
+def _line_span(module: ModuleModel, line: int) -> SourceSpan:
+    lines = module.text.split("\n")
+    if 1 <= line <= len(lines):
+        content = lines[line - 1]
+    else:
+        content = ""
+    stripped = content.lstrip()
+    column = len(content) - len(stripped) + 1
+    start = module._offset(line, column - 1)
+    snippet = stripped
+    if len(snippet) > 80:
+        snippet = snippet[:77] + "..."
+    return SourceSpan(
+        source=module.path.as_posix(),
+        start=start,
+        end=start + len(stripped),
+        line=line,
+        column=column,
+        snippet=snippet,
+    )
+
+
+def _diag(
+    code: str, message: str, span: SourceSpan, hint: str = ""
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity_of(code),
+        message=message,
+        span=span,
+        hint=hint,
+    )
+
+
+@dataclass(frozen=True)
+class _Found:
+    """A registration plus the class that declares it."""
+
+    klass: ClassModel
+    registration: Registration
+
+
+def _find_registration(
+    project: Project, class_name: str, attr: str
+) -> _Found | None:
+    """The registration governing ``class_name.attr``, MRO-style."""
+    start = project.resolve_class(class_name)
+    if start is None:
+        return None
+    queue = [start]
+    visited: set[str] = set()
+    while queue:
+        current = queue.pop(0)
+        if current.name in visited:
+            continue
+        visited.add(current.name)
+        if attr in current.registrations:
+            return _Found(current, current.registrations[attr])
+        for base in current.bases:
+            parent = project.resolve_class(base)
+            if parent is not None:
+                queue.append(parent)
+    return None
+
+
+def _is_lock_attr(project: Project, class_name: str, attr: str) -> bool:
+    klass = project.resolve_class(class_name)
+    if klass is None:
+        return False
+    return project.lock_attr_of(klass, attr) is not None
+
+
+def _check_module_state(project: Project) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for module in project.modules:
+        for state in module.module_state:
+            if state.waiver is not None:
+                continue
+            diagnostics.append(
+                _diag(
+                    "FP401",
+                    f"module-level mutable '{state.name}' has no "
+                    "concurrency registration",
+                    _node_span(module, state.node),
+                    hint=_REGISTER_HINT,
+                )
+            )
+    return diagnostics
+
+
+def _check_writes(
+    project: Project,
+    summaries: dict[tuple[str, str], MethodSummary],
+    entry_held: dict[tuple[str, str], frozenset[str]],
+) -> tuple[list[Diagnostic], set[tuple[str, str]]]:
+    """FP401 (instances), FP402, FP403 — returns used registrations."""
+    diagnostics: list[Diagnostic] = []
+    used: set[tuple[str, str]] = set()
+    unregistered_seen: set[tuple[str, str]] = set()
+
+    all_writes: list[WriteSite] = []
+    for summary in summaries.values():
+        all_writes.extend(summary.writes)
+
+    def sort_key(write: WriteSite) -> tuple[str, int, int]:
+        module = write.summary.klass.module
+        return (
+            module.path.as_posix(),
+            getattr(write.node, "lineno", 0),
+            getattr(write.node, "col_offset", 0),
+        )
+
+    for write in sorted(all_writes, key=sort_key):
+        owner = project.resolve_class(write.owner)
+        if owner is None:
+            continue
+        found = _find_registration(project, write.owner, write.attr)
+        if found is None:
+            if write.in_init:
+                continue  # construction is single-threaded
+            if not owner.in_scope:
+                continue
+            if _is_lock_attr(project, write.owner, write.attr):
+                continue
+            key = (write.owner, write.attr)
+            if key in unregistered_seen:
+                continue
+            unregistered_seen.add(key)
+            module = write.summary.klass.module
+            diagnostics.append(
+                _diag(
+                    "FP401",
+                    f"'{write.owner}.{write.attr}' is written outside "
+                    "__init__ but has no concurrency registration",
+                    _node_span(module, write.node),
+                    hint=_REGISTER_HINT,
+                )
+            )
+            continue
+        registration = found.registration
+        if not write.in_init:
+            used.add((found.klass.name, write.attr))
+        if registration.kind == READ_ONLY:
+            if not write.in_init:
+                module = write.summary.klass.module
+                diagnostics.append(
+                    _diag(
+                        "FP403",
+                        f"'{write.owner}.{write.attr}' is registered "
+                        "read-only but written after __init__",
+                        _node_span(module, write.node),
+                        hint="drop the read-only registration or stop "
+                        "mutating the attribute after construction",
+                    )
+                )
+            continue
+        if registration.kind != GUARDED or write.in_init:
+            continue
+        lock = registration.lock or ""
+        effective = set(write.held) | entry_held.get(
+            write.summary.key, frozenset()
+        )
+        if lock not in effective:
+            module = write.summary.klass.module
+            holding = (
+                "holding " + ", ".join(sorted(effective))
+                if effective
+                else "holding no lock"
+            )
+            diagnostics.append(
+                _diag(
+                    "FP402",
+                    f"write to '{write.owner}.{write.attr}' (guarded by "
+                    f"'{lock}') while {holding}",
+                    _node_span(module, write.node),
+                    hint=f"wrap the write in 'with <{lock} lock>:' or "
+                    "move it into a helper whose every call site "
+                    "holds the lock",
+                )
+            )
+    return diagnostics, used
+
+
+def _check_registrations(
+    project: Project, used: set[tuple[str, str]]
+) -> list[Diagnostic]:
+    """FP405 (unknown lock) and FP406 (stale guarded registration)."""
+    diagnostics: list[Diagnostic] = []
+    for module in project.modules:
+        for klass in module.classes.values():
+            for attr, registration in sorted(
+                klass.registrations.items()
+            ):
+                if registration.kind != GUARDED:
+                    continue
+                lock = registration.lock or ""
+                if lock not in project.lock_names:
+                    diagnostics.append(
+                        _diag(
+                            "FP405",
+                            f"'{klass.name}.{attr}' is guarded by "
+                            f"'{lock}', but no named_lock({lock!r}) "
+                            "exists in the analyzed tree",
+                            _line_span(module, registration.line),
+                            hint="construct the lock via "
+                            "repro.locking.named_lock or fix the role "
+                            "name in the registration",
+                        )
+                    )
+                elif (klass.name, attr) not in used:
+                    diagnostics.append(
+                        _diag(
+                            "FP406",
+                            f"'{klass.name}.{attr}' is registered as "
+                            f"guarded by '{lock}' but never written "
+                            "outside __init__",
+                            _line_span(module, registration.line),
+                            hint="stale registration: remove it or "
+                            "use @read_only",
+                        )
+                    )
+    return diagnostics
+
+
+def _check_cycles(graph: LockGraph) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for cycle in graph.cycles:
+        rendering = " -> ".join(cycle + cycle[:1])
+        witness = graph.edges.get((cycle[0], cycle[1]))
+        if witness is None and len(cycle) >= 2:
+            witness = graph.edges.get((cycle[1], cycle[0]))
+        span = (
+            witness.span
+            if witness is not None
+            else SourceSpan("<lock-order graph>", 0, 0, 1, 1)
+        )
+        diagnostics.append(
+            _diag(
+                "FP404",
+                f"lock-order cycle: {rendering}",
+                span,
+                hint="pick one global acquisition order for these "
+                "locks and restructure the nested scopes to follow it",
+            )
+        )
+    return diagnostics
+
+
+def analyze_concurrency(
+    paths: list[pathlib.Path],
+) -> tuple[AnalysisReport, LockGraph]:
+    """Run every FP4xx check over the files under ``paths``.
+
+    Returns the report plus the lock-order graph (for ``--graph`` and
+    the sanitizer-consistency test).
+    """
+    project = build_project(paths)
+    report = AnalysisReport()
+    for path, error in project.unparsed:
+        report.add(
+            Diagnostic(
+                code="FP304",
+                severity=severity_of("FP304"),
+                message=f"cannot parse {path}: {error.msg}",
+                subject=path.as_posix(),
+            )
+        )
+    summaries = summarize_methods(project)
+    entry_held = compute_entry_held(summaries, set(project.lock_names))
+    graph = build_graph(summaries, entry_held)
+
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_module_state(project))
+    write_diags, used = _check_writes(project, summaries, entry_held)
+    diagnostics.extend(write_diags)
+    diagnostics.extend(_check_registrations(project, used))
+    diagnostics.extend(_check_cycles(graph))
+
+    def sort_key(diag: Diagnostic) -> tuple[str, int, int, str]:
+        span = diag.span
+        if span is None:
+            return (diag.subject, 0, 0, diag.code)
+        return (span.source, span.line, span.column, diag.code)
+
+    for diagnostic in sorted(diagnostics, key=sort_key):
+        report.add(diagnostic)
+    return report, graph

@@ -1,0 +1,249 @@
+"""The static lock-acquisition-order graph and its cycle check.
+
+A deadlock needs two locks taken in both orders by two threads; the
+static defense is a global *acquisition-order graph* over the named
+lock roles: an edge ``A -> B`` means some code path can acquire ``B``
+while holding ``A``.  If the graph is acyclic, a consistent global
+order exists and the classic ABBA deadlock cannot happen; a cycle is
+``FP404``.
+
+Edges come from two places:
+
+* **Lexical nesting** — a ``with`` block (or try/finally acquire)
+  inside another lock's scope adds ``outer -> inner``, including locks
+  guaranteed held on entry to a private helper (the same entry-held
+  fixpoint the guarded-write check uses).
+
+* **Calls** — acquiring a lock *transitively* counts: for every
+  resolved call site, each lock held at the site gets an edge to every
+  lock the callee can acquire anywhere downstream (a fixpoint over the
+  typed call graph).  This is what makes the static graph a superset
+  of anything the runtime :class:`repro.locking.LockOrderSanitizer`
+  can observe — the property the integration test asserts via
+  :meth:`~repro.locking.LockOrderSanitizer.assert_consistent_with`.
+
+Same-name re-acquisition is skipped: named locks are reentrant by
+role, so ``proxy.cache -> proxy.cache`` is not an edge.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import SourceSpan
+from repro.analysis.concurrency.model import (
+    MethodSummary,
+    Project,
+    build_project,
+    compute_entry_held,
+    summarize_methods,
+)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One ``outer -> inner`` acquisition edge with a witness site."""
+
+    outer: str
+    inner: str
+    span: SourceSpan
+
+
+@dataclass
+class LockGraph:
+    """The acquisition-order graph over named lock roles."""
+
+    edges: dict[tuple[str, str], LockEdge] = field(default_factory=dict)
+    cycles: list[list[str]] = field(default_factory=list)
+
+    def edge_set(self) -> set[tuple[str, str]]:
+        """Bare ``(outer, inner)`` pairs — what the runtime sanitizer's
+        ``assert_consistent_with`` consumes."""
+        return set(self.edges)
+
+    def render(self) -> str:
+        if not self.edges:
+            return "lock-order graph: no edges"
+        lines = ["lock-order graph:"]
+        for (outer, inner), edge in sorted(self.edges.items()):
+            lines.append(f"  {outer} -> {inner}    [{edge.span}]")
+        for cycle in self.cycles:
+            lines.append("  CYCLE: " + " -> ".join(cycle + cycle[:1]))
+        return "\n".join(lines)
+
+
+def _span_for(summary: MethodSummary, node: ast.AST) -> SourceSpan:
+    module = summary.klass.module
+    start, end, line, column, snippet = module.span_args(node)
+    return SourceSpan(
+        source=module.path.as_posix(),
+        start=start,
+        end=end,
+        line=line,
+        column=column,
+        snippet=snippet,
+    )
+
+
+def transitive_acquires(
+    summaries: dict[tuple[str, str], MethodSummary],
+) -> dict[tuple[str, str], frozenset[str]]:
+    """Every lock a method can acquire, directly or via callees."""
+    acquired: dict[tuple[str, str], set[str]] = {
+        key: {site.lock for site in summary.acquires}
+        for key, summary in summaries.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, summary in summaries.items():
+            current = acquired[key]
+            before = len(current)
+            for call in summary.calls:
+                callee = acquired.get(
+                    (call.target_class, call.target_method)
+                )
+                if callee:
+                    current.update(callee)
+            if len(current) != before:
+                changed = True
+    return {key: frozenset(locks) for key, locks in acquired.items()}
+
+
+def build_graph(
+    summaries: dict[tuple[str, str], MethodSummary],
+    entry_held: dict[tuple[str, str], frozenset[str]],
+) -> LockGraph:
+    """Collect edges from every acquisition and call site."""
+    graph = LockGraph()
+    downstream = transitive_acquires(summaries)
+
+    def add_edge(outer: str, inner: str, summary: MethodSummary,
+                 node: ast.AST) -> None:
+        if outer == inner:
+            return
+        key = (outer, inner)
+        if key not in graph.edges:
+            graph.edges[key] = LockEdge(
+                outer=outer, inner=inner, span=_span_for(summary, node)
+            )
+
+    for key, summary in sorted(summaries.items()):
+        base = entry_held.get(key, frozenset())
+        for acquire in summary.acquires:
+            for outer in sorted(base | set(acquire.held_before)):
+                add_edge(outer, acquire.lock, summary, acquire.node)
+        for call in summary.calls:
+            callee = downstream.get(
+                (call.target_class, call.target_method)
+            )
+            if not callee:
+                continue
+            for outer in sorted(base | set(call.held)):
+                for inner in sorted(callee):
+                    add_edge(outer, inner, summary, call.node)
+
+    graph.cycles = _find_cycles(set(graph.edges))
+    return graph
+
+
+def _find_cycles(edges: set[tuple[str, str]]) -> list[list[str]]:
+    """Strongly connected components with more than one lock."""
+    adjacency: dict[str, list[str]] = {}
+    nodes: set[str] = set()
+    for outer, inner in edges:
+        adjacency.setdefault(outer, []).append(inner)
+        nodes.update((outer, inner))
+    for neighbors in adjacency.values():
+        neighbors.sort()
+
+    # Iterative Tarjan SCC.
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            neighbors = adjacency.get(node, [])
+            advanced = False
+            while child_index < len(neighbors):
+                child = neighbors[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    cycles: list[list[str]] = []
+    for component in sorted(sccs):
+        cycles.append(_order_cycle(component, adjacency))
+    return cycles
+
+
+def _order_cycle(
+    component: list[str], adjacency: dict[str, list[str]]
+) -> list[str]:
+    """A concrete cycle through the component, deterministically."""
+    members = set(component)
+    start = component[0]
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        neighbors = [
+            n for n in adjacency.get(node, []) if n in members
+        ]
+        next_node = None
+        for candidate in neighbors:
+            if candidate == start and len(path) > 1:
+                return path
+            if candidate not in seen:
+                next_node = candidate
+                break
+        if next_node is None:
+            # Fall back: close on the first in-component neighbor.
+            return path
+        path.append(next_node)
+        seen.add(next_node)
+        node = next_node
+
+
+def build_lock_graph(paths: list[pathlib.Path]) -> LockGraph:
+    """The static lock-order graph for the files under ``paths``."""
+    project = build_project(paths)
+    summaries = summarize_methods(project)
+    entry = compute_entry_held(summaries, set(project.lock_names))
+    return build_graph(summaries, entry)

@@ -41,6 +41,15 @@ Invariants the generic tools cannot express:
   modules must emit numbers via
   :class:`repro.perf.reporter.BenchReporter` (whose ``finish`` prints
   the one sanctioned summary table) and prose via ``record_result``.
+* **FP309 — every lock has a name.**  The concurrency analyzer
+  (:mod:`repro.analysis.concurrency`) reasons about locks by *role
+  name* (``"proxy.cache"``, ``"persistence.journal"``, ...); a raw
+  ``threading.Lock()`` / ``threading.RLock()`` is anonymous, so the
+  guarded-write check cannot tie it to any ``guarded-by`` annotation
+  and the lock-order graph cannot see it at all.  Outside
+  ``repro/locking.py`` (which owns the one sanctioned constructor)
+  every lock must be built with
+  :func:`repro.locking.named_lock`.
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -506,6 +515,57 @@ def bench_print_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
             )
 
 
+# ------------------------------------------------------------------- FP309
+#: Lock-ish constructors of the ``threading`` module the rule covers.
+THREADING_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def raw_lock_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP309: raw threading lock constructions outside repro/locking.py."""
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    if module.repro_parts == ("locking.py",):
+        return
+    hint = (
+        "construct locks via repro.locking.named_lock(\"<role>\") so the "
+        "concurrency analyzer can name them"
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            imported = module.imported_names.get(func.id)
+            if (
+                imported is not None
+                and imported[0] == "threading"
+                and imported[1] in THREADING_LOCK_FACTORIES
+            ):
+                yield module.diagnostic(
+                    "FP309",
+                    f"threading.{imported[1]}() constructs an anonymous "
+                    "lock the concurrency analyzer cannot name",
+                    node,
+                    hint=hint,
+                )
+        elif isinstance(func, ast.Attribute):
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and module.module_aliases.get(value.id) == "threading"
+                and func.attr in THREADING_LOCK_FACTORIES
+            ):
+                yield module.diagnostic(
+                    "FP309",
+                    f"threading.{func.attr}() constructs an anonymous "
+                    "lock the concurrency analyzer cannot name",
+                    node,
+                    hint=hint,
+                )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
@@ -514,10 +574,38 @@ ALL_RULES: tuple[LintRule, ...] = (
     manual_context_rule,
     non_atomic_write_rule,
     bench_print_rule,
+    raw_lock_rule,
 )
 
 
 # ------------------------------------------------------------------ driver
+def _syntax_error_span(
+    path: pathlib.Path, text: str, exc: SyntaxError
+) -> SourceSpan:
+    """A line:col span for an unparseable file, from the SyntaxError.
+
+    ``SyntaxError.offset`` is already 1-based (like the column our
+    spans carry), so the diagnostic renders in the same
+    ``path:line:col`` style as every AST-anchored finding.
+    """
+    lines = text.split("\n")
+    lineno = max(1, exc.lineno or 1)
+    column = max(1, exc.offset or 1)
+    start = sum(len(line) + 1 for line in lines[: lineno - 1]) + column - 1
+    start = min(start, len(text))
+    snippet = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+    if len(snippet) > 80:
+        snippet = snippet[:77] + "..."
+    return SourceSpan(
+        source=path.as_posix(),
+        start=start,
+        end=min(len(text), start + max(1, len(snippet))),
+        line=lineno,
+        column=column,
+        snippet=snippet,
+    )
+
+
 def lint_file(
     path: pathlib.Path, rules: Sequence[LintRule] = ALL_RULES
 ) -> AnalysisReport:
@@ -531,8 +619,9 @@ def lint_file(
             Diagnostic(
                 code="FP304",
                 severity=severity_of("FP304"),
-                message=f"cannot parse {path}: {exc}",
+                message=f"cannot parse {path}: {exc.msg}",
                 subject=path.as_posix(),
+                span=_syntax_error_span(path, text, exc),
             )
         )
         return report

@@ -16,6 +16,16 @@ Design notes
   policy; DESIGN.md records the choice, and the policy is pluggable
   (:mod:`repro.core.replacement`) so the replacement ablation can
   compare alternatives.
+* **Locking**: every mutation happens under the ``proxy.cache`` named
+  lock (reentrant), taken by the public mutators (``store`` /
+  ``clear`` / ``remove`` / ``touch``); the private helpers are only
+  ever called from inside those scopes, which the concurrency analyzer
+  verifies (see DESIGN.md, FP4xx).  The cache *description* is owned
+  by this manager and mutated only under the same lock — that
+  ownership convention is why ``core/description.py`` itself carries
+  no registrations.  Reads stay lock-free (CPython dict gets are
+  atomic); ``entries()`` snapshots under the lock so callers can
+  iterate while another thread stores.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from repro.core.costs import ProxyCostModel
 from repro.core.description import CacheDescription
 from repro.core.store import MemoryResultStore
 from repro.geometry.regions import Region
+from repro.locking import guarded_by, named_lock, unshared
 from repro.obs.decisions import EvictionRecord
 from repro.relational.result import ResultTable
 from repro.templates.manager import BoundQuery
@@ -37,6 +48,7 @@ class CacheError(Exception):
     """Cache misuse (unknown entries, double insertion)."""
 
 
+@guarded_by("proxy.cache", "last_used", "access_count")
 @dataclass(eq=False)
 class CacheEntry:
     """One cached query result's metadata.
@@ -73,6 +85,9 @@ class CacheEntry:
         )
 
 
+@unshared(
+    "stored_bytes", "evicted_entries", "description_work", "evictions"
+)
 @dataclass
 class MaintenanceReport:
     """What a cache mutation cost, for the simulated clock.
@@ -95,6 +110,17 @@ class MaintenanceReport:
         )
 
 
+@guarded_by(
+    "proxy.cache",
+    "description",
+    "_entries",
+    "_by_key",
+    "_ids",
+    "_tick",
+    "current_bytes",
+    "insertions",
+    "evictions",
+)
 class CacheManager:
     """Byte-budgeted LRU store of query results with a description."""
 
@@ -128,7 +154,8 @@ class CacheManager:
         #: (region containment) and ``replace`` (identical query
         #: re-admitted); a full flush is one ``cleared`` record, not a
         #: stream of per-entry removals.
-        self.mutation_log = None
+        self.mutation_log = None  # lock-class: CachePersister
+        self._lock = named_lock("proxy.cache")
         self._entries: dict[int, CacheEntry] = {}
         self._by_key: dict[tuple, int] = {}
         self._ids = itertools.count(1)
@@ -149,7 +176,8 @@ class CacheManager:
         return self._entries[entry_id]
 
     def entries(self) -> Iterable[CacheEntry]:
-        return self._entries.values()
+        with self._lock:  # snapshot: callers iterate without the lock
+            return list(self._entries.values())
 
     def entry(self, entry_id: int) -> CacheEntry:
         try:
@@ -159,9 +187,10 @@ class CacheManager:
 
     def touch(self, entry: CacheEntry) -> None:
         """Record a use, for the replacement policy."""
-        entry.last_used = next(self._tick)
-        entry.access_count += 1
-        self.policy.on_access(entry)
+        with self._lock:
+            entry.last_used = next(self._tick)
+            entry.access_count += 1
+            self.policy.on_access(entry)
 
     # ------------------------------------------------------------- store
     def store(
@@ -178,54 +207,57 @@ class CacheManager:
         paper's cache stores whole files or nothing).
         """
         report = MaintenanceReport()
-        key = bound.cache_key()
-        existing = self._by_key.get(key)
-        if existing is not None:
-            # Identical query raced in (e.g. after an eviction); replace.
-            old = self._entries[existing]
-            report.description_work += self._remove(old)
-            self._log_removed(old, "replace")
-        size = result.byte_size()
-        if self.max_bytes is not None and size > self.max_bytes:
-            return None, report
-        report.description_work += self._make_room(size, report)
-        entry = CacheEntry(
-            entry_id=next(self._ids),
-            template_id=bound.template_id,
-            cache_key=key,
-            region=bound.region,
-            signature=signature,
-            truncated=truncated,
-            byte_size=size,
-            row_count=len(result),
-            store=self.result_store,
-            last_used=next(self._tick),
-        )
-        self.result_store.put(entry.entry_id, result)
-        self._entries[entry.entry_id] = entry
-        self._by_key[key] = entry.entry_id
-        self.policy.on_insert(entry)
-        self.current_bytes += size
-        self.insertions += 1
-        report.stored_bytes = size
-        report.description_work += self.description.add(entry)
-        self._notify("insert", size)
-        if self.mutation_log is not None:
-            self.mutation_log.admitted(entry)
-        return entry, report
+        with self._lock:
+            key = bound.cache_key()
+            existing = self._by_key.get(key)
+            if existing is not None:
+                # Identical query raced in (e.g. after an eviction);
+                # replace.
+                old = self._entries[existing]
+                report.description_work += self._remove(old)
+                self._log_removed(old, "replace")
+            size = result.byte_size()
+            if self.max_bytes is not None and size > self.max_bytes:
+                return None, report
+            report.description_work += self._make_room(size, report)
+            entry = CacheEntry(
+                entry_id=next(self._ids),
+                template_id=bound.template_id,
+                cache_key=key,
+                region=bound.region,
+                signature=signature,
+                truncated=truncated,
+                byte_size=size,
+                row_count=len(result),
+                store=self.result_store,
+                last_used=next(self._tick),
+            )
+            self.result_store.put(entry.entry_id, result)
+            self._entries[entry.entry_id] = entry
+            self._by_key[key] = entry.entry_id
+            self.policy.on_insert(entry)
+            self.current_bytes += size
+            self.insertions += 1
+            report.stored_bytes = size
+            report.description_work += self.description.add(entry)
+            self._notify("insert", size)
+            if self.mutation_log is not None:
+                self.mutation_log.admitted(entry)
+            return entry, report
 
     def clear(self) -> int:
         """Drop every entry (origin data-version change); returns the
         number of entries removed."""
-        removed = 0
-        for entry in list(self._entries.values()):
-            self._remove(entry)
-            removed += 1
-        if removed:
-            self._notify("clear", 0)
-            if self.mutation_log is not None:
-                self.mutation_log.cleared(removed)
-        return removed
+        with self._lock:
+            removed = 0
+            for entry in list(self._entries.values()):
+                self._remove(entry)
+                removed += 1
+            if removed:
+                self._notify("clear", 0)
+                if self.mutation_log is not None:
+                    self.mutation_log.cleared(removed)
+            return removed
 
     def remove(self, entry: CacheEntry) -> MaintenanceReport:
         """Remove a specific entry (region-containment consolidation).
@@ -234,11 +266,12 @@ class CacheManager:
         eviction (making room for the merged result) already removed.
         """
         report = MaintenanceReport()
-        if entry.entry_id in self._entries:
-            report.description_work += self._remove(entry)
-            self._notify("remove", entry.byte_size)
-            self._log_removed(entry, "consolidate")
-        return report
+        with self._lock:
+            if entry.entry_id in self._entries:
+                report.description_work += self._remove(entry)
+                self._notify("remove", entry.byte_size)
+                self._log_removed(entry, "consolidate")
+            return report
 
     # ----------------------------------------------------------- private
     def _make_room(self, incoming: int, report: MaintenanceReport) -> float:

@@ -86,6 +86,7 @@ from repro.faults.resilience import (
     ResilienceConfig,
 )
 from repro.geometry.relations import RegionRelation, relate
+from repro.locking import guarded_by, named_lock
 from repro.network.clock import SimulatedClock
 from repro.network.link import Topology
 from repro.obs.decisions import region_summary
@@ -110,8 +111,29 @@ class ProxyResponse:
         return self.record.response_ms
 
 
+@guarded_by(
+    "proxy.state",
+    "origin",
+    "topology",
+    "fault_plan",
+    "_query_index",
+    "_seen_data_version",
+    "invalidations",
+)
 class FunctionProxy:
-    """A template-based caching proxy for function-embedded queries."""
+    """A template-based caching proxy for function-embedded queries.
+
+    ``serve`` runs as a sequence of explicitly named, reentrant stages
+    — ``_begin_query`` (admission), ``_stage_parse_bind``,
+    ``_stage_cache_probe``, ``_stage_local_eval``, ``_origin_fetch``,
+    ``_stage_merge``, ``_stage_admit``, ``_respond`` — each owning its
+    step charge, so concurrent serves interleave at stage boundaries.
+    The proxy's own mutable state (the query counter, the data-version
+    fence, and the fault-injection wrappers around origin/topology) is
+    guarded by the outermost ``proxy.state`` named lock; everything
+    else a stage touches synchronizes in the component that owns it
+    (cache, templates, decision log, persister).
+    """
 
     def __init__(
         self,
@@ -134,6 +156,7 @@ class FunctionProxy:
     ) -> None:
         if max_holes < 1:
             raise ValueError("max_holes must be at least 1")
+        self._lock = named_lock("proxy.state")
         self.origin = origin
         self.templates = templates
         self.scheme = scheme
@@ -239,17 +262,20 @@ class FunctionProxy:
         plan loaded mid-trace simply starts misbehaving from the
         current simulated time on.
         """
-        if plan is None:
-            self.origin = self._base_origin
-            self.topology = self._base_topology
-            self.fault_plan = None
-            return
-        session = plan.session()
-        self.origin = FaultyOrigin(self._base_origin, session, self.clock)
-        self.topology = FaultyTopology(
-            self._base_topology, session, self.clock
-        )
-        self.fault_plan = plan
+        with self._lock:
+            if plan is None:
+                self.origin = self._base_origin
+                self.topology = self._base_topology
+                self.fault_plan = None
+                return
+            session = plan.session()
+            self.origin = FaultyOrigin(
+                self._base_origin, session, self.clock
+            )
+            self.topology = FaultyTopology(
+                self._base_topology, session, self.clock
+            )
+            self.fault_plan = plan
 
     # ------------------------------------------------------------ public
     def serve_form(
@@ -267,40 +293,24 @@ class FunctionProxy:
         origin-side query errors become structured ``failed`` (or
         degraded) outcomes on the returned record.
         """
-        self._query_index += 1
-        self._check_data_version()
+        index = self._begin_query()
         policy = self.scheme.policy
         with self.obs.observe_query(
-            self._query_index, bound.template_id, clock=self.clock
+            index, bound.template_id, clock=self.clock
         ) as observation:
             decision = self.obs.decisions.begin(
-                self._query_index,
+                index,
                 bound.template_id,
                 query_region=region_summary(bound.region),
                 scheme=self.scheme.value,
                 policy=policy.describe(),
             )
             observation.decision = decision
-            observation.charge("parse", self.costs.parse_ms)
             try:
-                deterministic = self._is_deterministic(bound)
-                degraded = self.templates.is_degraded(bound.template_id)
-                if not policy.caches or not deterministic or degraded:
-                    if not policy.caches:
-                        decision.note("tunneled: scheme never caches")
-                    if not deterministic:
-                        decision.note(
-                            "tunneled: embedded function is not "
-                            "deterministic"
-                        )
-                    if degraded:
-                        decision.note(
-                            "tunneled: template admitted degraded by "
-                            "the analyzer"
-                        )
+                if self._stage_parse_bind(bound, observation, policy):
                     response = self._tunnel(bound, observation)
                 else:
-                    response = self._serve_cached(
+                    response = self._stage_cache_probe(
                         bound, observation, policy
                     )
             except (OriginUnavailable, OriginQueryError) as exc:
@@ -308,8 +318,51 @@ class FunctionProxy:
         self.stats.add(response.record)
         return response
 
-    # --------------------------------------------------------- dispatch
-    def _serve_cached(self, bound, observation, policy) -> ProxyResponse:
+    # ------------------------------------------------------------ stages
+    def _begin_query(self) -> int:
+        """Stage 0 (admission): assign the query's index and fence the
+        data version.
+
+        Runs under the ``proxy.state`` lock so concurrent serves get
+        distinct indices and never race the version-change cache
+        flush; the index travels on the observation from here on.
+        """
+        with self._lock:
+            self._query_index += 1
+            self._check_data_version()
+            return self._query_index
+
+    def _stage_parse_bind(self, bound, observation, policy) -> bool:
+        """Stage 1 (parse/bind): charge parsing, classify tunneling.
+
+        Returns True when the query must be tunneled — the scheme
+        never caches, the embedded function is not deterministic, or
+        the template was admitted degraded by the analyzer — noting
+        each reason on the decision trace.
+        """
+        decision = observation.decision
+        observation.charge("parse", self.costs.parse_ms)
+        deterministic = self._is_deterministic(bound)
+        degraded = self.templates.is_degraded(bound.template_id)
+        if policy.caches and deterministic and not degraded:
+            return False
+        if decision is not None:
+            if not policy.caches:
+                decision.note("tunneled: scheme never caches")
+            if not deterministic:
+                decision.note(
+                    "tunneled: embedded function is not "
+                    "deterministic"
+                )
+            if degraded:
+                decision.note(
+                    "tunneled: template admitted degraded by "
+                    "the analyzer"
+                )
+        return True
+
+    def _stage_cache_probe(self, bound, observation, policy) -> ProxyResponse:
+        """Stage 2 (cache probe): dispatch on the cache relation."""
         exact = self.cache.exact_match(bound)
         if exact is not None:
             return self._serve_exact(bound, exact, observation)
@@ -363,6 +416,91 @@ class FunctionProxy:
         :class:`repro.extensions.adaptive.AdaptiveProxy` overrides this
         with a learned estimate of whether remainders pay off."""
         return self.scheme.policy.handles_overlap
+
+    def _stage_local_eval(self, bound, entries, observation):
+        """Stage 3 (local evaluation): run the query over cached rows.
+
+        Evaluates under a ``local_eval`` phase — charging the
+        per-tuple evaluation cost there and the per-tuple read cost to
+        the ``read`` step — and returns the evaluator's outcome.  The
+        contained and overlap cases share this accounting exactly.
+        """
+        with observation.phase(
+            "local_eval", entries=len(entries)
+        ) as local_eval:
+            outcome = self.evaluator.select_in_region(bound, entries)
+            local_eval.charge(
+                self.costs.eval_per_tuple_ms * outcome.tuples_evaluated
+            )
+            local_eval.count("tuples_evaluated", outcome.tuples_evaluated)
+            local_eval.count("tuples_read", outcome.tuples_read)
+        observation.charge(
+            "read", self.costs.read_per_tuple_ms * outcome.tuples_read
+        )
+        return outcome
+
+    def _stage_merge(self, bound, probe_result, origin_result, observation):
+        """Stage 5 (merge): combine cached probe and origin remainder."""
+        with observation.phase("merge") as merge:
+            merged = probe_result.merge_dedup(
+                origin_result, bound.key_column
+            )
+            merge.charge(self.costs.merge_per_tuple_ms * len(merged))
+            merge.count("tuples", len(merged))
+        return merged
+
+    def _stage_admit(
+        self, bound, result, origin_result, observation, consolidate=None
+    ):
+        """Stage 6 (admit): store the result, run cache maintenance.
+
+        ``consolidate`` names the subsumed entries to fold into the
+        new entry (the overlap path's region-containment maintenance);
+        ``None`` is the plain forward-and-cache admission.  Returns
+        ``(entry, report)`` — ``entry`` is None when nothing fit.
+        """
+        with observation.phase("maintenance") as admit:
+            truncated = self._is_truncated(bound, origin_result)
+            entry, report = self.cache.store(
+                bound, result, self._signature(bound), truncated
+            )
+            maintenance = report.charge_ms(self.costs)
+            if consolidate is not None and entry is not None:
+                for victim in consolidate:
+                    maintenance += self.cache.remove(victim).charge_ms(
+                        self.costs
+                    )
+            admit.charge(maintenance)
+            if consolidate is not None:
+                admit.annotate(
+                    admitted=entry is not None,
+                    evicted=report.evicted_entries,
+                    consolidated=(
+                        len(consolidate) if entry is not None else 0
+                    ),
+                )
+                admit.count("evicted", report.evicted_entries)
+                if entry is not None:
+                    admit.count("consolidated", len(consolidate))
+            else:
+                admit.annotate(
+                    admitted=entry is not None,
+                    evicted=report.evicted_entries,
+                )
+            decision = observation.decision
+            if decision is not None:
+                for eviction in report.evictions:
+                    decision.record_eviction(eviction)
+                if consolidate is not None:
+                    decision.record_admission(
+                        entry is not None,
+                        [v.entry_id for v in consolidate]
+                        if entry is not None
+                        else None,
+                    )
+                else:
+                    decision.record_admission(entry is not None)
+        return entry, report
 
     # ------------------------------------------------------ description
     def _check_description(self, bound: BoundQuery, observation):
@@ -506,16 +644,7 @@ class FunctionProxy:
                 "(smallest subsuming result)"
             )
         self.cache.touch(entry)
-        with observation.phase("local_eval", entries=1) as local_eval:
-            outcome = self.evaluator.select_in_region(bound, [entry])
-            local_eval.charge(
-                self.costs.eval_per_tuple_ms * outcome.tuples_evaluated
-            )
-            local_eval.count("tuples_evaluated", outcome.tuples_evaluated)
-            local_eval.count("tuples_read", outcome.tuples_read)
-        observation.charge(
-            "read", self.costs.read_per_tuple_ms * outcome.tuples_read
-        )
+        outcome = self._stage_local_eval(bound, [entry], observation)
         result = self.evaluator.finalize(bound, outcome.result)
         return self._respond(
             bound,
@@ -543,16 +672,7 @@ class FunctionProxy:
         for entry in used:
             self.cache.touch(entry)
 
-        with observation.phase("local_eval", entries=len(used)) as local_eval:
-            probe = self.evaluator.select_in_region(bound, used)
-            local_eval.charge(
-                self.costs.eval_per_tuple_ms * probe.tuples_evaluated
-            )
-            local_eval.count("tuples_evaluated", probe.tuples_evaluated)
-            local_eval.count("tuples_read", probe.tuples_read)
-        observation.charge(
-            "read", self.costs.read_per_tuple_ms * probe.tuples_read
-        )
+        probe = self._stage_local_eval(bound, used, observation)
 
         with observation.phase("remainder_build", record=False) as build:
             remainder = build_remainder(bound, [e.region for e in used])
@@ -583,12 +703,9 @@ class FunctionProxy:
             ),
         )
 
-        with observation.phase("merge") as merge:
-            merged = probe.result.merge_dedup(
-                origin_response.result, bound.key_column
-            )
-            merge.charge(self.costs.merge_per_tuple_ms * len(merged))
-            merge.count("tuples", len(merged))
+        merged = self._stage_merge(
+            bound, probe.result, origin_response.result, observation
+        )
         result = self.evaluator.finalize(bound, merged)
 
         # Count the cached contribution that survived into the answer.
@@ -603,36 +720,13 @@ class FunctionProxy:
 
         # Cache the merged full-region result and consolidate subsumed
         # entries into it (the paper's region-containment maintenance).
-        with observation.phase("maintenance") as admit:
-            truncated = self._is_truncated(bound, origin_response.result)
-            entry, report = self.cache.store(
-                bound, merged, self._signature(bound), truncated
-            )
-            maintenance = report.charge_ms(self.costs)
-            if entry is not None:
-                for victim in used_subsumed:
-                    maintenance += self.cache.remove(victim).charge_ms(
-                        self.costs
-                    )
-            admit.charge(maintenance)
-            admit.annotate(
-                admitted=entry is not None,
-                evicted=report.evicted_entries,
-                consolidated=len(used_subsumed) if entry is not None else 0,
-            )
-            admit.count("evicted", report.evicted_entries)
-            if entry is not None:
-                admit.count("consolidated", len(used_subsumed))
-            decision = observation.decision
-            if decision is not None:
-                for eviction in report.evictions:
-                    decision.record_eviction(eviction)
-                decision.record_admission(
-                    entry is not None,
-                    [v.entry_id for v in used_subsumed]
-                    if entry is not None
-                    else None,
-                )
+        self._stage_admit(
+            bound,
+            merged,
+            origin_response.result,
+            observation,
+            consolidate=used_subsumed,
+        )
 
         status = (
             QueryStatus.REGION_CONTAINMENT
@@ -690,20 +784,7 @@ class FunctionProxy:
             "transfer",
             self.topology.origin_round_trip_ms(result.byte_size()),
         )
-        with observation.phase("maintenance") as admit:
-            truncated = self._is_truncated(bound, result)
-            entry, report = self.cache.store(
-                bound, result, self._signature(bound), truncated
-            )
-            admit.charge(report.charge_ms(self.costs))
-            admit.annotate(
-                admitted=entry is not None, evicted=report.evicted_entries
-            )
-            decision = observation.decision
-            if decision is not None:
-                for eviction in report.evictions:
-                    decision.record_eviction(eviction)
-                decision.record_admission(entry is not None)
+        self._stage_admit(bound, result, result, observation)
         return self._respond(
             bound,
             result,
@@ -777,7 +858,7 @@ class FunctionProxy:
     ) -> ProxyResponse:
         steps = observation.steps
         record = QueryRecord(
-            index=self._query_index,
+            index=observation.index,
             template_id=bound.template_id,
             status=status,
             response_ms=sum(steps.values()),

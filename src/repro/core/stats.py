@@ -22,6 +22,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.locking import guarded_by, named_lock
+
 
 class QueryStatus(enum.Enum):
     """How the proxy disposed of a query."""
@@ -127,14 +129,23 @@ class QueryRecord:
         return self.tuples_from_cache / self.tuples_total
 
 
+@guarded_by("proxy.stats", "records")
 class TraceStats:
-    """Aggregates over a sequence of query records."""
+    """Aggregates over a sequence of query records.
+
+    ``add`` is the only mutator and takes the ``proxy.stats`` lock;
+    the aggregate properties read the list without it (appends are
+    atomic under the GIL, and the aggregates are monitoring output,
+    not control flow).
+    """
 
     def __init__(self, records: Iterable[QueryRecord] | None = None) -> None:
+        self._lock = named_lock("proxy.stats")
         self.records: list[QueryRecord] = list(records or [])
 
     def add(self, record: QueryRecord) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
 
     def __len__(self) -> int:
         return len(self.records)

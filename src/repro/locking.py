@@ -1,0 +1,299 @@
+"""Named locks, guarded-state registration, and the order sanitizer.
+
+The concurrency-safety story has three legs, and this module is the
+runtime leg (the other two are the static analyzer
+:mod:`repro.analysis.concurrency` and the ``FP309`` lint rule):
+
+* :func:`named_lock` is the **one sanctioned way to construct a lock**.
+  Every lock carries a stable *role name* (``"proxy.cache"``,
+  ``"persistence.journal"``, ...) so the static analyzer can reason
+  about lock identity across classes and files, and the runtime
+  sanitizer can talk about acquisition order in the same vocabulary.
+  Constructing ``threading.Lock()`` / ``threading.RLock()`` anywhere
+  else in the repository is flagged as ``FP309``.
+
+* :func:`guarded_by` / :func:`unshared` / :func:`read_only` register a
+  class's shared mutable attributes for the analyzer (the decorator
+  form of the ``# guarded-by: <lock>`` comment convention).  The
+  decorators also leave the registration on the class
+  (``__concurrency_guards__``) so tests and tooling can introspect it.
+
+* :class:`LockOrderSanitizer` is the **debug-mode runtime check**: when
+  enabled (tests; never the default), every :class:`NamedLock`
+  acquisition records *held-lock -> acquired-lock* edges on a
+  per-thread stack and raises :class:`LockOrderError` the moment two
+  locks are ever taken in both orders — the dynamic mirror of the
+  analyzer's static FP404 cycle check, catching interleavings that a
+  deadlock would otherwise only reveal under load.
+
+Lock names are roles, not instances: every ``CacheManager`` constructs
+its own ``named_lock("proxy.cache")``.  Re-acquiring a *name* a thread
+already holds is treated as reentrant (all named locks are RLocks), so
+two same-role locks nested — e.g. two caches in one process — do not
+trip the sanitizer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, TypeVar
+
+_T = TypeVar("_T")
+
+#: Registration kinds a class can declare for an attribute.
+GUARDED = "guarded"
+UNSHARED = "unshared"
+READ_ONLY = "read-only"
+
+
+class LockOrderError(RuntimeError):
+    """Two locks were acquired in both orders (potential deadlock)."""
+
+
+class LockOrderSanitizer:
+    """Records actual lock-acquisition order and flags inversions.
+
+    Keeps one held-lock stack per thread and a process-wide set of
+    observed ``(outer, inner)`` name pairs.  Acquiring ``B`` while
+    holding ``A`` records ``A -> B`` for every held ``A``; if ``B -> A``
+    was ever observed (or statically declared via ``edges``), the
+    acquisition raises :class:`LockOrderError` instead of deadlocking
+    later.  The observed set is what tests assert against the static
+    lock-order graph built by :mod:`repro.analysis.concurrency`.
+    """
+
+    def __init__(
+        self, edges: Iterable[tuple[str, str]] | None = None
+    ) -> None:
+        # The sanitizer's own lock is infrastructure, not a registry
+        # lock: it guards the observed-edge set below and must never
+        # itself participate in ordering.
+        self._mutex = threading.Lock()
+        self._held = threading.local()  # unshared: per-thread stack
+        self._observed: set[tuple[str, str]] = set()  # guarded-by: _mutex
+        if edges is not None:
+            self._observed.update(
+                (str(outer), str(inner)) for outer, inner in edges
+            )
+
+    # ------------------------------------------------------------ state
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def held(self) -> tuple[str, ...]:
+        """The lock names the calling thread currently holds."""
+        return tuple(self._stack())
+
+    def observed_edges(self) -> set[tuple[str, str]]:
+        """Every ``(outer, inner)`` acquisition pair seen so far."""
+        with self._mutex:
+            return set(self._observed)
+
+    # ------------------------------------------------------- lifecycle
+    def acquiring(self, name: str) -> None:
+        """Called by :class:`NamedLock` before a blocking acquire."""
+        stack = self._stack()
+        if name in stack:  # reentrant by role name: no new edges
+            stack.append(name)
+            return
+        new_edges = [(held, name) for held in dict.fromkeys(stack)]
+        with self._mutex:
+            for edge in new_edges:
+                inverse = (edge[1], edge[0])
+                if inverse in self._observed:
+                    raise LockOrderError(
+                        f"lock order inversion: acquiring {name!r} while "
+                        f"holding {edge[0]!r}, but {inverse[0]!r} -> "
+                        f"{inverse[1]!r} was previously "
+                        "observed or declared"
+                    )
+                self._observed.add(edge)
+        stack.append(name)
+
+    def released(self, name: str) -> None:
+        """Called by :class:`NamedLock` after a release."""
+        stack = self._stack()
+        # Unwind the most recent acquisition of this name; releases out
+        # of acquisition order are tolerated the same way the span
+        # tracer tolerates out-of-order exits.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def assert_consistent_with(
+        self, edges: Iterable[tuple[str, str]]
+    ) -> None:
+        """Every observed edge must appear in the static graph.
+
+        ``edges`` is the edge set of the analyzer's static
+        lock-acquisition-order graph; an observed edge outside it means
+        runtime behavior the analysis did not predict.
+        """
+        static = {(str(a), str(b)) for a, b in edges}
+        unexpected = sorted(self.observed_edges() - static)
+        if unexpected:
+            raise LockOrderError(
+                "runtime acquisition edges missing from the static "
+                f"lock-order graph: {unexpected}"
+            )
+
+
+#: The process-wide sanitizer, or None (the default: zero overhead
+#: beyond one attribute read per acquire).  Installed by tests via
+#: enable_lock_sanitizer(); never enabled on the production hot path.
+_sanitizer: LockOrderSanitizer | None = None  # unshared: installed once, before threads start
+
+
+def enable_lock_sanitizer(
+    edges: Iterable[tuple[str, str]] | None = None,
+) -> LockOrderSanitizer:
+    """Install (and return) a fresh process-wide sanitizer.
+
+    ``edges`` pre-declares a static acquisition order, so an inversion
+    of a *declared* edge trips even if the straight order was never
+    exercised at runtime.
+    """
+    global _sanitizer
+    _sanitizer = LockOrderSanitizer(edges)
+    return _sanitizer
+
+
+def disable_lock_sanitizer() -> None:
+    """Remove the process-wide sanitizer."""
+    global _sanitizer
+    _sanitizer = None
+
+
+def current_sanitizer() -> LockOrderSanitizer | None:
+    """The installed sanitizer, if any."""
+    return _sanitizer
+
+
+class NamedLock:
+    """A reentrant lock with a stable role name.
+
+    The name is the analyzer's unit of lock identity: a ``# guarded-by:
+    proxy.cache`` annotation refers to whichever :class:`NamedLock`
+    instance carries that role in the owning object.  Use as a context
+    manager (``with self._lock:``) — the FP306 lint rule already bans
+    manual ``__enter__`` calls, and the analyzer recognizes
+    ``acquire()``/``release()`` pairs only for the try/finally idiom.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("a lock needs a non-empty role name")
+        self.name = name
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sanitizer = _sanitizer
+        if sanitizer is not None:
+            sanitizer.acquiring(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if not acquired and sanitizer is not None:
+            sanitizer.released(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        sanitizer = _sanitizer
+        if sanitizer is not None:
+            sanitizer.released(self.name)
+
+    def __enter__(self) -> "NamedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<NamedLock {self.name!r}>"
+
+
+def named_lock(name: str) -> NamedLock:
+    """The one sanctioned lock constructor (see FP309).
+
+    Locks constructed here are nameable by the static analyzer; a raw
+    ``threading.Lock()`` is anonymous and invisible to both the
+    guarded-write check and the lock-order graph.
+    """
+    return NamedLock(name)
+
+
+def _register(
+    cls: type[_T], kind: str, lock: str | None, attrs: tuple[str, ...]
+) -> type[_T]:
+    guards = dict(getattr(cls, "__concurrency_guards__", {}))
+    for attr in attrs:
+        guards[attr] = (kind, lock)
+    cls.__concurrency_guards__ = guards  # type: ignore[attr-defined]
+    return cls
+
+
+def guarded_by(
+    lock: str, *attrs: str
+) -> Callable[[type[_T]], type[_T]]:
+    """Class decorator: ``attrs`` may only be written under ``lock``.
+
+    The decorator form of the ``# guarded-by: <lock>`` comment; the
+    static analyzer reads either.  ``lock`` is a role name constructed
+    somewhere via :func:`named_lock`.
+    """
+
+    def decorate(cls: type[_T]) -> type[_T]:
+        return _register(cls, GUARDED, lock, attrs)
+
+    return decorate
+
+
+def unshared(*attrs: str) -> Callable[[type[_T]], type[_T]]:
+    """Class decorator: ``attrs`` are never shared across threads.
+
+    The explicit waiver for per-query / per-thread state (spans,
+    decision traces in flight) — the analyzer inventories the attribute
+    but skips the guarded-write check.
+    """
+
+    def decorate(cls: type[_T]) -> type[_T]:
+        return _register(cls, UNSHARED, None, attrs)
+
+    return decorate
+
+
+def read_only(*attrs: str) -> Callable[[type[_T]], type[_T]]:
+    """Class decorator: ``attrs`` are set during init and never again.
+
+    The analyzer enforces the claim: any post-``__init__`` write to a
+    read-only attribute is FP403.
+    """
+
+    def decorate(cls: type[_T]) -> type[_T]:
+        return _register(cls, READ_ONLY, None, attrs)
+
+    return decorate
+
+
+__all__ = [
+    "GUARDED",
+    "LockOrderError",
+    "LockOrderSanitizer",
+    "NamedLock",
+    "READ_ONLY",
+    "UNSHARED",
+    "current_sanitizer",
+    "disable_lock_sanitizer",
+    "enable_lock_sanitizer",
+    "guarded_by",
+    "named_lock",
+    "read_only",
+    "unshared",
+]

@@ -48,6 +48,7 @@ from repro.geometry.regions import (
     HyperSphere,
     Region,
 )
+from repro.locking import guarded_by, named_lock, unshared
 
 
 class DecisionAction(enum.Enum):
@@ -199,9 +200,26 @@ class EvictionRecord:
         }
 
 
+@unshared(
+    "candidates",
+    "remainder",
+    "evictions",
+    "consolidated",
+    "admitted",
+    "notes",
+    "status",
+    "outcome",
+    "action",
+    "trace_id",
+)
 @dataclass
 class DecisionTrace:
-    """The full reasoning record of one query's cache decision."""
+    """The full reasoning record of one query's cache decision.
+
+    A trace in flight belongs to the single query (and thread) being
+    served — hence the ``unshared`` registration; it becomes shared
+    only once sealed and handed to :meth:`DecisionLog.record`.
+    """
 
     query_id: int
     template_id: str
@@ -295,17 +313,22 @@ class DecisionTrace:
         return payload
 
 
+@guarded_by("proxy.decisions", "_capacity", "_traces", "_by_id")
 class DecisionLog:
     """A bounded ring buffer of finished decision traces.
 
     Indexed by query id for ``GET /explain/<query_id>``; the index
     drops entries as the ring evicts them, so memory stays bounded by
-    ``capacity`` regardless of trace length.
+    ``capacity`` regardless of trace length.  Mutators (``record`` /
+    ``resize`` / ``clear``) take the ``proxy.decisions`` lock; reads
+    copy under it so the explain endpoints can render while queries
+    keep recording.
     """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
+        self._lock = named_lock("proxy.decisions")
         self._capacity = capacity
         self._traces: list[DecisionTrace] = []
         self._by_id: dict[int, DecisionTrace] = {}
@@ -335,18 +358,20 @@ class DecisionLog:
         )
 
     def record(self, trace: DecisionTrace) -> None:
-        self._traces.append(trace)
-        self._by_id[trace.query_id] = trace
-        while len(self._traces) > self._capacity:
-            evicted = self._traces.pop(0)
-            if self._by_id.get(evicted.query_id) is evicted:
-                del self._by_id[evicted.query_id]
+        with self._lock:
+            self._traces.append(trace)
+            self._by_id[trace.query_id] = trace
+            self._trim()
 
     def resize(self, capacity: int) -> None:
         """Change the retention bound, trimming oldest traces to fit."""
         if capacity < 1:
             raise ValueError(f"capacity must be positive: {capacity}")
-        self._capacity = capacity
+        with self._lock:
+            self._capacity = capacity
+            self._trim()
+
+    def _trim(self) -> None:
         while len(self._traces) > self._capacity:
             evicted = self._traces.pop(0)
             if self._by_id.get(evicted.query_id) is evicted:
@@ -357,20 +382,24 @@ class DecisionLog:
 
     def recent(self, n: int | None = None) -> list[dict[str, Any]]:
         """The most recent decisions as dicts, oldest first."""
-        traces = self._traces
+        with self._lock:
+            traces = list(self._traces)
         if n is not None:
             traces = traces[-n:] if n > 0 else []
         return [trace.to_dict() for trace in traces]
 
     def action_counts(self) -> dict[str, int]:
         """How many retained decisions took each action."""
+        with self._lock:
+            traces = list(self._traces)
         counts: dict[str, int] = {}
-        for trace in self._traces:
+        for trace in traces:
             if trace.action is not None:
                 key = trace.action.value
                 counts[key] = counts.get(key, 0) + 1
         return counts
 
     def clear(self) -> None:
-        self._traces.clear()
-        self._by_id.clear()
+        with self._lock:
+            self._traces.clear()
+            self._by_id.clear()

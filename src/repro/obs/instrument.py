@@ -29,6 +29,7 @@ from contextlib import contextmanager
 from types import TracebackType
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.locking import read_only, unshared
 from repro.obs.decisions import DecisionLog, DecisionTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER
@@ -56,8 +57,13 @@ BYTES_BUCKETS = (
 )
 
 
+@unshared("sim_ms", "wall_ms")
 class _PhaseHandle:
-    """What an instrumented phase yields: charge sim time, annotate."""
+    """What an instrumented phase yields: charge sim time, annotate.
+
+    A handle lives inside one phase of one query on one thread —
+    never shared, hence the ``unshared`` registration.
+    """
 
     __slots__ = ("name", "span", "sim_ms", "wall_ms", "_clock", "_frame")
 
@@ -95,6 +101,8 @@ class _PhaseHandle:
             self._frame.count(counter, n)
 
 
+@unshared("steps", "check_wall_ms", "decision")
+@read_only("index")
 class QueryObservation:
     """One query's lifecycle: step charges + nested spans.
 
@@ -106,9 +114,14 @@ class QueryObservation:
     When built with a ``clock`` (the proxy's simulated clock), every
     simulated charge also advances it, making the observation the one
     place where per-step costs and the proxy's timeline stay in sync.
+
+    An observation belongs to the one thread serving its query (the
+    ``unshared`` registration); ``index`` — the query's position in
+    the proxy's admission order — is fixed at construction.
     """
 
     __slots__ = (
+        "index",
         "steps",
         "check_wall_ms",
         "decision",
@@ -127,6 +140,7 @@ class QueryObservation:
         clock: Any = None,
         profiler: Any = None,
     ) -> None:
+        self.index = index
         self.steps: dict[str, float] = {}
         self.check_wall_ms = 0.0
         #: The explain-layer trace the proxy fills while deciding.
@@ -225,8 +239,15 @@ class QueryObservation:
         self._root.charge(sim_ms)
 
 
+@unshared("tracer", "profiler")
 class ProxyInstrumentation:
-    """The proxy's metric families, tracer, decision log, and hooks."""
+    """The proxy's metric families, tracer, decision log, and hooks.
+
+    ``tracer`` / ``profiler`` are rebound only during single-threaded
+    deployment wiring (the web apps swap in live tracers before any
+    request thread starts), hence the ``unshared`` waiver; the objects
+    behind them synchronize internally.
+    """
 
     def __init__(
         self,
@@ -478,8 +499,13 @@ class ProxyInstrumentation:
         self.transfer_bytes.labels(hop=hop).inc(n_bytes)
 
 
+@unshared("tracer", "profiler")
 class OriginInstrumentation:
-    """The origin server's metric families and tracer."""
+    """The origin server's metric families and tracer.
+
+    Same waiver as :class:`ProxyInstrumentation`: rebound only during
+    single-threaded deployment wiring.
+    """
 
     def __init__(
         self,

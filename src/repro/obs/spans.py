@@ -22,22 +22,38 @@ Two tracers share the interface:
   do-nothing span, so instrumented code pays one method call and no
   allocation per stage.  This is the default on the hot path.
 
-Tracers are not thread-safe; each proxy/origin owns its own (matching
-the single-threaded replay harness and Flask test deployments).
+Thread model: the *open-span stack* (and the adopted remote parent)
+is per-thread state — each request thread nests its own spans — while
+the finished-root ring buffer and the ``spans_started`` counter are
+shared across threads and guarded by the ``proxy.trace`` named lock.
+A :class:`Span` object itself belongs to the one thread that opened
+it (the ``unshared`` registration below).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
 from types import TracebackType
 from typing import Any, Callable, Iterator
 
+from repro.locking import guarded_by, named_lock, unshared
 from repro.obs.propagation import IdGenerator, TraceContext
 
 
+@unshared(
+    "attrs",
+    "children",
+    "wall_ms",
+    "sim_ms",
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "_start",
+)
 class Span:
     """One stage of work; a context manager bound to its tracer."""
 
@@ -126,6 +142,8 @@ class Span:
         )
 
 
+@guarded_by("proxy.trace", "_finished", "spans_started")
+@unshared("_local")
 class SpanTracer:
     """Records nested spans; keeps the last ``capacity`` root spans."""
 
@@ -141,10 +159,27 @@ class SpanTracer:
             raise ValueError(f"capacity must be positive: {capacity}")
         self._clock = clock
         self._ids = ids if ids is not None else IdGenerator()
-        self._stack: list[Span] = []
+        self._lock = named_lock("proxy.trace")
+        #: Per-thread open-span stack and adopted remote parent; the
+        #: attribute itself is rebound only here (hence ``unshared``),
+        #: the state behind it is thread-local by construction.
+        self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._remote_parent: TraceContext | None = None
         self.spans_started = 0
+
+    # ---------------------------------------------------- per-thread state
+    def _open_stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def _remote_parent(self) -> TraceContext | None:
+        parent = getattr(self._local, "remote_parent", None)
+        assert parent is None or isinstance(parent, TraceContext)
+        return parent
 
     @property
     def capacity(self) -> int:
@@ -165,28 +200,33 @@ class SpanTracer:
 
     def _push(self, span: Span) -> None:
         span.span_id = self._ids.span_id()
-        if self._stack:
-            parent = self._stack[-1]
+        stack = self._open_stack()
+        remote = self._remote_parent
+        if stack:
+            parent = stack[-1]
             span.trace_id = parent.trace_id
             span.parent_id = parent.span_id
-        elif self._remote_parent is not None:
-            span.trace_id = self._remote_parent.trace_id
-            span.parent_id = self._remote_parent.span_id
+        elif remote is not None:
+            span.trace_id = remote.trace_id
+            span.parent_id = remote.span_id
         else:
             span.trace_id = self._ids.trace_id()
-        self._stack.append(span)
-        self.spans_started += 1
+        stack.append(span)
+        with self._lock:
+            self.spans_started += 1
 
     def _pop(self, span: Span) -> None:
         # Tolerate out-of-order exits by unwinding to the span.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._open_stack()
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
-        if self._stack:
-            self._stack[-1].children.append(span)
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self._finished.append(span)
+            with self._lock:
+                self._finished.append(span)
 
     # ------------------------------------------------------- propagation
     def current_context(self) -> TraceContext | None:
@@ -196,8 +236,9 @@ class SpanTracer:
         context itself is current — an instrumentation-free stretch of
         a request still belongs to its caller's trace.
         """
-        if self._stack:
-            return self._stack[-1].context()
+        stack = self._open_stack()
+        if stack:
+            return stack[-1].context()
         return self._remote_parent
 
     def current_traceparent(self) -> str | None:
@@ -219,11 +260,11 @@ class SpanTracer:
             yield
             return
         previous = self._remote_parent
-        self._remote_parent = context
+        self._local.remote_parent = context
         try:
             yield
         finally:
-            self._remote_parent = previous
+            self._local.remote_parent = previous
 
     # ------------------------------------------------------------ export
     def recent(self, n: int | None = None) -> list[dict[str, Any]]:
@@ -231,21 +272,24 @@ class SpanTracer:
 
         ``n`` bounds the result; zero and negative values yield [].
         """
-        roots = list(self._finished)
+        with self._lock:  # snapshot: renders happen outside the lock
+            roots = list(self._finished)
         if n is not None:
             roots = roots[-n:] if n > 0 else []
         return [root.to_dict() for root in roots]
 
     def find_trace(self, trace_id: str) -> list[dict[str, Any]]:
         """All retained root spans belonging to one trace id."""
+        with self._lock:
+            roots = list(self._finished)
         return [
-            root.to_dict()
-            for root in self._finished
-            if root.trace_id == trace_id
+            root.to_dict() for root in roots if root.trace_id == trace_id
         ]
 
     def iter_jsonl(self) -> Iterator[str]:
-        for root in self._finished:
+        with self._lock:
+            roots = list(self._finished)
+        for root in roots:
             yield json.dumps(root.to_dict(), sort_keys=True)
 
     def export_jsonl(self) -> str:
@@ -262,7 +306,8 @@ class SpanTracer:
         return len(lines)
 
     def clear(self) -> None:
-        self._finished.clear()
+        with self._lock:
+            self._finished.clear()
 
 
 class _NullSpan:

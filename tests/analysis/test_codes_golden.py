@@ -45,6 +45,13 @@ GOLDEN = {
     "FP306": (Severity.ERROR, None),
     "FP307": (Severity.ERROR, None),
     "FP308": (Severity.ERROR, None),
+    "FP309": (Severity.ERROR, None),
+    "FP401": (Severity.ERROR, None),
+    "FP402": (Severity.ERROR, None),
+    "FP403": (Severity.ERROR, None),
+    "FP404": (Severity.ERROR, None),
+    "FP405": (Severity.ERROR, None),
+    "FP406": (Severity.WARNING, None),
 }
 
 
@@ -66,7 +73,8 @@ def test_codes_are_numerically_ordered_and_blocked():
     numbers = [int(code[2:]) for code in CODES]
     assert numbers == sorted(numbers)
     for code in CODES:
-        assert code[2] in "123"  # template / query / repo-lint blocks
+        # template / query / repo-lint / concurrency blocks
+        assert code[2] in "1234"
 
 
 def test_unknown_code_is_a_programming_error():

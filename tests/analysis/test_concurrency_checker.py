@@ -1,0 +1,617 @@
+"""The FP4xx concurrency checks on synthetic fixture modules.
+
+Each fixture is a tiny module written to ``tmp_path`` and analyzed in
+isolation, pinning exactly the diagnostic (code, location, message)
+the checker must produce — the same golden discipline the FP1xx-FP3xx
+blocks use.  The fixtures opt into the serve-path inventory with the
+``# concurrency: serve-path`` pragma (prepended as line 1, so fixture
+line numbers are body line + 1) and are checked like ``core/proxy.py``
+without living at its path.
+"""
+
+import textwrap
+
+from repro.analysis.concurrency import analyze_concurrency
+
+PRAGMA = "# concurrency: serve-path\n"
+
+
+def analyze(tmp_path, source, serve_path=True, name="fixture_module.py"):
+    text = textwrap.dedent(source)
+    if serve_path:
+        text = PRAGMA + text
+    path = tmp_path / name
+    path.write_text(text)
+    report, graph = analyze_concurrency([tmp_path])
+    return report, graph, path
+
+
+class TestInventoryFP401:
+    def test_module_level_mutable_without_registration(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path, "registry = {}\n", serve_path=False
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP401"
+        assert diagnostic.message == (
+            "module-level mutable 'registry' has no concurrency "
+            "registration"
+        )
+        assert (diagnostic.span.line, diagnostic.span.column) == (1, 1)
+
+    def test_waivered_module_state_is_clean(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            "registry = {}  # unshared: rebuilt per run\n"
+            "cache = []  # guarded-by: proxy.cache\n",
+            serve_path=False,
+        )
+        assert len(report) == 0
+
+    def test_constants_are_exempt(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            "KNOWN_CODES = {'FP401'}\n__all__ = ['x']\n",
+            serve_path=False,
+        )
+        assert len(report) == 0
+
+    def test_unregistered_instance_write(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP401"
+        assert diagnostic.message == (
+            "'Worker.count' is written outside __init__ but has no "
+            "concurrency registration"
+        )
+        assert diagnostic.span.line == 7
+
+    def test_init_only_writes_are_exempt(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+                    self.items = []
+            """,
+        )
+        assert len(report) == 0
+
+    def test_off_path_module_is_not_inventoried(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Helper:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """,
+            serve_path=False,
+        )
+        assert len(report) == 0
+
+
+class TestGuardedWritesFP402:
+    def test_unlocked_write_to_guarded_attribute(self, tmp_path):
+        report, _, path = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self.count = 0  # guarded-by: fixture.state
+
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP402"
+        assert diagnostic.message == (
+            "write to 'Worker.count' (guarded by 'fixture.state') "
+            "while holding no lock"
+        )
+        # The column-number golden: renders path:line:col compiler-style.
+        assert diagnostic.format().splitlines()[0] == (
+            f"{path.as_posix()}:11:9: FP402 error: write to "
+            "'Worker.count' (guarded by 'fixture.state') while holding "
+            "no lock"
+        )
+
+    def test_write_under_the_declared_lock_is_clean(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self.count = 0  # guarded-by: fixture.state
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+            """,
+        )
+        assert len(report) == 0
+
+    def test_write_under_the_wrong_lock_is_flagged(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self._other = named_lock("fixture.other")
+                    self.count = 0  # guarded-by: fixture.state
+
+                def bump(self):
+                    with self._other:
+                        self.count += 1
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP402"
+        assert "holding fixture.other" in diagnostic.message
+
+    def test_decorator_registration_is_equivalent(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import guarded_by, named_lock
+
+
+            @guarded_by("fixture.state", "count")
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        assert report.codes() == {"FP402"}
+
+    def test_container_mutation_counts_as_a_write(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Ledger:
+                def __init__(self):
+                    self._lock = named_lock("fixture.ledger")
+                    self._rows = []  # guarded-by: fixture.ledger
+
+                def unsafe(self, row):
+                    self._rows.append(row)
+            """,
+        )
+        assert report.codes() == {"FP402"}
+
+
+class TestReadOnlyFP403:
+    def test_post_init_write_to_read_only_attribute(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Config:
+                def __init__(self):
+                    self.limit = 10  # read-only
+
+                def tweak(self):
+                    self.limit = 20
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP403"
+        assert diagnostic.message == (
+            "'Config.limit' is registered read-only but written after "
+            "__init__"
+        )
+        assert diagnostic.span.line == 7
+
+    def test_init_write_is_fine(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Config:
+                def __init__(self, limit):
+                    self.limit = 10  # read-only
+                    if limit:
+                        self.limit = limit
+            """,
+        )
+        assert len(report) == 0
+
+    def test_unshared_waiver_permits_writes(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            class Scratch:
+                def __init__(self):
+                    self.buffer = []  # unshared: per-query state
+
+                def note(self, item):
+                    self.buffer.append(item)
+            """,
+        )
+        assert len(report) == 0
+
+
+class TestLockOrderFP404:
+    def test_reordered_nested_with_blocks_are_a_cycle(self, tmp_path):
+        report, graph, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Tangle:
+                def __init__(self):
+                    self._a = named_lock("fixture.a")
+                    self._b = named_lock("fixture.b")
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP404"
+        assert diagnostic.message == (
+            "lock-order cycle: fixture.a -> fixture.b -> fixture.a"
+        )
+        assert graph.cycles == [["fixture.a", "fixture.b"]]
+        assert {("fixture.a", "fixture.b"), ("fixture.b", "fixture.a")} \
+            <= graph.edge_set()
+
+    def test_consistent_nesting_is_acyclic(self, tmp_path):
+        report, graph, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Pair:
+                def __init__(self):
+                    self._outer = named_lock("fixture.outer")
+                    self._inner = named_lock("fixture.inner")
+                    self.value = 0  # guarded-by: fixture.inner
+
+                def set_fast(self, v):
+                    with self._outer:
+                        with self._inner:
+                            self.value = v
+
+                def set_slow(self, v):
+                    with self._outer:
+                        with self._inner:
+                            self.value = v + 1
+            """,
+        )
+        assert len(report) == 0
+        assert graph.cycles == []
+        assert ("fixture.outer", "fixture.inner") in graph.edge_set()
+        assert ("fixture.inner", "fixture.outer") not in graph.edge_set()
+
+    def test_transitive_cycle_through_a_call_is_found(self, tmp_path):
+        report, graph, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Callee:
+                def __init__(self):
+                    self._b = named_lock("fixture.b")
+
+                def poke(self):
+                    with self._b:
+                        pass
+
+
+            class Caller:
+                def __init__(self):
+                    self._a = named_lock("fixture.a")
+                    self.callee = Callee()
+
+                def forward(self):
+                    with self._a:
+                        self.callee.poke()
+
+
+            class Inverse:
+                def __init__(self):
+                    self._a = named_lock("fixture.a")
+                    self._b = named_lock("fixture.b")
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert report.codes() == {"FP404"}
+        assert ("fixture.a", "fixture.b") in graph.edge_set()
+
+
+class TestRegistrationsFP405FP406:
+    def test_unknown_lock_role(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import guarded_by
+
+
+            @guarded_by("fixture.ghost", "count")
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP405"
+        assert diagnostic.message == (
+            "'Worker.count' is guarded by 'fixture.ghost', but no "
+            "named_lock('fixture.ghost') exists in the analyzed tree"
+        )
+
+    def test_stale_guarded_registration_is_a_warning(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import guarded_by, named_lock
+
+
+            @guarded_by("fixture.state", "count")
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self.count = 0
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP406"
+        assert diagnostic.severity.value == "warning"
+        assert diagnostic.message == (
+            "'Worker.count' is registered as guarded by "
+            "'fixture.state' but never written outside __init__"
+        )
+        assert not report.has_errors
+
+
+class TestDataflowEdgeCases:
+    def test_attribute_aliasing_is_tracked(self, tmp_path):
+        # c = self._rows; c.append(...) is still a write to the
+        # guarded attribute, locked or not.
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Ledger:
+                def __init__(self):
+                    self._lock = named_lock("fixture.ledger")
+                    self._rows = []  # guarded-by: fixture.ledger
+
+                def unsafe(self, row):
+                    rows = self._rows
+                    rows.append(row)
+
+                def safe(self, row):
+                    with self._lock:
+                        rows = self._rows
+                        rows.append(row)
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP402"
+        assert diagnostic.span.line == 12
+
+    def test_aliased_call_into_another_class_is_resolved(self, tmp_path):
+        # c = self.store; c.put(...) — the callee's own lock discipline
+        # is what matters, and it is satisfied here.
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = named_lock("fixture.store")
+                    self.items = []  # guarded-by: fixture.store
+
+                def put(self, item):
+                    with self._lock:
+                        self.items.append(item)
+
+
+            class Front:
+                def __init__(self):
+                    self.store = Store()
+
+                def add(self, item):
+                    s = self.store
+                    s.put(item)
+            """,
+        )
+        assert len(report) == 0
+
+    def test_lock_in_caller_write_in_private_callee(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = named_lock("fixture.cache")
+                    self.entries = {}  # guarded-by: fixture.cache
+
+                def store(self, key, value):
+                    with self._lock:
+                        self._admit(key, value)
+
+                def _admit(self, key, value):
+                    self.entries[key] = value
+            """,
+        )
+        assert len(report) == 0
+
+    def test_one_unlocked_call_site_breaks_the_entry_held_proof(
+        self, tmp_path
+    ):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = named_lock("fixture.cache")
+                    self.entries = {}  # guarded-by: fixture.cache
+
+                def store(self, key, value):
+                    with self._lock:
+                        self._admit(key, value)
+
+                def sloppy(self, key, value):
+                    self._admit(key, value)
+
+                def _admit(self, key, value):
+                    self.entries[key] = value
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP402"
+        assert "Cache.entries" in diagnostic.message
+
+    def test_try_finally_acquire_release_is_a_lock_scope(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = named_lock("fixture.cache")
+                    self.entries = {}  # guarded-by: fixture.cache
+
+                def store(self, key, value):
+                    self._lock.acquire()
+                    try:
+                        self.entries[key] = value
+                    finally:
+                        self._lock.release()
+            """,
+        )
+        assert len(report) == 0
+
+    def test_write_after_the_finally_release_is_flagged(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Cache:
+                def __init__(self):
+                    self._lock = named_lock("fixture.cache")
+                    self.entries = {}  # guarded-by: fixture.cache
+
+                def store(self, key, value):
+                    self._lock.acquire()
+                    try:
+                        pass
+                    finally:
+                        self._lock.release()
+                    self.entries[key] = value
+            """,
+        )
+        (diagnostic,) = report
+        assert diagnostic.code == "FP402"
+
+    def test_freshly_constructed_objects_are_unshared(self, tmp_path):
+        # Writes to an object built inside the method cannot race:
+        # nothing else can see it yet.
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = named_lock("fixture.store")
+                    self.items = []  # guarded-by: fixture.store
+
+                def put(self, item):
+                    with self._lock:
+                        self.items.append(item)
+
+
+            class Builder:
+                def build(self):
+                    fresh = Store()
+                    fresh.items.append(1)
+                    return fresh
+            """,
+        )
+        assert len(report) == 0
+
+    def test_diagnostics_are_sorted_by_location(self, tmp_path):
+        report, _, _ = analyze(
+            tmp_path,
+            """\
+            from repro.locking import named_lock
+
+
+            class Worker:
+                def __init__(self):
+                    self._lock = named_lock("fixture.state")
+                    self.first = 0  # guarded-by: fixture.state
+                    self.second = 0  # guarded-by: fixture.state
+
+                def bump(self):
+                    self.second += 1
+                    self.first += 1
+            """,
+        )
+        assert [d.code for d in report] == ["FP402", "FP402"]
+        lines = [d.span.line for d in report]
+        assert lines == sorted(lines)

@@ -1,0 +1,108 @@
+"""The offline CLI: ``python -m repro.analysis.concurrency``."""
+
+import json
+import pathlib
+import textwrap
+
+from repro.analysis.concurrency.__main__ import main
+
+SRC_REPRO = (
+    pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+)
+
+UNGUARDED = """\
+# concurrency: serve-path
+from repro.locking import named_lock
+
+
+class Worker:
+    def __init__(self):
+        self._lock = named_lock("fixture.state")
+        self.count = 0  # guarded-by: fixture.state
+
+    def bump(self):
+        self.count += 1
+"""
+
+STALE = """\
+# concurrency: serve-path
+from repro.locking import guarded_by, named_lock
+
+
+@guarded_by("fixture.state", "count")
+class Worker:
+    def __init__(self):
+        self._lock = named_lock("fixture.state")
+        self.count = 0
+"""
+
+
+def test_the_repository_is_concurrency_clean_under_strict():
+    # The acceptance bar: the refactored tree has zero FP4xx findings,
+    # stale-registration warnings included.
+    assert main(["--strict", str(SRC_REPRO)]) == 0
+
+
+def test_clean_module_exits_zero(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_guarded_write_violation_exits_one(tmp_path, capsys):
+    (tmp_path / "fixture.py").write_text(UNGUARDED)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "FP402" in out
+    # Diagnostics carry line AND column numbers.
+    assert ":11:9: FP402 error:" in out
+
+
+def test_warnings_pass_unless_strict(tmp_path):
+    (tmp_path / "fixture.py").write_text(STALE)
+    assert main([str(tmp_path)]) == 0
+    assert main(["--strict", str(tmp_path)]) == 1
+
+
+def test_json_output_includes_the_lock_graph(tmp_path, capsys):
+    (tmp_path / "fixture.py").write_text(
+        textwrap.dedent(
+            """\
+            from repro.locking import named_lock
+
+
+            class Pair:
+                def __init__(self):
+                    self._outer = named_lock("fixture.outer")
+                    self._inner = named_lock("fixture.inner")
+
+                def nest(self):
+                    with self._outer:
+                        with self._inner:
+                            pass
+            """
+        )
+    )
+    assert main(["--json", str(tmp_path)]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["errors"] == 0
+    assert ["fixture.outer", "fixture.inner"] in document[
+        "lock_order_edges"
+    ]
+    assert document["lock_order_cycles"] == []
+
+
+def test_graph_flag_prints_the_graph(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 1\n")
+    assert main(["--graph", str(tmp_path)]) == 0
+    assert "lock-order graph" in capsys.readouterr().out
+
+
+def test_missing_path_exits_two(tmp_path):
+    assert main([str(tmp_path / "nope")]) == 2
+
+
+def test_unparseable_file_reports_fp304(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "FP304" in capsys.readouterr().out

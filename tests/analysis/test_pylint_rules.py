@@ -379,6 +379,115 @@ class TestBenchPrintRule:
         assert len(report) == 0
 
 
+class TestRawLockRule:
+    def test_threading_lock_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "import threading\nlock = threading.Lock()\n",
+        )
+        assert report.codes() == {"FP309"}
+        (diagnostic,) = report
+        assert diagnostic.span.line == 2
+
+    def test_rlock_from_import_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/obs/x.py",
+            "from threading import RLock\nlock = RLock()\n",
+        )
+        assert report.codes() == {"FP309"}
+
+    def test_condition_and_semaphore_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "import threading\n"
+            "c = threading.Condition()\n"
+            "s = threading.Semaphore(2)\n",
+        )
+        assert report.count_by_code() == {"FP309": 2}
+
+    def test_module_alias_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "import threading as t\nlock = t.RLock()\n",
+        )
+        assert report.codes() == {"FP309"}
+
+    def test_locking_module_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/locking.py",
+            "import threading\nlock = threading.RLock()\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/test_x.py",
+            "import threading\nlock = threading.Lock()\n",
+        )
+        assert len(report) == 0
+
+    def test_named_lock_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "from repro.locking import named_lock\n"
+            "lock = named_lock('proxy.cache')\n",
+        )
+        assert len(report) == 0
+
+    def test_unrelated_lock_name_clean(self, tmp_path):
+        # Only the threading module's factories count; a local helper
+        # that happens to be called Lock is not this rule's business.
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "from mylib import Lock\nlock = Lock()\n",
+        )
+        assert len(report) == 0
+
+
+class TestDiagnosticFormatGolden:
+    """Diagnostics render compiler-style with line AND column."""
+
+    def test_rule_diagnostic_carries_line_and_column(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("import threading\nlock = threading.Lock()\n")
+        report = lint_file(path)
+        (diagnostic,) = report
+        assert (diagnostic.span.line, diagnostic.span.column) == (2, 8)
+        rendered = diagnostic.format().splitlines()[0]
+        assert rendered == (
+            f"{path.as_posix()}:2:8: FP309 error: threading.Lock() "
+            "constructs an anonymous lock the concurrency analyzer "
+            "cannot name"
+        )
+
+    def test_syntax_error_diagnostic_carries_line_and_column(
+        self, tmp_path
+    ):
+        path = tmp_path / "repro" / "core" / "x.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("def broken(:\n")
+        report = lint_file(path)
+        (diagnostic,) = report
+        assert diagnostic.code == "FP304"
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 1
+        assert diagnostic.span.column >= 1
+        first = diagnostic.format().splitlines()[0]
+        assert first.startswith(
+            f"{path.as_posix()}:1:{diagnostic.span.column}: "
+            "FP304 error: cannot parse"
+        )
+
+
 class TestDriver:
     def test_fp304_syntax_error(self, tmp_path):
         report = lint(tmp_path, "repro/core/x.py", "def broken(:\n")

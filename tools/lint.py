@@ -3,16 +3,19 @@
 
 Runs :mod:`repro.analysis.pylint_rules` over ``src/repro`` and
 ``benchmarks`` (or any paths given on the command line), prints the
-diagnostics compiler-style, and exits nonzero when any error-severity
+diagnostics compiler-style — ``path:line:col: CODE severity: message``,
+column numbers included — and exits nonzero when any error-severity
 diagnostic is found.
 
 Usage::
 
-    python tools/lint.py [paths...]
+    python tools/lint.py [--json] [paths...]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import pathlib
 import sys
 
@@ -23,12 +26,25 @@ from repro.analysis.pylint_rules import run_lint  # noqa: E402
 
 
 def main(argv: list[str]) -> int:
-    paths = argv or [
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as a JSON document instead of text",
+    )
+    options = parser.parse_args(argv)
+    paths = options.paths or [
         str(REPO_ROOT / "src" / "repro"),
         str(REPO_ROOT / "benchmarks"),
     ]
     report = run_lint(paths)
-    print(report.render())
+    if options.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
     return 1 if report.has_errors else 0
 
 
