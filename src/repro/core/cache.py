@@ -23,9 +23,18 @@ Design notes
   verifies (see DESIGN.md, FP4xx).  The cache *description* is owned
   by this manager and mutated only under the same lock — that
   ownership convention is why ``core/description.py`` itself carries
-  no registrations.  Reads stay lock-free (CPython dict gets are
-  atomic); ``entries()`` snapshots under the lock so callers can
-  iterate while another thread stores.
+  no registrations.  Multi-step lookups also take the lock:
+  ``exact_match`` reads ``_by_key`` and ``_entries`` in one critical
+  section (a lock-free reader could see the gap a concurrent eviction
+  opens between the two dicts), and ``exact_match_pinned`` fetches the
+  stored result in the same section so the entry cannot be evicted
+  out from under the read.  ``entries()`` snapshots under the lock so
+  callers can iterate while another thread stores.  Single-dict reads
+  (``__len__``, ``entry``) stay lock-free — CPython dict gets are
+  atomic.  Candidates handed out by the description *can* lose a race
+  with eviction after the probe returns; readers of their results must
+  tolerate :class:`~repro.core.store.ResultStoreError` (the proxy's
+  serve path falls back to forwarding).
 """
 
 from __future__ import annotations
@@ -170,10 +179,30 @@ class CacheManager:
 
     def exact_match(self, bound: BoundQuery) -> CacheEntry | None:
         """The entry produced by an identical query, if cached."""
-        entry_id = self._by_key.get(bound.cache_key())
-        if entry_id is None:
-            return None
-        return self._entries[entry_id]
+        with self._lock:
+            entry_id = self._by_key.get(bound.cache_key())
+            if entry_id is None:
+                return None
+            return self._entries[entry_id]
+
+    def exact_match_pinned(
+        self, bound: BoundQuery
+    ) -> tuple[CacheEntry, ResultTable] | None:
+        """Exact match with its stored result read in the same critical
+        section.
+
+        The serve path uses this instead of ``exact_match`` +
+        ``entry.result``: between those two steps a concurrent
+        ``store`` could evict the entry and drop its stored result,
+        turning the read into a ``ResultStoreError``.  Pinning the
+        result under ``proxy.cache`` closes that window (eviction
+        itself runs under the same lock)."""
+        with self._lock:
+            entry_id = self._by_key.get(bound.cache_key())
+            if entry_id is None:
+                return None
+            entry = self._entries[entry_id]
+            return entry, entry.result
 
     def entries(self) -> Iterable[CacheEntry]:
         with self._lock:  # snapshot: callers iterate without the lock
@@ -186,8 +215,15 @@ class CacheManager:
             raise CacheError(f"unknown cache entry {entry_id}") from None
 
     def touch(self, entry: CacheEntry) -> None:
-        """Record a use, for the replacement policy."""
+        """Record a use, for the replacement policy.
+
+        A no-op for entries no longer cached: a candidate handed out
+        by the description can lose the race with a concurrent
+        eviction, and the policy must not resurrect bookkeeping for a
+        dead entry."""
         with self._lock:
+            if entry.entry_id not in self._entries:
+                return
             entry.last_used = next(self._tick)
             entry.access_count += 1
             self.policy.on_access(entry)
@@ -308,8 +344,11 @@ class CacheManager:
             )
 
     def _remove(self, entry: CacheEntry) -> float:
-        del self._entries[entry.entry_id]
+        # Key index first: a reader that found the key must still find
+        # the entry (the inverse order would open a KeyError window for
+        # any future lock-free lookup).
         self._by_key.pop(entry.cache_key, None)
+        del self._entries[entry.entry_id]
         self.current_bytes -= entry.byte_size
         self.result_store.remove(entry.entry_id)
         self.policy.on_evict(entry)

@@ -63,7 +63,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Mapping
 
-from repro.core.cache import CacheEntry, CacheManager
+from repro.core.cache import CacheEntry, CacheManager, MaintenanceReport
 from repro.core.costs import ProxyCostModel
 from repro.core.description import ArrayDescription, CacheDescription
 from repro.core.evaluation import LocalEvaluator
@@ -75,6 +75,7 @@ from repro.core.stats import (
     QueryStatus,
     TraceStats,
 )
+from repro.core.store import ResultStoreError
 from repro.faults.errors import OriginQueryError, OriginUnavailable
 from repro.faults.injection import FaultyOrigin, FaultyTopology
 from repro.faults.plan import FaultPlan
@@ -293,11 +294,12 @@ class FunctionProxy:
         origin-side query errors become structured ``failed`` (or
         degraded) outcomes on the returned record.
         """
-        index = self._begin_query()
+        index, data_version = self._begin_query()
         policy = self.scheme.policy
         with self.obs.observe_query(
             index, bound.template_id, clock=self.clock
         ) as observation:
+            observation.data_version = data_version
             decision = self.obs.decisions.begin(
                 index,
                 bound.template_id,
@@ -310,27 +312,45 @@ class FunctionProxy:
                 if self._stage_parse_bind(bound, observation, policy):
                     response = self._tunnel(bound, observation)
                 else:
-                    response = self._stage_cache_probe(
-                        bound, observation, policy
-                    )
+                    try:
+                        response = self._stage_cache_probe(
+                            bound, observation, policy
+                        )
+                    except ResultStoreError as exc:
+                        # A cache-hit path lost its entry mid-serve (a
+                        # concurrent store evicted a candidate between
+                        # the description probe and the result read).
+                        # The query is still answerable — treat it as
+                        # a miss and forward.
+                        if observation.decision is not None:
+                            observation.decision.note(
+                                "cache entry evicted mid-serve "
+                                f"({exc}); forwarded instead"
+                            )
+                        response = self._forward_and_cache(
+                            bound, observation, QueryStatus.FORWARDED
+                        )
             except (OriginUnavailable, OriginQueryError) as exc:
                 response = self._respond_failure(bound, observation, exc)
         self.stats.add(response.record)
         return response
 
     # ------------------------------------------------------------ stages
-    def _begin_query(self) -> int:
+    def _begin_query(self) -> tuple[int, object]:
         """Stage 0 (admission): assign the query's index and fence the
         data version.
 
         Runs under the ``proxy.state`` lock so concurrent serves get
         distinct indices and never race the version-change cache
-        flush; the index travels on the observation from here on.
+        flush.  Returns ``(index, data_version)`` — the version the
+        query is admitted under travels on the observation so
+        ``_stage_admit`` can refuse to cache a result fetched before a
+        concurrent flush (see the fence re-check there).
         """
         with self._lock:
             self._query_index += 1
             self._check_data_version()
-            return self._query_index
+            return self._query_index, self._seen_data_version
 
     def _stage_parse_bind(self, bound, observation, policy) -> bool:
         """Stage 1 (parse/bind): charge parsing, classify tunneling.
@@ -363,9 +383,10 @@ class FunctionProxy:
 
     def _stage_cache_probe(self, bound, observation, policy) -> ProxyResponse:
         """Stage 2 (cache probe): dispatch on the cache relation."""
-        exact = self.cache.exact_match(bound)
+        exact = self.cache.exact_match_pinned(bound)
         if exact is not None:
-            return self._serve_exact(bound, exact, observation)
+            entry, result = exact
+            return self._serve_exact(bound, entry, result, observation)
         if not policy.handles_containment:
             return self._forward_and_cache(
                 bound, observation, QueryStatus.FORWARDED
@@ -457,13 +478,34 @@ class FunctionProxy:
         ``consolidate`` names the subsumed entries to fold into the
         new entry (the overlap path's region-containment maintenance);
         ``None`` is the plain forward-and-cache admission.  Returns
-        ``(entry, report)`` — ``entry`` is None when nothing fit.
+        ``(entry, report)`` — ``entry`` is None when nothing fit, or
+        when the admission was fenced off (below).
         """
         with observation.phase("maintenance") as admit:
             truncated = self._is_truncated(bound, origin_result)
-            entry, report = self.cache.store(
-                bound, result, self._signature(bound), truncated
-            )
+            # Re-check the data-version fence at admission, atomically
+            # with the flush: _begin_query fences only the *start* of
+            # the query, so a result fetched before a concurrent
+            # version bump could otherwise be re-admitted into the
+            # freshly flushed cache and serve stale EXACT hits
+            # forever.  proxy.state -> proxy.cache is the established
+            # acquisition order (_check_data_version flushes the cache
+            # under the same nesting).
+            with self._lock:
+                admissible = (
+                    observation.data_version == self._seen_data_version
+                )
+                if admissible:
+                    entry, report = self.cache.store(
+                        bound, result, self._signature(bound), truncated
+                    )
+                else:
+                    entry, report = None, MaintenanceReport()
+            if not admissible and observation.decision is not None:
+                observation.decision.note(
+                    "admission fenced: origin data version changed "
+                    "while the query was in flight"
+                )
             maintenance = report.charge_ms(self.costs)
             if consolidate is not None and entry is not None:
                 for victim in consolidate:
@@ -607,8 +649,11 @@ class FunctionProxy:
 
     # ------------------------------------------------------ case (a)
     def _serve_exact(
-        self, bound, entry: CacheEntry, observation
+        self, bound, entry: CacheEntry, result: ResultTable, observation
     ) -> ProxyResponse:
+        """``result`` is the entry's stored result, read by the probe
+        stage under ``proxy.cache`` (pinned): reading it here instead
+        would race a concurrent eviction of ``entry``."""
         outcome = self._cache_answer_outcome()
         if observation.decision is not None:
             observation.decision.record_candidate(
@@ -619,7 +664,6 @@ class FunctionProxy:
                 note="identical cached query",
             )
         self.cache.touch(entry)
-        result = entry.result
         observation.charge(
             "read", self.costs.read_per_tuple_ms * len(result)
         )

@@ -94,15 +94,23 @@ class LockOrderSanitizer:
             return set(self._observed)
 
     # ------------------------------------------------------- lifecycle
-    def acquiring(self, name: str) -> None:
-        """Called by :class:`NamedLock` before a blocking acquire."""
+    def acquiring(self, name: str) -> list[tuple[str, str]]:
+        """Called by :class:`NamedLock` before an acquire attempt.
+
+        Validates every edge of the attempt against the observed set
+        *before* committing any of them, so a rejected acquisition
+        never leaves a partial record behind (an edge committed ahead
+        of a later inverse would turn into a false positive for some
+        other thread).  Returns the edges this attempt newly added;
+        :meth:`abandoned` takes them back if the acquire then fails.
+        """
         stack = self._stack()
         if name in stack:  # reentrant by role name: no new edges
             stack.append(name)
-            return
-        new_edges = [(held, name) for held in dict.fromkeys(stack)]
+            return []
+        attempt = [(held, name) for held in dict.fromkeys(stack)]
         with self._mutex:
-            for edge in new_edges:
+            for edge in attempt:
                 inverse = (edge[1], edge[0])
                 if inverse in self._observed:
                     raise LockOrderError(
@@ -111,8 +119,28 @@ class LockOrderSanitizer:
                         f"{inverse[1]!r} was previously "
                         "observed or declared"
                     )
-                self._observed.add(edge)
+            added = [
+                edge for edge in attempt if edge not in self._observed
+            ]
+            self._observed.update(added)
         stack.append(name)
+        return added
+
+    def abandoned(self, name: str, edges: list[tuple[str, str]]) -> None:
+        """Called by :class:`NamedLock` after a *failed* non-blocking
+        acquire: unwind the stack entry and retract the edges the
+        attempt recorded — an ordering that was never established must
+        not later trip a false :class:`LockOrderError`.
+
+        Best-effort on a concurrent duplicate: another thread that
+        established the same edge between this attempt and its
+        retraction loses the record too (debug-mode tooling; the next
+        successful acquisition re-records it).
+        """
+        self.released(name)
+        if edges:
+            with self._mutex:
+                self._observed.difference_update(edges)
 
     def released(self, name: str) -> None:
         """Called by :class:`NamedLock` after a release."""
@@ -195,11 +223,12 @@ class NamedLock:
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         sanitizer = _sanitizer
+        attempt_edges: list[tuple[str, str]] = []
         if sanitizer is not None:
-            sanitizer.acquiring(self.name)
+            attempt_edges = sanitizer.acquiring(self.name)
         acquired = self._lock.acquire(blocking, timeout)
         if not acquired and sanitizer is not None:
-            sanitizer.released(self.name)
+            sanitizer.abandoned(self.name, attempt_edges)
         return acquired
 
     def release(self) -> None:

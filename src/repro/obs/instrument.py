@@ -101,7 +101,7 @@ class _PhaseHandle:
             self._frame.count(counter, n)
 
 
-@unshared("steps", "check_wall_ms", "decision")
+@unshared("steps", "check_wall_ms", "decision", "data_version")
 @read_only("index")
 class QueryObservation:
     """One query's lifecycle: step charges + nested spans.
@@ -125,6 +125,7 @@ class QueryObservation:
         "steps",
         "check_wall_ms",
         "decision",
+        "data_version",
         "_tracer",
         "_root",
         "_clock",
@@ -145,6 +146,10 @@ class QueryObservation:
         self.check_wall_ms = 0.0
         #: The explain-layer trace the proxy fills while deciding.
         self.decision: DecisionTrace | None = None
+        #: The origin data version the query was admitted under — the
+        #: proxy's admission stage re-checks it before caching (the
+        #: data-version fence).
+        self.data_version: Any = None
         self._tracer = tracer
         self._clock = clock
         self._profiler = profiler if profiler is not None else NULL_PROFILER

@@ -211,7 +211,23 @@ class CachePersister:
 
     # -------------------------------------------------------- snapshotting
     def checkpoint(self) -> Snapshot:
-        """Snapshot the full live cache now and truncate the journal."""
+        """Snapshot the full live cache now and truncate the journal.
+
+        Concurrency precondition: call only while holding the
+        ``proxy.cache`` lock, or from single-threaded code.  Both
+        in-tree callers comply — the snapshot-cadence call in
+        ``_append`` runs inside the cache's mutation-log hooks (which
+        fire under ``proxy.cache``), and recovery runs before any
+        serving thread exists.  The method itself deliberately takes
+        no cache lock (see the class docstring: doing so here would
+        add a journal→cache edge), so an unlocked concurrent caller —
+        say a future admin endpoint — would race evictions between
+        ``entries()`` and each entry's stored-result read
+        (``ResultStoreError``) and could interleave with another
+        checkpoint's snapshot-write/journal-reset pair, losing
+        records.  Route any such caller through the cache's mutation
+        scope instead.
+        """
         if self._cache is None:
             raise PersistenceError(
                 "persister is not bound to a cache; call bind() first"

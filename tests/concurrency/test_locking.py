@@ -183,6 +183,63 @@ class TestLockOrderSanitizer:
             release.set()
             holder.join()
 
+    def test_failed_nonblocking_acquire_retracts_its_edges(
+        self, sanitizer
+    ):
+        """An ordering that was never established (the acquire failed)
+        must not survive in the observed set — it would later flag the
+        legitimate opposite order as an inversion."""
+        a, b = named_lock("lock.a"), named_lock("lock.b")
+        grabbed = threading.Event()
+        release = threading.Event()
+
+        def hold():
+            with b:
+                grabbed.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert grabbed.wait(timeout=5)
+            with a:
+                assert b.acquire(blocking=False) is False
+            assert sanitizer.observed_edges() == set()
+        finally:
+            release.set()
+            holder.join()
+        # The opposite order is now the first real ordering: no error.
+        with b:
+            with a:
+                pass
+        assert sanitizer.observed_edges() == {("lock.b", "lock.a")}
+
+    def test_rejected_acquisition_commits_no_partial_edges(self):
+        """Validate-then-commit: when a later edge of the same attempt
+        is an inversion, the earlier edges must not have been recorded
+        (they would be orderings that never happened)."""
+        enable_lock_sanitizer(edges=[("lock.c", "lock.b")])
+        try:
+            sanitizer = current_sanitizer()
+            a, b, c = (
+                named_lock("lock.a"),
+                named_lock("lock.b"),
+                named_lock("lock.c"),
+            )
+            with pytest.raises(LockOrderError, match="inversion"):
+                with a:
+                    with b:
+                        with c:  # (b, c) inverts the declared (c, b)
+                            pass
+            observed = sanitizer.observed_edges()
+            assert ("lock.a", "lock.c") not in observed
+            assert observed == {
+                ("lock.c", "lock.b"),  # declared
+                ("lock.a", "lock.b"),  # the one real acquisition
+            }
+        finally:
+            disable_lock_sanitizer()
+
 
 class TestTwoThreadStress:
     def test_seeded_out_of_order_acquisition_is_caught(self, sanitizer):

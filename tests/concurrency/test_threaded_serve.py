@@ -119,6 +119,40 @@ class TestInterleavedServes:
         assert {r.index for r in records} == set(range(1, 9))
         assert all(r.answered for r in records)
 
+    def test_threaded_serves_under_eviction_pressure(
+        self, make_proxy, bind, origin
+    ):
+        """With a byte budget, every admission can evict while other
+        threads are mid-lookup (REVIEW: the eviction path was untested
+        under concurrency).  Serve must keep its never-raises contract
+        and leave the budget respected."""
+        # Four disjoint queries whose results can never all fit: the
+        # budget is their total minus half the smallest, so admissions
+        # keep evicting for as long as the threads keep serving.
+        distinct = [
+            bind(ra=161.0 + 2.0 * i, radius=1.0) for i in range(4)
+        ]
+        sizes = [
+            origin.execute_bound(q).result.byte_size() for q in distinct
+        ]
+        budget = sum(sizes) - min(sizes) // 2
+        proxy = make_proxy(cache_bytes=budget)
+        queries = [distinct[i % 4] for i in range(12)]
+        serve_in_threads(proxy, queries)
+
+        records = proxy.stats.records
+        assert len(records) == 12
+        assert {r.index for r in records} == set(range(1, 13))
+        assert all(r.answered for r in records)
+        assert proxy.cache.evictions > 0
+        assert proxy.cache.current_bytes <= budget
+        # The survivor entries still answer exactly.
+        for bound in distinct:
+            entry = proxy.cache.exact_match(bound)
+            if entry is not None:
+                replay = proxy.serve(bound)
+                assert replay.record.status is QueryStatus.EXACT
+
     def test_runtime_lock_order_matches_the_static_graph(
         self, sanitizer, tmp_path, make_proxy, bind
     ):

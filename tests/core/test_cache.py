@@ -113,6 +113,38 @@ class TestLru:
         assert cache.current_bytes == 0
 
 
+class TestRaceHardening:
+    """Lookup-vs-eviction races (REVIEW: lock-free lookups could see a
+    concurrent ``_remove`` mid-flight)."""
+
+    def test_exact_match_pinned_returns_entry_with_result(
+        self, bind, result_of
+    ):
+        cache = make_cache()
+        bound = bind()
+        result = result_of(bound)
+        entry, _ = cache.store(bound, result, "sig", False)
+        pinned = cache.exact_match_pinned(bound)
+        assert pinned is not None
+        pinned_entry, pinned_result = pinned
+        assert pinned_entry is entry
+        assert pinned_result.rows == result.rows
+
+    def test_exact_match_pinned_miss_is_none(self, bind):
+        assert make_cache().exact_match_pinned(bind()) is None
+
+    def test_touch_after_removal_is_a_noop(self, bind, result_of):
+        """A candidate handed out before a concurrent eviction must not
+        resurrect replacement-policy bookkeeping when touched."""
+        cache = make_cache()
+        bound = bind()
+        entry, _ = cache.store(bound, result_of(bound), "sig", False)
+        cache.remove(entry)
+        before = (entry.last_used, entry.access_count)
+        cache.touch(entry)
+        assert (entry.last_used, entry.access_count) == before
+
+
 class TestDescriptionSync:
     def test_description_tracks_store_and_evict(self, bind, result_of):
         cache = make_cache()

@@ -98,6 +98,44 @@ class TestDispositions:
         assert record.status is QueryStatus.DISJOINT
 
 
+class TestEvictionRaceFallback:
+    """A cache hit whose stored result vanished mid-serve (the window a
+    concurrent eviction opens) degrades to a forward — serve's
+    never-raises contract covers ``ResultStoreError`` too (REVIEW)."""
+
+    def test_lost_exact_result_falls_back_to_forwarding(
+        self, make_proxy, bind
+    ):
+        proxy = make_proxy()
+        bound = bind()
+        first = proxy.serve(bound)
+        entry = proxy.cache.exact_match(bound)
+        # Simulate the race: the stored result is gone while the entry
+        # is still indexed (what a reader saw mid-eviction before the
+        # pinned lookup existed).
+        proxy.cache.result_store.remove(entry.entry_id)
+        response = proxy.serve(bound)
+        assert response.record.status is QueryStatus.FORWARDED
+        assert response.record.contacted_origin
+        assert ids(response.result) == ids(first.result)
+
+    def test_lost_candidate_result_falls_back_to_forwarding(
+        self, make_proxy, bind, origin
+    ):
+        proxy = make_proxy()
+        outer = bind(radius=8.0)
+        proxy.serve(outer)
+        entry = proxy.cache.exact_match(outer)
+        proxy.cache.result_store.remove(entry.entry_id)
+        inner = bind(radius=3.0)  # contained: local eval reads entry
+        response = proxy.serve(inner)
+        assert response.record.status is QueryStatus.FORWARDED
+        assert response.record.contacted_origin
+        assert ids(response.result) == ids(
+            origin.execute_bound(inner).result
+        )
+
+
 class TestSchemeDegradation:
     def test_passive_only_hits_exact(self, make_proxy, bind):
         proxy = make_proxy(scheme=CachingScheme.PASSIVE)

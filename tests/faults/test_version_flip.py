@@ -117,3 +117,66 @@ class TestPlanDrivenVersionFlip:
         proxy.install_fault_plan(None)
         assert proxy.serve(bound).record.status is QueryStatus.EXACT
         assert proxy.invalidations == 1
+
+
+class TestAdmissionFence:
+    """The data-version fence must hold at *admission*, not just at
+    query start: a result fetched under version 1 must never be
+    planted into a cache that a concurrent serve flushed at version 2
+    (REVIEW: the stale entry would serve EXACT hits forever)."""
+
+    def _observation_for(self, proxy, bound, index, fence):
+        observation = proxy.obs.observe_query(
+            index, bound.template_id, clock=proxy.clock
+        )
+        observation.data_version = fence
+        return observation
+
+    def test_in_flight_result_is_fenced_after_a_flush(
+        self, proxy, private_origin, bound
+    ):
+        # The in-flight query begins under version 1 and fetches its
+        # origin result...
+        index, fence = proxy._begin_query()
+        stale = private_origin.execute_bound(bound).result
+        # ...then the origin moves on and another serve flushes.
+        private_origin.bump_data_version()
+        other = private_origin.templates.bind(
+            RADIAL_TEMPLATE_ID,
+            {
+                "ra": 166.5,
+                "dec": 8.0,
+                "radius": 1.0,
+                "r_min": -9999.0,
+                "r_max": 9999.0,
+            },
+        )
+        proxy.serve(other)
+        assert proxy.invalidations == 1
+        # The in-flight query reaches admission: fenced off, nothing
+        # stale enters the flushed cache.
+        with self._observation_for(
+            proxy, bound, index, fence
+        ) as observation:
+            entry, report = proxy._stage_admit(
+                bound, stale, stale, observation
+            )
+        assert entry is None
+        assert report.stored_bytes == 0
+        assert proxy.cache.exact_match(bound) is None
+        # The next real serve goes to the origin, not a stale entry.
+        assert proxy.serve(bound).record.contacted_origin
+
+    def test_matching_fence_admits_normally(
+        self, proxy, private_origin, bound
+    ):
+        index, fence = proxy._begin_query()
+        result = private_origin.execute_bound(bound).result
+        with self._observation_for(
+            proxy, bound, index, fence
+        ) as observation:
+            entry, _report = proxy._stage_admit(
+                bound, result, result, observation
+            )
+        assert entry is not None
+        assert proxy.cache.exact_match(bound) is entry
