@@ -1,0 +1,449 @@
+"""The runtime admission gate: queue, quotas, shed, backpressure.
+
+One :class:`AdmissionController` sits in front of
+:class:`~repro.core.proxy.FunctionProxy.serve`.  It is used two ways:
+
+* **direct-threaded** — concurrent ``serve()`` callers pass through
+  :meth:`AdmissionController.try_admit` /
+  :meth:`AdmissionController.release`: a bounded-capacity gate (slots
+  plus backlog) with per-tenant token buckets and the overload
+  breaker;
+* **event-driven** — the :mod:`repro.sched` frontend parks arrivals in
+  the bounded accept queue (:meth:`AdmissionController.enqueue`) and
+  dispatches them as slots free (:meth:`AdmissionController.dequeue`),
+  applying the configured discipline and dropping queued work whose
+  deadline passed (``queued-timeout``).
+
+Backpressure: every queue-full shed records a failure on an internal
+:class:`~repro.faults.resilience.CircuitBreaker`; sustained overflow
+opens it and new arrivals fast-fail (``admission-open``) for the
+cooldown, after which a half-open probe re-tests capacity.  The
+breaker runs on its own event-time :class:`SimulatedClock`, advanced
+to each caller-passed ``now_ms``, so cooldowns follow the load
+timeline rather than the work clock.
+
+All mutable state is guarded by the ``proxy.admission`` named lock;
+observer callbacks fire after the lock is released.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.admission.config import (
+    DISCIPLINE_FIFO,
+    REASON_ADMISSION_OPEN,
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    SHED_DEGRADE_TO_TUNNEL,
+    SHED_SHED_CHEAPEST,
+    AdmissionConfig,
+    TenantQuota,
+)
+from repro.faults.resilience import BreakerState, CircuitBreaker
+from repro.locking import guarded_by, named_lock
+from repro.network.clock import SimulatedClock
+
+
+class AdmissionListener(Protocol):
+    """Metrics hooks the controller drives (outside its lock)."""
+
+    def admission_queue_depth(self, depth: int) -> None: ...
+
+    def admission_shed(self, reason: str) -> None: ...
+
+    def admission_quota_denied(self, tenant: str) -> None: ...
+
+    def admission_queue_wait(self, sim_ms: float) -> None: ...
+
+    def admission_overload_transition(self, state: BreakerState) -> None: ...
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """The controller's decision for one arrival."""
+
+    admitted: bool
+    reason: str = ""  # one of the REASON_* constants when not admitted
+    degrade: bool = False  # admitted, but in tunnel mode (overload)
+
+
+@dataclass(frozen=True)
+class QueuedRequest:
+    """One arrival parked in the accept queue."""
+
+    seq: int
+    tenant: str
+    item: Any
+    cost_hint: float
+    enqueued_at_ms: float
+    degrade: bool = False
+
+
+@guarded_by("proxy.admission", "_tokens", "_stamp_ms")
+class TokenBucket:
+    """A token bucket on explicit event time (caller passes now)."""
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self._lock = named_lock("proxy.admission")
+        self.quota = quota
+        self._tokens = float(quota.burst)
+        self._stamp_ms = 0.0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def try_take(self, now_ms: float) -> bool:
+        """Refill for the elapsed event time, then take one token."""
+        with self._lock:
+            elapsed = max(0.0, now_ms - self._stamp_ms)
+            self._stamp_ms = max(self._stamp_ms, now_ms)
+            self._tokens = min(
+                float(self.quota.burst),
+                self._tokens + elapsed * self.quota.rate_per_s / 1_000.0,
+            )
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+@guarded_by(
+    "proxy.admission",
+    "_queue",
+    "_inflight",
+    "_seq",
+    "_overload",
+    "_obs",
+    "_allow_degrade",
+    "submitted",
+    "admitted",
+    "shed",
+    "timeouts",
+    "_shed_by_reason",
+    "_quota_denials",
+)
+class AdmissionController:
+    """The admission gate in front of the proxy's serve path."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._lock = named_lock("proxy.admission")
+        self._queue: deque[QueuedRequest] = deque(
+            maxlen=self.config.max_queue_depth
+        )
+        self._buckets = {
+            tenant: TokenBucket(quota)
+            for tenant, quota in self.config.quotas.items()
+        }
+        self._inflight = 0
+        self._seq = 0
+        #: Event time for the overload breaker: an internal clock
+        #: fast-forwarded to each caller-passed ``now_ms``, so breaker
+        #: cooldowns run on the load timeline.
+        self._breaker_clock = SimulatedClock()
+        self._overload: CircuitBreaker = CircuitBreaker(
+            self._breaker_clock,
+            failure_threshold=self.config.overload_threshold,
+            cooldown_ms=self.config.overload_cooldown_ms,
+        )
+        self._obs: AdmissionListener | None = None
+        self._allow_degrade = True
+        self.submitted = 0
+        self.admitted = 0
+        self.shed = 0
+        self.timeouts = 0
+        self._shed_by_reason: dict[str, int] = {}
+        self._quota_denials: dict[str, int] = {}
+
+    # ---------------------------------------------------------- binding
+    def bind(
+        self,
+        instrumentation: AdmissionListener | None = None,
+        allow_degrade: bool = True,
+    ) -> None:
+        """Attach the proxy's instrumentation and degradation policy.
+
+        Rebuilds the overload breaker so its state transitions reach
+        the metrics gauge; called once by the proxy's constructor.
+        """
+        callback = (
+            instrumentation.admission_overload_transition
+            if instrumentation is not None
+            else None
+        )
+        with self._lock:
+            self._obs = instrumentation
+            self._allow_degrade = bool(allow_degrade)
+            self._overload = CircuitBreaker(
+                self._breaker_clock,
+                failure_threshold=self.config.overload_threshold,
+                cooldown_ms=self.config.overload_cooldown_ms,
+                on_state_change=callback,
+            )
+        if instrumentation is not None:
+            instrumentation.admission_overload_transition(
+                BreakerState.CLOSED
+            )
+
+    # ------------------------------------------------------- direct gate
+    def try_admit(self, tenant: str, now_ms: float) -> AdmissionVerdict:
+        """Admission for a direct (threaded) ``serve()`` call.
+
+        Capacity is slots plus backlog: callers beyond ``max_inflight``
+        count as queued backlog even though their threads run
+        immediately (the simulated clock carries the waiting).  Order
+        of checks: quota (per-tenant, independent of load), then the
+        overload breaker, then capacity — so a breaker probe always
+        resolves against a real capacity test.
+        """
+        shed_reason = ""
+        degrade = False
+        with self._lock:
+            self.submitted += 1
+            self._advance_event_time(now_ms)
+            if not self._take_token(tenant, now_ms):
+                shed_reason = REASON_QUOTA
+            elif not self._overload.allow():
+                shed_reason = REASON_ADMISSION_OPEN
+            elif self._inflight >= self.config.capacity:
+                shed_reason = REASON_QUEUE_FULL
+                self._overload.record_failure()
+            else:
+                backlog = self._inflight - self.config.max_inflight
+                degrade = (
+                    self.config.shed_policy == SHED_DEGRADE_TO_TUNNEL
+                    and self._allow_degrade
+                    and backlog >= self.config.watermark_depth
+                )
+                self._inflight += 1
+                self.admitted += 1
+                self._overload.record_success()
+            if shed_reason:
+                self._count_shed(shed_reason, tenant)
+        self._notify_shed(shed_reason, tenant)
+        return AdmissionVerdict(
+            admitted=not shed_reason, reason=shed_reason, degrade=degrade
+        )
+
+    def release(self) -> None:
+        """An admitted query finished (however it ended)."""
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    # ------------------------------------------------------ queued gate
+    def enqueue(
+        self,
+        item: Any,
+        tenant: str,
+        now_ms: float,
+        cost_hint: float = 1.0,
+    ) -> tuple[AdmissionVerdict, QueuedRequest | None]:
+        """Park one arrival in the accept queue.
+
+        Returns ``(verdict, evicted)``; ``evicted`` is the queued
+        request the ``shed-cheapest`` policy displaced to make room
+        (the caller owes it a shed record).
+        """
+        shed_reason = ""
+        degrade = False
+        evicted: QueuedRequest | None = None
+        with self._lock:
+            self.submitted += 1
+            self._advance_event_time(now_ms)
+            if not self._take_token(tenant, now_ms):
+                shed_reason = REASON_QUOTA
+            elif not self._overload.allow():
+                shed_reason = REASON_ADMISSION_OPEN
+            elif len(self._queue) < self.config.max_queue_depth:
+                degrade = (
+                    self.config.shed_policy == SHED_DEGRADE_TO_TUNNEL
+                    and self._allow_degrade
+                    and len(self._queue) >= self.config.watermark_depth
+                )
+                self._park(item, tenant, cost_hint, now_ms, degrade)
+                self._overload.record_success()
+            else:
+                # Queue full: the shed policy decides who pays.
+                self._overload.record_failure()
+                if self.config.shed_policy == SHED_SHED_CHEAPEST:
+                    evicted = self._evict_cheapest(cost_hint)
+                if evicted is not None:
+                    self._park(item, tenant, cost_hint, now_ms, False)
+                    self._count_shed(REASON_QUEUE_FULL, evicted.tenant)
+                else:
+                    shed_reason = REASON_QUEUE_FULL
+            if shed_reason:
+                self._count_shed(shed_reason, tenant)
+        self._notify_shed(
+            shed_reason or (REASON_QUEUE_FULL if evicted else ""),
+            tenant,
+        )
+        self._notify_depth()
+        return (
+            AdmissionVerdict(
+                admitted=not shed_reason,
+                reason=shed_reason,
+                degrade=degrade,
+            ),
+            evicted,
+        )
+
+    def dequeue(
+        self, now_ms: float
+    ) -> tuple[QueuedRequest | None, float, list[QueuedRequest]]:
+        """Dispatch the next queued request, if a slot is free.
+
+        Returns ``(request, waited_ms, expired)``: ``request`` is None
+        when no slot is free or the queue is empty; ``expired`` lists
+        queued requests dropped at dispatch time because they waited
+        past the deadline (the caller owes each a ``queued-timeout``
+        record).
+        """
+        expired: list[QueuedRequest] = []
+        got: QueuedRequest | None = None
+        with self._lock:
+            self._advance_event_time(now_ms)
+            if self._inflight < self.config.max_inflight:
+                fifo = self.config.discipline == DISCIPLINE_FIFO
+                while self._queue:
+                    if fifo:
+                        head = self._queue.popleft()
+                    else:
+                        head = self._queue.pop()
+                    waited = now_ms - head.enqueued_at_ms
+                    if waited > self.config.queue_deadline_ms:
+                        expired.append(head)
+                        self.timeouts += 1
+                        continue
+                    got = head
+                    self._inflight += 1
+                    self.admitted += 1
+                    break
+        waited_ms = 0.0 if got is None else now_ms - got.enqueued_at_ms
+        obs = self._obs
+        if obs is not None and got is not None:
+            obs.admission_queue_wait(waited_ms)
+        self._notify_depth()
+        return got, waited_ms, expired
+
+    # --------------------------------------------------------- lock-held
+    def _advance_event_time(self, now_ms: float) -> None:
+        """Fast-forward the overload breaker's clock to ``now_ms``."""
+        delta = now_ms - self._breaker_clock.now_ms
+        if delta > 0:
+            self._breaker_clock.advance(delta)
+
+    def _take_token(self, tenant: str, now_ms: float) -> bool:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return True  # unmetered tenant
+        taken = bucket.try_take(now_ms)
+        if not taken:
+            self._quota_denials[tenant] = (
+                self._quota_denials.get(tenant, 0) + 1
+            )
+        return taken
+
+    def _park(
+        self,
+        item: Any,
+        tenant: str,
+        cost_hint: float,
+        now_ms: float,
+        degrade: bool,
+    ) -> None:
+        self._seq += 1
+        self._queue.append(
+            QueuedRequest(
+                seq=self._seq,
+                tenant=tenant,
+                item=item,
+                cost_hint=cost_hint,
+                enqueued_at_ms=now_ms,
+                degrade=degrade,
+            )
+        )
+
+    def _evict_cheapest(
+        self, incoming_cost: float
+    ) -> QueuedRequest | None:
+        """The queued request ``shed-cheapest`` displaces, or None when
+        the incoming request is itself the cheapest work to lose."""
+        cheapest = min(
+            self._queue, key=lambda request: (request.cost_hint, request.seq)
+        )
+        if incoming_cost <= cheapest.cost_hint:
+            return None
+        self._queue.remove(cheapest)
+        return cheapest
+
+    def _count_shed(self, reason: str, tenant: str) -> None:
+        self.shed += 1
+        self._shed_by_reason[reason] = (
+            self._shed_by_reason.get(reason, 0) + 1
+        )
+
+    # -------------------------------------------------------- observers
+    def _notify_shed(self, reason: str, tenant: str) -> None:
+        obs = self._obs
+        if obs is None or not reason:
+            return
+        obs.admission_shed(reason)
+        if reason == REASON_QUOTA:
+            obs.admission_quota_denied(tenant)
+
+    def _notify_depth(self) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.admission_queue_depth(len(self._queue))
+
+    # ------------------------------------------------------- monitoring
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def overload_state(self) -> BreakerState:
+        return self._overload.state
+
+    def shed_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._shed_by_reason)
+
+    def quota_denials(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._quota_denials)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able status view (the ``GET /admission`` payload)."""
+        with self._lock:
+            return {
+                "config": {
+                    "max_inflight": self.config.max_inflight,
+                    "max_queue_depth": self.config.max_queue_depth,
+                    "discipline": self.config.discipline,
+                    "queue_deadline_ms": self.config.queue_deadline_ms,
+                    "shed_policy": self.config.shed_policy,
+                    "degrade_watermark": self.config.degrade_watermark,
+                    "tenants": sorted(self._buckets),
+                },
+                "queue_depth": len(self._queue),
+                "inflight": self._inflight,
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "shed_by_reason": dict(self._shed_by_reason),
+                "quota_denials": dict(self._quota_denials),
+                "overload_state": self._overload.state.value,
+                "overload_opens": self._overload.opens,
+            }

@@ -157,6 +157,10 @@ CODES: dict[str, CodeInfo] = {
             "FP309", _E,
             "raw threading.Lock/RLock outside repro/locking.py",
         ),
+        CodeInfo(
+            "FP310", _E,
+            "unbounded queue or deque in a serve-path module",
+        ),
         # --------------------------------------- FP4xx: concurrency safety
         CodeInfo(
             "FP401", _E,

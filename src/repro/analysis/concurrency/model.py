@@ -83,10 +83,13 @@ _MUTABLE_FACTORIES = frozenset(
 #: DESIGN.md, rather than a per-attribute registration.
 SERVE_PATH_MODULES = frozenset(
     {
+        "admission/controller.py",
         "core/cache.py",
         "core/proxy.py",
         "core/stats.py",
         "network/clock.py",
+        "sched/frontend.py",
+        "sched/loop.py",
         "obs/decisions.py",
         "obs/instrument.py",
         "obs/spans.py",

@@ -50,6 +50,14 @@ Invariants the generic tools cannot express:
   ``repro/locking.py`` (which owns the one sanctioned constructor)
   every lock must be built with
   :func:`repro.locking.named_lock`.
+* **FP310 — serve-path queues are bounded.**  The admission layer's
+  whole premise is that backlog is a policy decision, not an accident
+  of memory: a ``collections.deque`` without ``maxlen`` or a
+  ``queue.Queue`` without ``maxsize`` in a serve-path module (the
+  :data:`~repro.analysis.concurrency.SERVE_PATH_MODULES` set the
+  concurrency analyzer pins) grows without bound under exactly the
+  overload the proxy is supposed to shed.  ``queue.SimpleQueue``
+  cannot be bounded at all and is always flagged there.
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -566,6 +574,133 @@ def raw_lock_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
                 )
 
 
+# ------------------------------------------------------------------- FP310
+#: ``queue`` module constructors that accept (and default to an
+#: unbounded) ``maxsize``.
+BOUNDABLE_QUEUE_FACTORIES = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue"}
+)
+
+
+def _is_unbounded_maxsize(call: ast.Call) -> bool:
+    """True when a queue constructor's maxsize is absent, 0, or < 0."""
+    size: ast.expr | None = None
+    if call.args:
+        size = call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "maxsize":
+            size = keyword.value
+    if size is None:
+        return True
+    if isinstance(size, ast.Constant) and isinstance(size.value, int):
+        return size.value <= 0
+    if (
+        isinstance(size, ast.UnaryOp)
+        and isinstance(size.op, ast.USub)
+        and isinstance(size.operand, ast.Constant)
+    ):
+        return True  # negative literal: unbounded by Queue's contract
+    return False  # dynamic bound: trust the caller
+
+
+def _deque_has_maxlen(call: ast.Call) -> bool:
+    if len(call.args) >= 2:
+        return True  # deque(iterable, maxlen)
+    return any(keyword.arg == "maxlen" for keyword in call.keywords)
+
+
+def _queue_factory_name(
+    module: ModuleUnderLint, call: ast.Call
+) -> str | None:
+    """The ``queue``-module class a call constructs, if any."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        imported = module.imported_names.get(func.id)
+        if imported is not None and imported[0] == "queue":
+            return imported[1]
+    elif isinstance(func, ast.Attribute):
+        value = func.value
+        if (
+            isinstance(value, ast.Name)
+            and module.module_aliases.get(value.id) == "queue"
+        ):
+            return func.attr
+    return None
+
+
+def _is_deque_call(module: ModuleUnderLint, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        imported = module.imported_names.get(func.id)
+        return (
+            imported is not None
+            and imported[0] == "collections"
+            and imported[1] == "deque"
+        )
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        return (
+            isinstance(value, ast.Name)
+            and module.module_aliases.get(value.id) == "collections"
+            and func.attr == "deque"
+        )
+    return False
+
+
+def unbounded_queue_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP310: unbounded deques/queues in serve-path modules."""
+    # Imported lazily: repro.analysis.concurrency imports nothing from
+    # this module, but keeping the lint rules importable on their own
+    # is worth the local import.
+    from repro.analysis.concurrency import (
+        SERVE_PATH_MODULES,
+        SERVE_PATH_PRAGMA,
+    )
+
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    rel = "/".join(module.repro_parts)
+    if rel not in SERVE_PATH_MODULES and (
+        SERVE_PATH_PRAGMA not in module.text
+    ):
+        return
+    hint = (
+        "bound the container (deque(maxlen=...), Queue(maxsize=...)) "
+        "and shed the excess through repro.admission"
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _is_deque_call(module, node) and not _deque_has_maxlen(node):
+            yield module.diagnostic(
+                "FP310",
+                "deque() without maxlen on the serve path grows without "
+                "bound under overload",
+                node,
+                hint=hint,
+            )
+            continue
+        factory = _queue_factory_name(module, node)
+        if factory in BOUNDABLE_QUEUE_FACTORIES and _is_unbounded_maxsize(
+            node
+        ):
+            yield module.diagnostic(
+                "FP310",
+                f"queue.{factory} without a positive maxsize on the "
+                "serve path grows without bound under overload",
+                node,
+                hint=hint,
+            )
+        elif factory == "SimpleQueue":
+            yield module.diagnostic(
+                "FP310",
+                "queue.SimpleQueue cannot be bounded; the serve path "
+                "needs a depth limit",
+                node,
+                hint=hint,
+            )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
@@ -575,6 +710,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     non_atomic_write_rule,
     bench_print_rule,
     raw_lock_rule,
+    unbounded_queue_rule,
 )
 
 

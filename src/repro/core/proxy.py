@@ -63,6 +63,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Mapping
 
+from repro.admission.controller import AdmissionController
 from repro.core.cache import CacheEntry, CacheManager, MaintenanceReport
 from repro.core.costs import ProxyCostModel
 from repro.core.description import ArrayDescription, CacheDescription
@@ -154,6 +155,7 @@ class FunctionProxy:
         clock: SimulatedClock | None = None,
         persistence: CachePersister | None = None,
         recover: bool = True,
+        admission: AdmissionController | None = None,
     ) -> None:
         if max_holes < 1:
             raise ValueError("max_holes must be at least 1")
@@ -209,6 +211,16 @@ class FunctionProxy:
             failure_rtt_ms=lambda: self.topology.origin_round_trip_ms(0),
             listener=self.obs,
         )
+        # ----------------------------------------------------- admission
+        #: Optional admission gate: when set, ``serve`` consults it
+        #: before starting any query work and turned-away queries get
+        #: structured ``shed`` records instead of service.
+        self.admission = admission
+        if admission is not None:
+            admission.bind(
+                self.obs,
+                allow_degrade=self.resilience.degradation.tunnel_on_overload,
+            )
         self._base_origin = origin
         self._base_topology = self.topology
         self.fault_plan: FaultPlan | None = None
@@ -280,19 +292,47 @@ class FunctionProxy:
 
     # ------------------------------------------------------------ public
     def serve_form(
-        self, form_name: str, form_values: Mapping[str, str]
+        self,
+        form_name: str,
+        form_values: Mapping[str, str],
+        tenant: str = "default",
     ) -> ProxyResponse:
         """Serve a raw HTML form request (the HTTP listener's path)."""
         with self.tracer.span("bind", form=form_name):
             bound = self.templates.bind_form(form_name, form_values)
-        return self.serve(bound)
+        return self.serve(bound, tenant=tenant)
 
-    def serve(self, bound: BoundQuery) -> ProxyResponse:
+    def serve(self, bound: BoundQuery, tenant: str = "default") -> ProxyResponse:
         """Serve one bound query; appends a record to ``stats``.
 
-        Never lets an origin failure escape: unreachable origins and
-        origin-side query errors become structured ``failed`` (or
-        degraded) outcomes on the returned record.
+        Never raises for load or origin trouble: when an admission
+        controller is installed and turns the query away, the caller
+        gets a structured ``shed`` record (no cache, origin, or
+        journal work); origin failures likewise become structured
+        ``failed`` (or degraded) outcomes on the returned record.
+        """
+        if self.admission is None:
+            return self.serve_admitted(bound)
+        verdict = self.admission.try_admit(tenant, self.clock.now_ms)
+        if not verdict.admitted:
+            return self.reject(bound, verdict.reason, QueryOutcome.SHED)
+        try:
+            return self.serve_admitted(bound, degrade=verdict.degrade)
+        finally:
+            self.admission.release()
+
+    def serve_admitted(
+        self,
+        bound: BoundQuery,
+        queue_wait_ms: float = 0.0,
+        degrade: bool = False,
+    ) -> ProxyResponse:
+        """Serve one query that already passed admission.
+
+        ``queue_wait_ms`` is the simulated time the query spent in the
+        accept queue (charged to the ``admit.queue`` step so response
+        times include the wait); ``degrade`` forces tunnel mode — the
+        overload path that skips all cache work.
         """
         index, data_version = self._begin_query()
         policy = self.scheme.policy
@@ -308,8 +348,17 @@ class FunctionProxy:
                 policy=policy.describe(),
             )
             observation.decision = decision
+            if queue_wait_ms > 0:
+                observation.charge("admit.queue", queue_wait_ms)
             try:
-                if self._stage_parse_bind(bound, observation, policy):
+                if degrade:
+                    decision.note(
+                        "admission overload: degraded to tunnel "
+                        "(no cache work)"
+                    )
+                    observation.charge("parse", self.costs.parse_ms)
+                    response = self._tunnel(bound, observation)
+                elif self._stage_parse_bind(bound, observation, policy):
                     response = self._tunnel(bound, observation)
                 else:
                     try:
@@ -335,7 +384,63 @@ class FunctionProxy:
         self.stats.add(response.record)
         return response
 
+    def reject(
+        self,
+        bound: BoundQuery,
+        reason: str,
+        outcome: QueryOutcome,
+        queue_wait_ms: float = 0.0,
+    ) -> ProxyResponse:
+        """Turn one query away with a structured record.
+
+        The admission paths (``shed`` at arrival, ``queued-timeout``
+        at dispatch) end here: the query gets an index, an observation,
+        and a decision trace like any served query — but no cache,
+        origin, or journal work happens, and the data-version fence is
+        deliberately not consulted (a rejected query must not trigger
+        a cache flush).
+        """
+        index = self._next_index()
+        with self.obs.observe_query(
+            index, bound.template_id, clock=self.clock
+        ) as observation:
+            decision = self.obs.decisions.begin(
+                index,
+                bound.template_id,
+                query_region=region_summary(bound.region),
+                scheme=self.scheme.value,
+                policy=self.scheme.policy.describe(),
+            )
+            observation.decision = decision
+            if queue_wait_ms > 0:
+                observation.charge("admit.queue", queue_wait_ms)
+            with observation.stage("admit.shed"):
+                decision.note(f"admission turned the query away: {reason}")
+            response = self._respond(
+                bound,
+                ResultTable(Schema.of(), []),
+                QueryStatus.REJECTED,
+                observation,
+                tuples_from_cache=0,
+                contacted_origin=False,
+                outcome=outcome,
+                failure_reason=reason,
+            )
+        self.stats.add(response.record)
+        return response
+
     # ------------------------------------------------------------ stages
+    def _next_index(self) -> int:
+        """A fresh query index for a query that will not be served.
+
+        Unlike ``_begin_query`` this does *not* run the data-version
+        fence: shed queries must leave the cache (and thus the journal)
+        untouched.
+        """
+        with self._lock:
+            self._query_index += 1
+            return self._query_index
+
     def _begin_query(self) -> tuple[int, object]:
         """Stage 0 (admission): assign the query's index and fence the
         data version.

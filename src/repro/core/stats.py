@@ -36,6 +36,7 @@ class QueryStatus(enum.Enum):
     DISJOINT = "disjoint"  # case (d): forwarded and cached
     FORWARDED = "forwarded"  # miss under a scheme that skipped the case
     FAILED = "failed"  # origin needed but unreachable / query error
+    REJECTED = "rejected"  # never dispatched: admission control turned it away
 
 
 #: Statuses answered entirely from the cache.
@@ -54,6 +55,8 @@ class QueryOutcome(enum.Enum):
     DEGRADED = "degraded"  # full answer from cache while the origin is down
     PARTIAL = "partial"  # cached portion only; the remainder was skipped
     FAILED = "failed"  # no answer: structured failure, not an exception
+    SHED = "shed"  # turned away at admission (queue full / quota / overload)
+    QUEUED_TIMEOUT = "queued-timeout"  # waited past its deadline, never ran
 
 
 #: Outcomes that returned result tuples to the client.

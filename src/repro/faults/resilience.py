@@ -32,6 +32,7 @@ from repro.faults.errors import (
     OriginUnavailable,
     OriginUnavailableError,
 )
+from repro.locking import guarded_by, named_lock
 from repro.network.clock import SimulatedClock
 from repro.relational.errors import RelationalError
 from repro.server.origin import OriginResponse
@@ -96,8 +97,25 @@ BREAKER_STATE_VALUES: dict[BreakerState, int] = {
 }
 
 
+@guarded_by(
+    "proxy.admission",
+    "_state",
+    "_consecutive_failures",
+    "_opened_at_ms",
+    "_probe_in_flight",
+    "opens",
+)
 class CircuitBreaker:
-    """Closed / open / half-open over the simulated clock."""
+    """Closed / open / half-open over the simulated clock.
+
+    Thread-safe: all state moves under the ``proxy.admission`` lock,
+    and in half-open exactly **one** probe is in flight at a time —
+    ``allow()`` admits the first caller after the cooldown and refuses
+    the rest until that probe resolves via ``record_success`` /
+    ``record_failure``.  State-change callbacks fire *after* the lock
+    is released, so a listener may take its own locks without creating
+    an acquisition edge under ``proxy.admission``.
+    """
 
     def __init__(
         self,
@@ -112,12 +130,14 @@ class CircuitBreaker:
             )
         if cooldown_ms <= 0:
             raise ValueError(f"cooldown must be positive: {cooldown_ms}")
+        self._lock = named_lock("proxy.admission")
         self._clock = clock
         self.failure_threshold = failure_threshold
         self.cooldown_ms = cooldown_ms
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at_ms = 0.0
+        self._probe_in_flight = False
         self._on_state_change = on_state_change
         self.opens = 0  # lifetime count of CLOSED/HALF_OPEN -> OPEN
 
@@ -125,40 +145,63 @@ class CircuitBreaker:
     def state(self) -> BreakerState:
         return self._state
 
-    def _transition(self, state: BreakerState) -> None:
+    def _transition(self, state: BreakerState) -> BreakerState | None:
+        """Move to ``state`` (lock held by the caller); returns the new
+        state when it changed so the caller can notify after release."""
         if state is self._state:
-            return
+            return None
         self._state = state
-        if self._on_state_change is not None:
-            self._on_state_change(state)
+        return state
+
+    def _notify(self, changed: BreakerState | None) -> None:
+        if changed is not None and self._on_state_change is not None:
+            self._on_state_change(changed)
 
     def allow(self) -> bool:
         """Whether an origin attempt may proceed right now.
 
         An open breaker whose cooldown elapsed moves to half-open and
-        admits the probe attempt.
+        admits exactly one probe attempt; concurrent callers are
+        refused until that probe resolves.
         """
-        if self._state is BreakerState.OPEN:
-            elapsed = self._clock.now_ms - self._opened_at_ms
-            if elapsed < self.cooldown_ms:
-                return False
-            self._transition(BreakerState.HALF_OPEN)
-        return True
+        changed: BreakerState | None = None
+        admitted = True
+        with self._lock:
+            if self._state is BreakerState.OPEN:
+                elapsed = self._clock.now_ms - self._opened_at_ms
+                if elapsed < self.cooldown_ms:
+                    admitted = False
+                else:
+                    changed = self._transition(BreakerState.HALF_OPEN)
+            if admitted and self._state is BreakerState.HALF_OPEN:
+                if self._probe_in_flight:
+                    admitted = False
+                else:
+                    self._probe_in_flight = True
+        self._notify(changed)
+        return admitted
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._transition(BreakerState.CLOSED)
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            changed = self._transition(BreakerState.CLOSED)
+        self._notify(changed)
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if (
-            self._state is BreakerState.HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            if self._state is not BreakerState.OPEN:
-                self.opens += 1
-            self._opened_at_ms = self._clock.now_ms
-            self._transition(BreakerState.OPEN)
+        changed: BreakerState | None = None
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if (
+                self._state is BreakerState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state is not BreakerState.OPEN:
+                    self.opens += 1
+                self._opened_at_ms = self._clock.now_ms
+                changed = self._transition(BreakerState.OPEN)
+        self._notify(changed)
 
 
 @dataclass(frozen=True)
@@ -168,7 +211,10 @@ class DegradationPolicy:
     * ``stale_ok`` — exact/contained answers still come from cache,
       marked ``degraded`` while the breaker is not closed;
     * ``partial_ok`` — an overlap query whose remainder cannot reach
-      the origin degrades to the cached portion only (``partial``).
+      the origin degrades to the cached portion only (``partial``);
+    * ``tunnel_on_overload`` — when the admission queue crosses its
+      degrade watermark, new queries may still be admitted in tunnel
+      mode (no cache work, forwarded whole) instead of being shed.
 
     Fail-fast for uncacheable / disjoint queries is always on: they
     produce a structured ``failed`` outcome, never an exception.
@@ -176,6 +222,7 @@ class DegradationPolicy:
 
     stale_ok: bool = True
     partial_ok: bool = True
+    tunnel_on_overload: bool = True
 
 
 @dataclass(frozen=True)

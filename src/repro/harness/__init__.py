@@ -14,7 +14,10 @@ One module per experiment, mirroring DESIGN.md's per-experiment index:
 * :mod:`repro.harness.fault_availability` — answered fraction per
   scheme under an origin outage (the resilience layer's headline);
 * :mod:`repro.harness.recovery` — post-crash hit ratio, warm restart
-  (journal + snapshot recovery) vs cold, per scheme.
+  (journal + snapshot recovery) vs cold, per scheme;
+* :mod:`repro.harness.saturation` — throughput / latency / shed
+  fraction across a closed-loop client ladder (graceful saturation
+  under admission control).
 
 Every experiment takes an :class:`~repro.harness.config.ExperimentScale`
 so the same code runs at paper scale (11,323 queries) or at the smaller

@@ -1,0 +1,284 @@
+"""Graceful saturation: throughput and latency as offered load climbs.
+
+The paper's experiments run one query at a time; this experiment asks
+what the proxy does when *thousands* of closed-loop clients hit it at
+once.  A proxy without admission control would queue without bound and
+every response time would diverge.  With the admission layer
+(:mod:`repro.admission`) the answer should be *graceful saturation*:
+
+* throughput rises with offered load until the service capacity is
+  reached, then stays on a plateau instead of collapsing;
+* the latency of queries that *are* admitted stays bounded by the
+  configured queue deadline — waiting is capped, not unbounded;
+* the excess load is turned away as structured ``shed`` /
+  ``queued-timeout`` records, and the shed fraction grows with offered
+  load while ``serve`` never raises.
+
+Protocol: for each rung of a client ladder (8 clients up to 10,000 at
+bench scale), build a fresh proxy + :class:`~repro.admission.controller.
+AdmissionController` + :class:`~repro.sched.loop.EventLoop` and drive a
+seeded :class:`~repro.workload.closed_loop.ClosedLoopDriver` population
+to completion.  Everything runs on the deterministic event-time axis,
+so the whole curve is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.admission import AdmissionConfig, AdmissionController
+from repro.core.schemes import CachingScheme
+from repro.core.stats import QueryOutcome
+from repro.harness.config import ExperimentScale
+from repro.harness.render import render_table
+from repro.harness.runner import ExperimentRunner
+from repro.sched import EventLoop, ProxyFrontend
+from repro.workload.closed_loop import ClosedLoopConfig, ClosedLoopDriver
+
+#: Client-population ladders.  The quick ladder keeps unit tests fast;
+#: the full ladder's 10,000-client rung is the saturation headline.
+QUICK_LADDER = (8, 64, 800)
+FULL_LADDER = (8, 64, 800, 2_500, 10_000)
+
+#: The admission configuration under test.  A short queue keeps the
+#: worst-case wait (queue_depth / max_inflight service times) well
+#: under the deadline, so admitted queries finish inside it.
+BENCH_ADMISSION = AdmissionConfig(
+    max_inflight=8,
+    max_queue_depth=16,
+    queue_deadline_ms=15_000.0,
+    overload_threshold=64,
+    overload_cooldown_ms=2_000.0,
+)
+
+#: Outcomes that mean the query was admitted and dispatched (a failed
+#: dispatch still occupied a slot; only shed/timed-out queries never ran).
+ADMITTED_OUTCOMES = frozenset(
+    {
+        QueryOutcome.SERVED,
+        QueryOutcome.DEGRADED,
+        QueryOutcome.PARTIAL,
+        QueryOutcome.FAILED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One rung of the ladder: the proxy under ``n_clients`` of load."""
+
+    n_clients: int
+    submitted: int
+    #: Records the proxy produced — equals ``submitted`` when every
+    #: query resolved structurally (the never-raises contract).
+    records: int
+    served: int
+    shed: int
+    timed_out: int
+    failed: int
+    end_ms: float
+    throughput_qps: float
+    p95_admitted_ms: float
+    shed_fraction: float
+    overload_opens: int
+
+    def to_dict(self) -> dict:
+        return {
+            "n_clients": self.n_clients,
+            "submitted": self.submitted,
+            "records": self.records,
+            "served": self.served,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "end_ms": self.end_ms,
+            "throughput_qps": self.throughput_qps,
+            "p95_admitted_ms": self.p95_admitted_ms,
+            "shed_fraction": self.shed_fraction,
+            "overload_opens": self.overload_opens,
+        }
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """The throughput-vs-load curve across the client ladder."""
+
+    points: tuple[LoadPoint, ...]
+    admission: dict
+    queries_per_client: int
+    think_time_ms: float
+    seed: int
+
+    @property
+    def deadline_ms(self) -> float:
+        return float(self.admission["config"]["queue_deadline_ms"])
+
+    @property
+    def peak_throughput_qps(self) -> float:
+        return max(point.throughput_qps for point in self.points)
+
+    @property
+    def plateau_fraction(self) -> float:
+        """Worst throughput at or past the peak, as a fraction of it.
+
+        1.0 is a flat plateau; a congestion-collapse curve (throughput
+        falling as load keeps climbing) drags this toward zero.
+        """
+        peak = self.peak_throughput_qps
+        if peak <= 0:
+            return 0.0
+        start = max(
+            index
+            for index, point in enumerate(self.points)
+            if point.throughput_qps == peak
+        )
+        return min(
+            point.throughput_qps for point in self.points[start:]
+        ) / peak
+
+    def to_dict(self) -> dict:
+        return {
+            "admission": self.admission,
+            "queries_per_client": self.queries_per_client,
+            "think_time_ms": self.think_time_ms,
+            "seed": self.seed,
+            "peak_throughput_qps": self.peak_throughput_qps,
+            "plateau_fraction": self.plateau_fraction,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def render(self) -> str:
+        headers = [
+            "clients",
+            "submitted",
+            "served",
+            "shed",
+            "timeout",
+            "qps",
+            "p95 adm ms",
+            "shed frac",
+            "opens",
+        ]
+        rows = [
+            [
+                point.n_clients,
+                point.submitted,
+                point.served,
+                point.shed,
+                point.timed_out,
+                point.throughput_qps,
+                point.p95_admitted_ms,
+                point.shed_fraction,
+                point.overload_opens,
+            ]
+            for point in self.points
+        ]
+        return render_table(
+            "Saturation: closed-loop load ladder against "
+            f"{self.admission['config']['max_inflight']} service slots "
+            f"(queue {self.admission['config']['max_queue_depth']}, "
+            f"deadline {self.deadline_ms:.0f} ms)",
+            headers,
+            rows,
+        )
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def ladder_for(scale: ExperimentScale) -> tuple[int, ...]:
+    return QUICK_LADDER if scale.name == "quick" else FULL_LADDER
+
+
+def run_load_point(
+    runner: ExperimentRunner,
+    n_clients: int,
+    admission: AdmissionConfig,
+    queries_per_client: int,
+    think_time_ms: float,
+    seed: int,
+) -> LoadPoint:
+    """One ladder rung on a fresh proxy, controller, and event loop."""
+    proxy = runner.build_proxy(
+        CachingScheme.FULL_SEMANTIC,
+        "array",
+        cache_fraction=None,
+        admission=AdmissionController(admission),
+    )
+    frontend = ProxyFrontend(proxy, EventLoop())
+    driver = ClosedLoopDriver(
+        frontend,
+        runner.trace,
+        ClosedLoopConfig(
+            n_clients=n_clients,
+            queries_per_client=queries_per_client,
+            think_time_ms=think_time_ms,
+            seed=seed,
+        ),
+    )
+    stats = driver.run()
+    snapshot = proxy.admission.snapshot()
+    counts = {
+        outcome.value: count
+        for outcome, count in stats.outcome_counts().items()
+    }
+    served = counts.get(QueryOutcome.SERVED.value, 0)
+    shed = counts.get(QueryOutcome.SHED.value, 0)
+    timed_out = counts.get(QueryOutcome.QUEUED_TIMEOUT.value, 0)
+    end_ms = driver.loop.now_ms
+    admitted_ms = [
+        record.response_ms
+        for record in stats.records
+        if record.outcome in ADMITTED_OUTCOMES
+    ]
+    submitted = snapshot["submitted"]
+    return LoadPoint(
+        n_clients=n_clients,
+        submitted=submitted,
+        records=len(stats.records),
+        served=served,
+        shed=shed,
+        timed_out=timed_out,
+        failed=counts.get(QueryOutcome.FAILED.value, 0),
+        end_ms=end_ms,
+        throughput_qps=served / (end_ms / 1_000.0) if end_ms > 0 else 0.0,
+        p95_admitted_ms=_percentile(admitted_ms, 0.95),
+        shed_fraction=(shed + timed_out) / submitted if submitted else 0.0,
+        overload_opens=snapshot["overload_opens"],
+    )
+
+
+def run_saturation(
+    runner: ExperimentRunner | None = None,
+    scale: ExperimentScale | None = None,
+    ladder: tuple[int, ...] | None = None,
+    admission: AdmissionConfig = BENCH_ADMISSION,
+    queries_per_client: int = 2,
+    think_time_ms: float = 4_000.0,
+    seed: int = 339,
+) -> SaturationResult:
+    runner = runner or ExperimentRunner(scale or ExperimentScale.default())
+    rungs = ladder or ladder_for(runner.scale)
+    points = tuple(
+        run_load_point(
+            runner,
+            n_clients,
+            admission,
+            queries_per_client,
+            think_time_ms,
+            seed,
+        )
+        for n_clients in rungs
+    )
+    return SaturationResult(
+        points=points,
+        admission={"config": AdmissionController(admission).snapshot()["config"]},
+        queries_per_client=queries_per_client,
+        think_time_ms=think_time_ms,
+        seed=seed,
+    )

@@ -25,6 +25,8 @@ Code      Action               Meaning
 ``DA07``  degraded             cache answer served stale (origin down)
 ``DA08``  partial              cached portion only; remainder failed
 ``DA09``  failed               no answer; structured failure
+``DA10``  shed                 turned away at admission, never dispatched
+``DA11``  queued-timeout       queued past its deadline, never dispatched
 ========  ===================  =========================================
 
 Everything here is plain data + a bounded ring buffer; the proxy's
@@ -63,6 +65,8 @@ class DecisionAction(enum.Enum):
     DEGRADED = "degraded"
     PARTIAL = "partial"
     FAILED = "failed"
+    SHED = "shed"
+    QUEUED_TIMEOUT = "queued-timeout"
 
     @property
     def code(self) -> str:
@@ -80,6 +84,8 @@ ACTION_CODES: dict[DecisionAction, str] = {
     DecisionAction.DEGRADED: "DA07",
     DecisionAction.PARTIAL: "DA08",
     DecisionAction.FAILED: "DA09",
+    DecisionAction.SHED: "DA10",
+    DecisionAction.QUEUED_TIMEOUT: "DA11",
 }
 
 #: QueryStatus.value -> the action taken when the outcome was a full
@@ -93,6 +99,7 @@ _STATUS_ACTIONS: dict[str, DecisionAction] = {
     "forwarded": DecisionAction.MISS,
     "no-cache": DecisionAction.TUNNEL,
     "failed": DecisionAction.FAILED,
+    "rejected": DecisionAction.SHED,
 }
 
 
@@ -108,6 +115,10 @@ def action_for(status: str, outcome: str) -> DecisionAction:
         return DecisionAction.DEGRADED
     if outcome == "partial":
         return DecisionAction.PARTIAL
+    if outcome == "shed":
+        return DecisionAction.SHED
+    if outcome == "queued-timeout":
+        return DecisionAction.QUEUED_TIMEOUT
     try:
         return _STATUS_ACTIONS[status]
     except KeyError:

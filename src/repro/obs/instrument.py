@@ -379,6 +379,31 @@ class ProxyInstrumentation:
             "snapshot_age_seconds",
             "Simulated seconds since the last persistence snapshot.",
         )
+        self.admission_depth = r.gauge(
+            "admission_queue_depth",
+            "Requests currently parked in the admission accept queue.",
+        )
+        self.admission_sheds = r.counter(
+            "admission_shed_total",
+            "Queries turned away by admission control, by reason "
+            "(queue-full, quota, admission-open, deadline).",
+            ("reason",),
+        )
+        self.admission_quota_denials = r.counter(
+            "admission_quota_denials_total",
+            "Queries denied by a per-tenant token-bucket quota.",
+            ("tenant",),
+        )
+        self.admission_wait_ms = r.histogram(
+            "admission_queue_wait_sim_ms",
+            "Simulated time admitted queries spent in the accept queue.",
+            buckets=SIM_MS_BUCKETS,
+        )
+        self.admission_overload = r.gauge(
+            "admission_overload_state",
+            "Overload circuit breaker gating admission "
+            "(0=closed, 1=half-open, 2=open).",
+        )
 
     # ------------------------------------------------- analysis observation
     def record_diagnostic(self, diagnostic: Any) -> None:
@@ -399,6 +424,34 @@ class ProxyInstrumentation:
     def breaker_transition(self, value: int) -> None:
         """Breaker hook: the state gauge's new encoded value."""
         self.breaker_state.set(value)
+
+    # --------------------------------------------------- admission hooks
+    def admission_queue_depth(self, depth: int) -> None:
+        """Admission hook: the accept queue's current depth."""
+        self.admission_depth.set(depth)
+
+    def admission_shed(self, reason: str) -> None:
+        """Admission hook: one query was turned away."""
+        self.admission_sheds.labels(reason=reason).inc()
+        self.profiler.hit("admit.shed")
+
+    def admission_quota_denied(self, tenant: str) -> None:
+        """Admission hook: a tenant's token bucket denied a query."""
+        self.admission_quota_denials.labels(tenant=tenant).inc()
+
+    def admission_queue_wait(self, sim_ms: float) -> None:
+        """Admission hook: an admitted query's simulated queue wait."""
+        self.admission_wait_ms.observe(sim_ms)
+
+    def admission_overload_transition(self, state: Any) -> None:
+        """Admission hook: the overload breaker's new state.
+
+        Encoded like ``breaker_state`` (0=closed, 1=half-open,
+        2=open); the mapping is by state value to avoid importing the
+        resilience module here.
+        """
+        encoded = {"closed": 0, "half-open": 1, "open": 2}
+        self.admission_overload.set(encoded.get(state.value, -1))
 
     # --------------------------------------------------------- per query
     def observe_query(

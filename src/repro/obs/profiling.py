@@ -44,6 +44,8 @@ from typing import Any, Callable
 #: is not limited to these, but the hot-path stages the acceptance
 #: criteria and baselines key on must keep these exact names.
 STAGE_NAMES = (
+    "admit.queue",      # simulated wait in the admission accept queue
+    "admit.shed",       # admission turn-away bookkeeping (count-only)
     "parse",            # query parsing charge
     "check",            # cache-description check (region probe phase)
     "probe.array",      # array description probe inside `check`

@@ -1,0 +1,160 @@
+"""The event-driven serving frontend: queue at the proxy, not inside it.
+
+:class:`ProxyFrontend` is how thousands of simulated clients share one
+proxy.  An arrival is submitted on the event loop's time axis and
+enters the admission controller's bounded accept queue; whenever a
+serve slot is free the frontend dispatches the next queued request —
+charging its queue wait to the query's ``admit.queue`` step — and
+schedules a completion event after the query's simulated service time.
+Turned-away work (queue full, quota, overload fast-fail, deadline
+passed while queued) becomes structured ``shed`` / ``queued-timeout``
+records through :meth:`~repro.core.proxy.FunctionProxy.reject`, so
+every submission produces exactly one record and ``serve`` semantics
+(never raises) carry over to the event-driven path.
+
+The frontend is single-threaded by design — it lives on the event
+loop's thread; the admission controller and the proxy underneath do
+their own locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.admission.config import REASON_DEADLINE, REASON_QUEUE_FULL
+from repro.admission.controller import AdmissionController, QueuedRequest
+from repro.core.proxy import FunctionProxy, ProxyResponse
+from repro.core.stats import QueryOutcome
+from repro.locking import unshared
+from repro.sched.loop import EventLoop
+
+
+@dataclass(frozen=True)
+class _Submission:
+    """What travels through the accept queue for one arrival."""
+
+    bound: Any
+    on_done: Callable[[ProxyResponse], None] | None = None
+
+
+@unshared("submitted", "completed", "rejected")
+class ProxyFrontend:
+    """Closed-loop serving through the admission queue.
+
+    ``submit`` never raises and always leads to exactly one finished
+    :class:`~repro.core.stats.QueryRecord` per arrival — immediately
+    (shed) or eventually (dispatch, or deadline drop at dispatch
+    time).  Completion callbacks run on the event loop.
+    """
+
+    def __init__(
+        self,
+        proxy: FunctionProxy,
+        loop: EventLoop,
+        controller: AdmissionController | None = None,
+    ) -> None:
+        controller = controller or proxy.admission
+        if controller is None:
+            raise ValueError(
+                "the frontend needs an admission controller: pass one "
+                "or build the proxy with admission=..."
+            )
+        if proxy.admission is None:
+            controller.bind(
+                proxy.obs,
+                allow_degrade=(
+                    proxy.resilience.degradation.tunnel_on_overload
+                ),
+            )
+        self.proxy = proxy
+        self.loop = loop
+        self.controller = controller
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+
+    def submit(
+        self,
+        bound: Any,
+        tenant: str = "default",
+        cost_hint: float = 1.0,
+        on_done: Callable[[ProxyResponse], None] | None = None,
+    ) -> None:
+        """One arrival at the current event time."""
+        self.submitted += 1
+        submission = _Submission(bound, on_done)
+        verdict, evicted = self.controller.enqueue(
+            submission, tenant, self.loop.now_ms, cost_hint=cost_hint
+        )
+        if evicted is not None:
+            # shed-cheapest displaced queued work to park this arrival.
+            self._reject(
+                evicted,
+                REASON_QUEUE_FULL,
+                QueryOutcome.SHED,
+            )
+        if not verdict.admitted:
+            response = self.proxy.reject(
+                bound, verdict.reason, QueryOutcome.SHED
+            )
+            self.rejected += 1
+            self._finish(submission, response)
+        self.pump()
+
+    def pump(self) -> None:
+        """Dispatch queued work while serve slots are free."""
+        while True:
+            got, waited_ms, expired = self.controller.dequeue(
+                self.loop.now_ms
+            )
+            for stale in expired:
+                self._reject(
+                    stale, REASON_DEADLINE, QueryOutcome.QUEUED_TIMEOUT
+                )
+            if got is None:
+                return
+            self._dispatch(got, waited_ms)
+
+    # ----------------------------------------------------------- internal
+    def _dispatch(self, request: QueuedRequest, waited_ms: float) -> None:
+        submission = request.item
+        response = self.proxy.serve_admitted(
+            submission.bound,
+            queue_wait_ms=waited_ms,
+            degrade=request.degrade,
+        )
+        # The slot stays busy for the query's service time on the event
+        # axis; the queue wait already elapsed while it was parked.
+        service_ms = max(0.0, response.record.response_ms - waited_ms)
+        self.loop.after(
+            service_ms, lambda: self._complete(submission, response)
+        )
+
+    def _complete(
+        self, submission: _Submission, response: ProxyResponse
+    ) -> None:
+        self.controller.release()
+        self._finish(submission, response)
+        self.pump()
+
+    def _reject(
+        self,
+        request: QueuedRequest,
+        reason: str,
+        outcome: QueryOutcome,
+    ) -> None:
+        submission = request.item
+        waited_ms = max(0.0, self.loop.now_ms - request.enqueued_at_ms)
+        response = self.proxy.reject(
+            submission.bound, reason, outcome, queue_wait_ms=waited_ms
+        )
+        self.rejected += 1
+        self._finish(submission, response)
+
+    def _finish(
+        self, submission: _Submission, response: ProxyResponse
+    ) -> None:
+        self.completed += 1
+        if submission.on_done is not None:
+            submission.on_done(response)

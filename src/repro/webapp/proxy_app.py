@@ -12,7 +12,11 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
     stale-serves), ``206`` for the cached portion of an overlap query
     whose remainder could not reach the origin, ``503`` when the
     origin was needed but unreachable, and ``400`` when the origin
-    rejected the query itself.
+    rejected the query itself.  Under overload, admission control
+    answers ``429`` for a shed query (``X-Proxy-Outcome: shed``) and
+    ``503`` for one that timed out in the accept queue
+    (``queued-timeout``); the ``X-Tenant`` request header selects the
+    per-tenant quota bucket.
 
 ``GET /stats``
     Aggregate trace statistics: average response time, average cache
@@ -65,6 +69,13 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
     the ``FaultPlan.to_dict`` shape) against the live proxy, inspect
     the installed plan plus the circuit breaker's state, or restore
     the pristine origin.
+
+``GET /admission``
+    The admission controller's live status: configured limits and shed
+    policy, queue depth and inflight count, submitted/admitted/shed/
+    timeout counters by reason, per-tenant quota denials, and the
+    overload breaker's state (``enabled: false`` when the proxy runs
+    without admission control).
 """
 
 from __future__ import annotations
@@ -129,8 +140,11 @@ def create_proxy_app(
 
     @app.get("/search/<form_name>")
     def search(form_name: str):
+        tenant = request.headers.get("X-Tenant", "default")
         try:
-            response = proxy.serve_form(form_name, request.args)
+            response = proxy.serve_form(
+                form_name, request.args, tenant=tenant
+            )
         except (TemplateError, ParseError, RelationalError) as exc:
             # Proxy-side binding/parsing problems; origin-side query
             # errors surface as a structured ``failed`` outcome below.
@@ -143,6 +157,24 @@ def create_proxy_app(
             "X-Proxy-Outcome": record.outcome.value,
             "X-Proxy-Retries": str(record.retries),
         }
+        if record.outcome in (
+            QueryOutcome.SHED,
+            QueryOutcome.QUEUED_TIMEOUT,
+        ):
+            # Admission turned the query away: 429 for a live shed
+            # (back off and retry), 503 for a queued request whose
+            # deadline passed before a serve slot freed up.
+            status_code = (
+                429 if record.outcome is QueryOutcome.SHED else 503
+            )
+            return (
+                {
+                    "error": "proxy overloaded",
+                    "reason": record.failure_reason,
+                },
+                status_code,
+                headers,
+            )
         if record.outcome is QueryOutcome.FAILED:
             status_code = (
                 400 if record.failure_reason == "query-error" else 503
@@ -304,5 +336,18 @@ def create_proxy_app(
         was_installed = proxy.fault_plan is not None
         proxy.install_fault_plan(None)
         return {"installed": False, "removed": was_installed}
+
+    @app.get("/admission")
+    def admission():
+        controller = proxy.admission
+        if controller is None:
+            return {
+                "enabled": False,
+                "reason": "proxy was built without an admission "
+                "controller",
+            }
+        payload = controller.snapshot()
+        payload["enabled"] = True
+        return payload
 
     return app

@@ -27,6 +27,7 @@ from repro.workload.rect_generator import (
 )
 from repro.workload.analyzer import TraceProfile, analyze_trace
 from repro.workload.rbe import BrowserEmulator
+from repro.workload.closed_loop import ClosedLoopConfig, ClosedLoopDriver
 
 __all__ = [
     "BrowserEmulator",

@@ -41,6 +41,8 @@ class BrowserEmulator:
         clock without being charged to any record, which is what lets
         scheduled fault windows cover a stretch of *queries* rather
         than collapsing onto whichever query happens to be in flight.
+        A pause happens between *completed responses* — N queries
+        incur N−1 pauses; nobody thinks after the last answer.
         """
         if think_time_ms < 0:
             raise ValueError(f"negative think time: {think_time_ms}")
@@ -61,7 +63,7 @@ class BrowserEmulator:
             record.steps_ms["client"] = client_ms
             record.response_ms += client_ms
             clock.advance(client_ms)
-            if think_time_ms:
+            if think_time_ms and done < total:
                 clock.advance(think_time_ms)
             stats.add(record)
             if progress is not None and done % 500 == 0:

@@ -1,0 +1,51 @@
+"""AdmissionConfig / TenantQuota validation and derived values."""
+
+import pytest
+
+from repro.admission import AdmissionConfig, TenantQuota
+
+
+class TestTenantQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.rate_per_s == 10.0
+        assert quota.burst == 20.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"rate_per_s": 0.0}, {"rate_per_s": -1.0}, {"burst": 0.5}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmissionConfig:
+    def test_defaults_are_valid(self):
+        config = AdmissionConfig()
+        assert config.capacity == config.max_inflight + config.max_queue_depth
+        assert config.watermark_depth == int(
+            config.degrade_watermark * config.max_queue_depth
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_queue_depth": 0},
+            {"discipline": "priority"},
+            {"queue_deadline_ms": 0.0},
+            {"shed_policy": "drop-oldest"},
+            {"degrade_watermark": 1.5},
+            {"degrade_watermark": -0.1},
+            {"overload_threshold": 0},
+            {"overload_cooldown_ms": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionConfig(**kwargs)
+
+    def test_watermark_depth_floors(self):
+        config = AdmissionConfig(max_queue_depth=10, degrade_watermark=0.75)
+        assert config.watermark_depth == 7

@@ -1,0 +1,370 @@
+"""AdmissionController: gate, queue, quotas, shed policies, overload."""
+
+import pytest
+
+from repro.admission import (
+    DISCIPLINE_LIFO,
+    REASON_ADMISSION_OPEN,
+    REASON_QUEUE_FULL,
+    REASON_QUOTA,
+    SHED_DEGRADE_TO_TUNNEL,
+    SHED_SHED_CHEAPEST,
+    AdmissionConfig,
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.faults.resilience import BreakerState
+
+
+class Listener:
+    """Records every admission hook call."""
+
+    def __init__(self):
+        self.depths = []
+        self.sheds = []
+        self.quota_denied = []
+        self.waits = []
+        self.overload = []
+
+    def admission_queue_depth(self, depth):
+        self.depths.append(depth)
+
+    def admission_shed(self, reason):
+        self.sheds.append(reason)
+
+    def admission_quota_denied(self, tenant):
+        self.quota_denied.append(tenant)
+
+    def admission_queue_wait(self, sim_ms):
+        self.waits.append(sim_ms)
+
+    def admission_overload_transition(self, state):
+        self.overload.append(state)
+
+
+def make(
+    max_inflight=2,
+    max_queue_depth=4,
+    overload_threshold=64,
+    **kwargs,
+):
+    config = AdmissionConfig(
+        max_inflight=max_inflight,
+        max_queue_depth=max_queue_depth,
+        overload_threshold=overload_threshold,
+        **kwargs,
+    )
+    return AdmissionController(config)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(TenantQuota(rate_per_s=1.0, burst=2.0))
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_with_event_time(self):
+        bucket = TokenBucket(TenantQuota(rate_per_s=2.0, burst=2.0))
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        # 2 tokens/s: one token back after 500 simulated ms.
+        assert bucket.try_take(500.0)
+        assert not bucket.try_take(500.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(TenantQuota(rate_per_s=100.0, burst=3.0))
+        for _ in range(3):
+            assert bucket.try_take(1_000_000.0)
+        assert not bucket.try_take(1_000_000.0)
+
+    def test_time_going_backwards_is_ignored(self):
+        bucket = TokenBucket(TenantQuota(rate_per_s=1.0, burst=1.0))
+        assert bucket.try_take(5_000.0)
+        # An earlier stamp must not mint tokens or rewind the clock.
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(6_000.0)
+
+
+class TestDirectGate:
+    def test_admits_up_to_capacity_then_sheds(self):
+        controller = make(max_inflight=2, max_queue_depth=2)
+        verdicts = [controller.try_admit("t", 0.0) for _ in range(5)]
+        assert [v.admitted for v in verdicts] == [
+            True, True, True, True, False,
+        ]
+        assert verdicts[-1].reason == REASON_QUEUE_FULL
+        assert controller.inflight == 4
+        assert controller.snapshot()["shed_by_reason"] == {
+            REASON_QUEUE_FULL: 1
+        }
+
+    def test_release_frees_a_slot(self):
+        controller = make(max_inflight=1, max_queue_depth=1)
+        assert controller.try_admit("t", 0.0).admitted
+        assert controller.try_admit("t", 0.0).admitted
+        assert not controller.try_admit("t", 0.0).admitted
+        controller.release()
+        assert controller.try_admit("t", 0.0).admitted
+
+    def test_quota_checked_before_capacity(self):
+        controller = make(
+            quotas={"metered": TenantQuota(rate_per_s=1.0, burst=1.0)}
+        )
+        assert controller.try_admit("metered", 0.0).admitted
+        verdict = controller.try_admit("metered", 0.0)
+        assert not verdict.admitted
+        assert verdict.reason == REASON_QUOTA
+        # Unmetered tenants are unaffected.
+        assert controller.try_admit("other", 0.0).admitted
+        assert controller.quota_denials() == {"metered": 1}
+
+    def test_degrade_to_tunnel_past_watermark(self):
+        controller = make(
+            max_inflight=2,
+            max_queue_depth=4,
+            shed_policy=SHED_DEGRADE_TO_TUNNEL,
+            degrade_watermark=0.5,
+        )
+        # Slots + backlog below the watermark: full service.
+        verdicts = [controller.try_admit("t", 0.0) for _ in range(4)]
+        assert all(v.admitted and not v.degrade for v in verdicts)
+        # Backlog at the watermark (2 of 4): tunnel mode.
+        verdict = controller.try_admit("t", 0.0)
+        assert verdict.admitted and verdict.degrade
+
+    def test_degrade_respects_policy_gate(self):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=2,
+            shed_policy=SHED_DEGRADE_TO_TUNNEL,
+            degrade_watermark=0.0,
+        )
+        controller.bind(None, allow_degrade=False)
+        verdict = controller.try_admit("t", 0.0)
+        assert verdict.admitted and not verdict.degrade
+
+
+class TestOverloadBreaker:
+    def make_overloaded(self, listener=None):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=1,
+            overload_threshold=2,
+            overload_cooldown_ms=1_000.0,
+        )
+        if listener is not None:
+            controller.bind(listener)
+        # Fill capacity, then shed twice to open the breaker.
+        assert controller.try_admit("t", 0.0).admitted
+        assert controller.try_admit("t", 0.0).admitted
+        for _ in range(2):
+            verdict = controller.try_admit("t", 0.0)
+            assert verdict.reason == REASON_QUEUE_FULL
+        assert controller.overload_state is BreakerState.OPEN
+        return controller
+
+    def test_open_breaker_fast_fails_new_arrivals(self):
+        controller = self.make_overloaded()
+        verdict = controller.try_admit("t", 100.0)
+        assert not verdict.admitted
+        assert verdict.reason == REASON_ADMISSION_OPEN
+
+    def test_probe_resolves_against_capacity(self):
+        controller = self.make_overloaded()
+        # Cooldown elapsed but capacity still full: the probe re-tests
+        # capacity, fails, and the breaker re-opens.
+        verdict = controller.try_admit("t", 1_500.0)
+        assert verdict.reason == REASON_QUEUE_FULL
+        assert controller.overload_state is BreakerState.OPEN
+        # Free a slot; the next cooldown's probe admits and closes.
+        controller.release()
+        verdict = controller.try_admit("t", 3_000.0)
+        assert verdict.admitted
+        assert controller.overload_state is BreakerState.CLOSED
+
+    def test_quota_denial_does_not_strand_the_probe(self):
+        controller = self.make_overloaded()
+        # Rebind with a metered tenant whose bucket is empty.
+        metered = make(
+            max_inflight=1,
+            max_queue_depth=1,
+            overload_threshold=2,
+            overload_cooldown_ms=1_000.0,
+            quotas={"m": TenantQuota(rate_per_s=0.001, burst=1.0)},
+        )
+        assert metered.try_admit("m", 0.0).admitted  # burst token
+        assert metered.try_admit("x", 0.0).admitted
+        for _ in range(2):
+            metered.try_admit("x", 0.0)
+        assert metered.overload_state is BreakerState.OPEN
+        metered.release()
+        # Quota is checked before the breaker: the denied arrival must
+        # not consume the half-open probe...
+        denied = metered.try_admit("m", 2_000.0)
+        assert denied.reason == REASON_QUOTA
+        # ...so an unmetered arrival still gets the probe and closes.
+        assert metered.try_admit("x", 2_000.0).admitted
+        assert metered.overload_state is BreakerState.CLOSED
+
+    def test_transitions_reach_the_listener(self):
+        listener = Listener()
+        self.make_overloaded(listener)
+        assert listener.overload == [
+            BreakerState.CLOSED,  # initial gauge sync on bind
+            BreakerState.OPEN,
+        ]
+
+
+class TestQueue:
+    def test_enqueue_then_fifo_dequeue(self):
+        controller = make(max_inflight=1, max_queue_depth=4)
+        for name in ("a", "b", "c"):
+            verdict, evicted = controller.enqueue(name, "t", 0.0)
+            assert verdict.admitted and evicted is None
+        assert controller.queue_depth == 3
+        got, waited, expired = controller.dequeue(250.0)
+        assert got.item == "a"
+        assert waited == pytest.approx(250.0)
+        assert expired == []
+        # The slot is taken; nothing dispatches until release.
+        assert controller.dequeue(300.0)[0] is None
+        controller.release()
+        assert controller.dequeue(300.0)[0].item == "b"
+
+    def test_lifo_discipline(self):
+        controller = make(
+            max_inflight=1, max_queue_depth=4, discipline=DISCIPLINE_LIFO
+        )
+        for name in ("a", "b", "c"):
+            controller.enqueue(name, "t", 0.0)
+        assert controller.dequeue(10.0)[0].item == "c"
+
+    def test_full_queue_sheds_reject_new(self):
+        controller = make(max_inflight=1, max_queue_depth=2)
+        controller.enqueue("a", "t", 0.0)
+        controller.enqueue("b", "t", 0.0)
+        verdict, evicted = controller.enqueue("c", "t", 0.0)
+        assert not verdict.admitted
+        assert verdict.reason == REASON_QUEUE_FULL
+        assert evicted is None
+        assert controller.queue_depth == 2
+
+    def test_shed_cheapest_evicts_cheaper_queued_work(self):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=2,
+            shed_policy=SHED_SHED_CHEAPEST,
+        )
+        controller.enqueue("cheap", "t", 0.0, cost_hint=1.0)
+        controller.enqueue("mid", "t", 0.0, cost_hint=5.0)
+        verdict, evicted = controller.enqueue(
+            "dear", "t", 0.0, cost_hint=9.0
+        )
+        assert verdict.admitted
+        assert evicted is not None and evicted.item == "cheap"
+        items = [controller.dequeue(1.0)[0].item]
+        controller.release()
+        items.append(controller.dequeue(1.0)[0].item)
+        assert items == ["mid", "dear"]
+
+    def test_shed_cheapest_rejects_incoming_when_it_is_cheapest(self):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=1,
+            shed_policy=SHED_SHED_CHEAPEST,
+        )
+        controller.enqueue("queued", "t", 0.0, cost_hint=5.0)
+        verdict, evicted = controller.enqueue(
+            "cheap", "t", 0.0, cost_hint=1.0
+        )
+        assert not verdict.admitted
+        assert verdict.reason == REASON_QUEUE_FULL
+        assert evicted is None
+
+    def test_deadline_expires_at_dispatch(self):
+        controller = make(
+            max_inflight=1, max_queue_depth=4, queue_deadline_ms=100.0
+        )
+        controller.enqueue("old", "t", 0.0)
+        controller.enqueue("fresh", "t", 150.0)
+        got, waited, expired = controller.dequeue(200.0)
+        assert [e.item for e in expired] == ["old"]
+        assert got.item == "fresh"
+        assert waited == pytest.approx(50.0)
+        assert controller.snapshot()["timeouts"] == 1
+
+    def test_degrade_watermark_marks_queued_requests(self):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=4,
+            shed_policy=SHED_DEGRADE_TO_TUNNEL,
+            degrade_watermark=0.5,
+        )
+        for name in ("a", "b", "c", "d"):
+            controller.enqueue(name, "t", 0.0)
+        # Depth at enqueue time: 0, 1, 2 (watermark), 3.
+        queued = []
+        while True:
+            got, _, _ = controller.dequeue(0.0)
+            if got is None:
+                break
+            queued.append(got)
+            controller.release()
+        degrades = [q.degrade for q in queued]
+        assert degrades == [False, False, True, True]
+
+    def test_queue_full_sheds_feed_the_overload_breaker(self):
+        controller = make(
+            max_inflight=1,
+            max_queue_depth=1,
+            overload_threshold=2,
+            overload_cooldown_ms=1_000.0,
+        )
+        controller.enqueue("a", "t", 0.0)
+        for _ in range(2):
+            controller.enqueue("x", "t", 0.0)
+        assert controller.overload_state is BreakerState.OPEN
+        verdict, _ = controller.enqueue("y", "t", 500.0)
+        assert verdict.reason == REASON_ADMISSION_OPEN
+
+
+class TestListenerHooks:
+    def test_shed_and_depth_hooks(self):
+        listener = Listener()
+        controller = make(max_inflight=1, max_queue_depth=1)
+        controller.bind(listener)
+        controller.enqueue("a", "t", 0.0)
+        controller.enqueue("b", "t", 0.0)  # full -> shed
+        assert listener.sheds == [REASON_QUEUE_FULL]
+        assert listener.depths == [1, 1]
+        controller.dequeue(40.0)
+        assert listener.waits == [pytest.approx(40.0)]
+        assert listener.depths == [1, 1, 0]
+
+    def test_quota_hook_names_the_tenant(self):
+        listener = Listener()
+        controller = make(
+            quotas={"m": TenantQuota(rate_per_s=1.0, burst=1.0)}
+        )
+        controller.bind(listener)
+        controller.try_admit("m", 0.0)
+        controller.try_admit("m", 0.0)
+        assert listener.sheds == [REASON_QUOTA]
+        assert listener.quota_denied == ["m"]
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        controller = make(
+            quotas={"m": TenantQuota()},
+        )
+        controller.try_admit("m", 0.0)
+        snapshot = controller.snapshot()
+        assert snapshot["config"]["tenants"] == ["m"]
+        assert snapshot["submitted"] == 1
+        assert snapshot["admitted"] == 1
+        assert snapshot["overload_state"] == "closed"
+        assert snapshot["overload_opens"] == 0

@@ -46,6 +46,7 @@ GOLDEN = {
     "FP307": (Severity.ERROR, None),
     "FP308": (Severity.ERROR, None),
     "FP309": (Severity.ERROR, None),
+    "FP310": (Severity.ERROR, None),
     "FP401": (Severity.ERROR, None),
     "FP402": (Severity.ERROR, None),
     "FP403": (Severity.ERROR, None),

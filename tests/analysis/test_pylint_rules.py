@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP308) on synthetic modules."""
+"""The repository lint rules (FP301-FP310) on synthetic modules."""
 
 import pathlib
 
@@ -448,6 +448,94 @@ class TestRawLockRule:
             tmp_path,
             "repro/core/x.py",
             "from mylib import Lock\nlock = Lock()\n",
+        )
+        assert len(report) == 0
+
+
+class TestUnboundedQueueRule:
+    def test_unbounded_deque_in_serve_path_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/proxy.py",
+            "from collections import deque\nq = deque()\n",
+        )
+        assert report.codes() == {"FP310"}
+        (diagnostic,) = report
+        assert diagnostic.span.line == 2
+
+    def test_bounded_deque_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/admission/controller.py",
+            "from collections import deque\nq = deque(maxlen=64)\n",
+        )
+        assert len(report) == 0
+
+    def test_positional_maxlen_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/sched/loop.py",
+            "import collections\nq = collections.deque([], 8)\n",
+        )
+        assert len(report) == 0
+
+    def test_unbounded_queue_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/sched/frontend.py",
+            "import queue\n"
+            "a = queue.Queue()\n"
+            "b = queue.LifoQueue(0)\n"
+            "c = queue.PriorityQueue(maxsize=-1)\n",
+        )
+        assert report.count_by_code() == {"FP310": 3}
+
+    def test_bounded_queue_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/cache.py",
+            "from queue import Queue\nq = Queue(maxsize=16)\n",
+        )
+        assert len(report) == 0
+
+    def test_simple_queue_always_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/stats.py",
+            "import queue\nq = queue.SimpleQueue()\n",
+        )
+        assert report.codes() == {"FP310"}
+
+    def test_off_serve_path_module_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "from collections import deque\nq = deque()\n",
+        )
+        assert len(report) == 0
+
+    def test_pragma_opts_a_module_in(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "# concurrency: serve-path\n"
+            "from collections import deque\nq = deque()\n",
+        )
+        assert report.codes() == {"FP310"}
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/test_x.py",
+            "from collections import deque\nq = deque()\n",
+        )
+        assert len(report) == 0
+
+    def test_unrelated_deque_name_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/proxy.py",
+            "from mylib import deque\nq = deque()\n",
         )
         assert len(report) == 0
 

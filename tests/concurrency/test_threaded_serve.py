@@ -179,6 +179,62 @@ class TestInterleavedServes:
             "persistence.journal",
         ) in sanitizer.observed_edges()
 
+    def test_admission_gate_under_threads_matches_the_static_graph(
+        self, sanitizer, make_proxy, bind
+    ):
+        """The admission gate's locking, validated at runtime: the
+        controller nests the breaker's event clock under its own lock
+        (``proxy.admission -> proxy.clock``), and every edge the
+        sanitizer observes must already be in the static graph."""
+        from repro.admission import AdmissionConfig, AdmissionController
+        from repro.core.stats import QueryOutcome
+
+        proxy = make_proxy(
+            admission=AdmissionController(
+                AdmissionConfig(max_inflight=2, max_queue_depth=2)
+            )
+        )
+        # Pre-occupy every capacity slot so the whole thread burst
+        # overflows (thread staggering under the GIL can otherwise
+        # serialize the serves and never overlap them).
+        holds = 0
+        while proxy.admission.try_admit(
+            "default", proxy.clock.now_ms
+        ).admitted:
+            holds += 1
+        queries = [bind(ra=161.0 + 0.7 * i, radius=3.0) for i in range(10)]
+        serve_in_threads(proxy, queries)
+        for _ in range(holds):
+            proxy.admission.release()
+        # Two more admissions from the main thread.  The first serve
+        # advances the work clock with its stage charges; the second's
+        # admission then fast-forwards the breaker's event clock under
+        # the controller lock — the proxy.admission -> proxy.clock
+        # edge asserted below.
+        proxy.serve(queries[0])
+        proxy.serve(queries[1])
+
+        records = proxy.stats.records
+        assert len(records) == 12
+        assert {r.index for r in records} == set(range(1, 13))
+        counts = {
+            outcome: sum(1 for r in records if r.outcome is outcome)
+            for outcome in (QueryOutcome.SERVED, QueryOutcome.SHED)
+        }
+        # The barrier releases all ten against a full gate: every
+        # threaded call sheds structurally, the follow-ups serve.
+        assert counts[QueryOutcome.SHED] == 10
+        assert counts[QueryOutcome.SERVED] == 2
+        assert proxy.admission.inflight == 0
+
+        graph = build_lock_graph([SRC_REPRO])
+        assert graph.cycles == []
+        sanitizer.assert_consistent_with(graph.edge_set())
+        assert (
+            "proxy.admission",
+            "proxy.clock",
+        ) in sanitizer.observed_edges()
+
     def test_threaded_serves_with_persistence_keep_the_journal_sound(
         self, tmp_path, make_proxy, bind
     ):

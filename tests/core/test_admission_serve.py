@@ -1,0 +1,243 @@
+"""``serve`` behind the admission gate: shed records, degrade, wait."""
+
+import threading
+
+import pytest
+
+from repro.admission import (
+    SHED_DEGRADE_TO_TUNNEL,
+    AdmissionConfig,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryOutcome, QueryStatus
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+@pytest.fixture()
+def bind(templates):
+    def run(ra=164.0, radius=10.0):
+        return templates.bind(
+            RADIAL_TEMPLATE_ID,
+            {
+                "ra": ra,
+                "dec": 8.0,
+                "radius": radius,
+                "r_min": -9999.0,
+                "r_max": 9999.0,
+            },
+        )
+
+    return run
+
+
+@pytest.fixture()
+def make_proxy(origin):
+    def build(config=None, **kwargs):
+        admission = (
+            AdmissionController(config) if config is not None else None
+        )
+        return FunctionProxy(
+            origin, origin.templates, admission=admission, **kwargs
+        )
+
+    return build
+
+
+class TestServeGate:
+    def test_no_controller_serves_unchanged(self, make_proxy, bind):
+        proxy = make_proxy()
+        response = proxy.serve(bind())
+        assert response.record.outcome is QueryOutcome.SERVED
+        assert proxy.admission is None
+
+    def test_admitted_query_serves_and_releases(self, make_proxy, bind):
+        proxy = make_proxy(AdmissionConfig(max_inflight=1))
+        response = proxy.serve(bind())
+        assert response.record.outcome is QueryOutcome.SERVED
+        assert proxy.admission.inflight == 0
+        assert proxy.admission.snapshot()["admitted"] == 1
+
+    def test_quota_shed_returns_a_structured_record(self, make_proxy, bind):
+        proxy = make_proxy(
+            AdmissionConfig(
+                quotas={"m": TenantQuota(rate_per_s=0.001, burst=1.0)}
+            )
+        )
+        assert proxy.serve(bind(), tenant="m").record.outcome is (
+            QueryOutcome.SERVED
+        )
+        response = proxy.serve(bind(ra=165.0), tenant="m")
+        record = response.record
+        assert record.status is QueryStatus.REJECTED
+        assert record.outcome is QueryOutcome.SHED
+        assert record.failure_reason == "quota"
+        assert not record.contacted_origin
+        assert len(response.result) == 0
+        # The shed query is fully accounted: indexed and recorded.
+        assert record.index == 2
+        assert len(proxy.stats.records) == 2
+        assert not record.answered
+
+    def test_shed_never_raises_and_never_touches_the_cache(
+        self, make_proxy, bind
+    ):
+        proxy = make_proxy(AdmissionConfig(max_inflight=1, max_queue_depth=1))
+        # Fill capacity from the outside so the next serve sheds.
+        assert proxy.admission.try_admit("t", 0.0).admitted
+        assert proxy.admission.try_admit("t", 0.0).admitted
+        response = proxy.serve(bind())
+        assert response.record.outcome is QueryOutcome.SHED
+        assert response.record.failure_reason == "queue-full"
+        assert len(proxy.cache) == 0
+
+    def test_shed_decision_trace_gets_da10(self, make_proxy, bind):
+        proxy = make_proxy(
+            AdmissionConfig(
+                quotas={"m": TenantQuota(rate_per_s=0.001, burst=1.0)}
+            )
+        )
+        proxy.serve(bind(), tenant="m")
+        proxy.serve(bind(ra=165.0), tenant="m")
+        trace = proxy.obs.decisions.get(2)
+        assert trace is not None
+        assert trace.to_dict()["action_code"] == "DA10"
+
+    def test_shed_metrics(self, make_proxy, bind):
+        proxy = make_proxy(
+            AdmissionConfig(
+                quotas={"m": TenantQuota(rate_per_s=0.001, burst=1.0)}
+            )
+        )
+        proxy.serve(bind(), tenant="m")
+        proxy.serve(bind(ra=165.0), tenant="m")
+        exposition = proxy.metrics.exposition()
+        assert 'admission_shed_total{reason="quota"} 1' in exposition
+        assert (
+            'admission_quota_denials_total{tenant="m"} 1' in exposition
+        )
+        assert 'degraded_responses_total{kind="shed"} 1' in exposition
+
+
+class TestDegradeToTunnel:
+    def test_degraded_admission_tunnels_without_caching(
+        self, make_proxy, bind
+    ):
+        proxy = make_proxy(
+            AdmissionConfig(
+                max_inflight=1,
+                max_queue_depth=4,
+                shed_policy=SHED_DEGRADE_TO_TUNNEL,
+                degrade_watermark=0.0,
+            )
+        )
+        # Occupy the only slot: the next serve is backlog >= watermark.
+        assert proxy.admission.try_admit("t", 0.0).admitted
+        response = proxy.serve(bind())
+        assert response.record.status is QueryStatus.NO_CACHE
+        assert response.record.outcome is QueryOutcome.SERVED
+        assert len(proxy.cache) == 0
+        trace = proxy.obs.decisions.get(response.record.index)
+        assert any("degraded to tunnel" in n for n in trace.notes)
+
+    def test_degrade_disabled_by_policy(self, make_proxy, bind):
+        from repro.faults.resilience import (
+            DegradationPolicy,
+            ResilienceConfig,
+        )
+
+        proxy = make_proxy(
+            AdmissionConfig(
+                max_inflight=1,
+                max_queue_depth=4,
+                shed_policy=SHED_DEGRADE_TO_TUNNEL,
+                degrade_watermark=0.0,
+            ),
+            resilience=ResilienceConfig(
+                degradation=DegradationPolicy(tunnel_on_overload=False)
+            ),
+        )
+        assert proxy.admission.try_admit("t", 0.0).admitted
+        response = proxy.serve(bind())
+        # Still admitted (the policy only disables tunnel degradation),
+        # and served through the full cache path.
+        assert response.record.status is not QueryStatus.NO_CACHE
+        assert len(proxy.cache) == 1
+
+
+class TestQueueWaitAccounting:
+    def test_queue_wait_is_charged_to_the_record(self, make_proxy, bind):
+        proxy = make_proxy()
+        before = proxy.clock.now_ms
+        response = proxy.serve_admitted(bind(), queue_wait_ms=123.0)
+        record = response.record
+        assert record.steps_ms["admit.queue"] == pytest.approx(123.0)
+        assert record.response_ms >= 123.0
+        # The wait advanced the proxy's simulated clock too.
+        assert proxy.clock.now_ms - before >= 123.0
+
+    def test_reject_charges_wait_and_maps_queued_timeout(
+        self, make_proxy, bind
+    ):
+        proxy = make_proxy(AdmissionConfig())
+        response = proxy.reject(
+            bind(),
+            "deadline",
+            QueryOutcome.QUEUED_TIMEOUT,
+            queue_wait_ms=500.0,
+        )
+        record = response.record
+        assert record.status is QueryStatus.REJECTED
+        assert record.outcome is QueryOutcome.QUEUED_TIMEOUT
+        assert record.failure_reason == "deadline"
+        assert record.steps_ms["admit.queue"] == pytest.approx(500.0)
+        trace = proxy.obs.decisions.get(record.index)
+        assert trace.to_dict()["action_code"] == "DA11"
+
+
+class TestThreadedSaturation:
+    def test_concurrent_serves_shed_gracefully(self, make_proxy, bind):
+        """More threads than capacity: every call returns a record,
+        admitted + shed account for every thread, and inflight drains
+        to zero."""
+        proxy = make_proxy(
+            AdmissionConfig(max_inflight=2, max_queue_depth=2)
+        )
+        n = 12
+        barrier = threading.Barrier(n)
+        responses = [None] * n
+        failures = []
+
+        def run(slot):
+            try:
+                barrier.wait(timeout=10)
+                responses[slot] = proxy.serve(
+                    bind(ra=161.0 + 0.5 * slot, radius=2.0)
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(slot,)) for slot in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures
+        assert all(r is not None for r in responses)
+        outcomes = [r.record.outcome for r in responses]
+        served = sum(o is not QueryOutcome.SHED for o in outcomes)
+        shed = sum(o is QueryOutcome.SHED for o in outcomes)
+        assert served + shed == n
+        assert served >= 1  # capacity admits at least the first wave
+        snapshot = proxy.admission.snapshot()
+        assert snapshot["submitted"] == n
+        assert snapshot["admitted"] == served
+        assert snapshot["shed"] == shed
+        assert proxy.admission.inflight == 0
+        assert len(proxy.stats.records) == n
+        assert {r.index for r in proxy.stats.records} == set(
+            range(1, n + 1)
+        )

@@ -1,5 +1,7 @@
 """Retry policy, circuit breaker, and gateway in isolation."""
 
+import threading
+import time
 from random import Random
 
 import pytest
@@ -169,6 +171,85 @@ class TestCircuitBreaker:
             CircuitBreaker(clock, failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(clock, cooldown_ms=0.0)
+
+
+class TestHalfOpenProbeRace:
+    """Half-open admits exactly one probe under concurrent serves."""
+
+    def _race_allow(self, breaker, threads=8, seed=1234):
+        """Fire ``allow()`` from many threads at once; returns the
+        number admitted.  A seeded rng staggers each thread by a tiny
+        sleep so the interleaving varies deterministically per seed."""
+        rng = Random(seed)
+        delays = [rng.random() * 0.002 for _ in range(threads)]
+        barrier = threading.Barrier(threads)
+        admitted = []
+        failures = []
+
+        def attempt(delay):
+            try:
+                barrier.wait(timeout=10)
+                time.sleep(delay)
+                if breaker.allow():
+                    admitted.append(threading.get_ident())
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+
+        workers = [
+            threading.Thread(target=attempt, args=(delay,))
+            for delay in delays
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+        if failures:
+            raise failures[0]
+        return len(admitted)
+
+    def test_single_probe_admitted_after_cooldown(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, cooldown_ms=1_000.0
+        )
+        breaker.record_failure()
+        clock.advance(1_000.0)
+        assert self._race_allow(breaker) == 1
+        assert breaker.state is BreakerState.HALF_OPEN
+        # The probe resolves; the breaker closes and admits freely.
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_next_cooldown_admits_one(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, cooldown_ms=1_000.0
+        )
+        breaker.record_failure()
+        clock.advance(1_000.0)
+        assert self._race_allow(breaker, seed=99) == 1
+        breaker.record_failure()  # the probe failed: re-open
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(1_000.0)
+        assert self._race_allow(breaker, seed=7) == 1
+
+    def test_probe_refusals_do_not_leak_the_gate(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, cooldown_ms=1_000.0
+        )
+        breaker.record_failure()
+        clock.advance(1_000.0)
+        assert breaker.allow()  # the probe
+        # Concurrent serves are refused while the probe is in flight...
+        assert not breaker.allow()
+        assert not breaker.allow()
+        # ...and a resolution releases the gate exactly once.
+        breaker.record_success()
+        assert breaker.allow()
+        assert breaker.state is BreakerState.CLOSED
 
 
 class TestGateway:

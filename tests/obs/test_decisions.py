@@ -33,6 +33,7 @@ class TestActionMapping:
             ("forwarded", DecisionAction.MISS),
             ("no-cache", DecisionAction.TUNNEL),
             ("failed", DecisionAction.FAILED),
+            ("rejected", DecisionAction.SHED),
         ],
     )
     def test_served_statuses(self, status, expected):
@@ -44,6 +45,8 @@ class TestActionMapping:
             ("failed", DecisionAction.FAILED),
             ("degraded", DecisionAction.DEGRADED),
             ("partial", DecisionAction.PARTIAL),
+            ("shed", DecisionAction.SHED),
+            ("queued-timeout", DecisionAction.QUEUED_TIMEOUT),
         ],
     )
     def test_outcome_overrides_status(self, outcome, expected):
@@ -55,7 +58,7 @@ class TestActionMapping:
 
     def test_codes_are_stable_and_unique(self):
         codes = [action.code for action in DecisionAction]
-        assert codes == [f"DA{n:02d}" for n in range(1, 10)]
+        assert codes == [f"DA{n:02d}" for n in range(1, 12)]
         assert len(set(ACTION_CODES.values())) == len(DecisionAction)
 
 

@@ -1,0 +1,182 @@
+"""The event-driven frontend over a real proxy."""
+
+import pytest
+
+from repro.admission import (
+    REASON_DEADLINE,
+    SHED_SHED_CHEAPEST,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.core.proxy import FunctionProxy
+from repro.core.stats import QueryOutcome, QueryStatus
+from repro.sched import EventLoop, ProxyFrontend
+from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
+
+
+@pytest.fixture()
+def bind(templates):
+    def run(ra=164.0, radius=10.0):
+        return templates.bind(
+            RADIAL_TEMPLATE_ID,
+            {
+                "ra": ra,
+                "dec": 8.0,
+                "radius": radius,
+                "r_min": -9999.0,
+                "r_max": 9999.0,
+            },
+        )
+
+    return run
+
+
+@pytest.fixture()
+def make_frontend(origin):
+    def build(config, **proxy_kwargs):
+        proxy = FunctionProxy(
+            origin,
+            origin.templates,
+            admission=AdmissionController(config),
+            **proxy_kwargs,
+        )
+        return ProxyFrontend(proxy, EventLoop())
+
+    return build
+
+
+class TestFrontend:
+    def test_needs_a_controller(self, origin):
+        proxy = FunctionProxy(origin, origin.templates)
+        with pytest.raises(ValueError):
+            ProxyFrontend(proxy, EventLoop())
+
+    def test_submit_serves_and_completes(self, make_frontend, bind):
+        frontend = make_frontend(AdmissionConfig(max_inflight=2))
+        done = []
+        frontend.submit(bind(), on_done=lambda r: done.append(r))
+        # Dispatch happened synchronously; completion waits for the
+        # service-time event.
+        assert frontend.proxy.admission.inflight == 1
+        frontend.loop.run()
+        assert len(done) == 1
+        assert done[0].record.outcome is QueryOutcome.SERVED
+        assert frontend.proxy.admission.inflight == 0
+        assert frontend.completed == 1
+
+    def test_queue_wait_lands_on_the_record(self, make_frontend, bind):
+        frontend = make_frontend(AdmissionConfig(max_inflight=1))
+        done = []
+        frontend.submit(bind(), on_done=lambda r: done.append(r))
+        frontend.submit(
+            bind(ra=165.0), on_done=lambda r: done.append(r)
+        )
+        frontend.loop.run()
+        assert len(done) == 2
+        first, second = done[0].record, done[1].record
+        assert "admit.queue" not in first.steps_ms
+        # The second query waited for the first's service time.
+        assert second.steps_ms["admit.queue"] == pytest.approx(
+            first.response_ms
+        )
+        assert second.response_ms >= first.response_ms
+
+    def test_overflow_sheds_immediately(self, make_frontend, bind):
+        frontend = make_frontend(
+            AdmissionConfig(max_inflight=1, max_queue_depth=1)
+        )
+        outcomes = []
+        for index in range(4):
+            frontend.submit(
+                bind(ra=161.0 + index),
+                on_done=lambda r: outcomes.append(r.record.outcome),
+            )
+        # Two sheds resolved before the loop even runs: slot + queue
+        # were full at submit time.
+        assert outcomes.count(QueryOutcome.SHED) == 2
+        frontend.loop.run()
+        assert len(outcomes) == 4
+        assert outcomes.count(QueryOutcome.SHED) == 2
+        assert frontend.submitted == 4
+        assert frontend.rejected == 2
+
+    def test_deadline_drops_become_queued_timeouts(
+        self, make_frontend, bind
+    ):
+        frontend = make_frontend(
+            AdmissionConfig(
+                max_inflight=1,
+                max_queue_depth=4,
+                queue_deadline_ms=50.0,
+            )
+        )
+        records = []
+        for index in range(3):
+            frontend.submit(
+                bind(ra=161.0 + index),
+                on_done=lambda r: records.append(r.record),
+            )
+        frontend.loop.run()
+        assert len(records) == 3
+        timed_out = [
+            r for r in records
+            if r.outcome is QueryOutcome.QUEUED_TIMEOUT
+        ]
+        # Service takes seconds, the deadline is 50 ms: both queued
+        # queries expired at dispatch time.
+        assert len(timed_out) == 2
+        for record in timed_out:
+            assert record.status is QueryStatus.REJECTED
+            assert record.failure_reason == REASON_DEADLINE
+            assert record.steps_ms["admit.queue"] > 50.0
+
+    def test_shed_cheapest_eviction_produces_a_record(
+        self, make_frontend, bind
+    ):
+        frontend = make_frontend(
+            AdmissionConfig(
+                max_inflight=1,
+                max_queue_depth=1,
+                shed_policy=SHED_SHED_CHEAPEST,
+            )
+        )
+        records = []
+
+        def submit(ra, cost):
+            frontend.submit(
+                bind(ra=ra),
+                cost_hint=cost,
+                on_done=lambda r: records.append(r.record),
+            )
+
+        submit(161.0, 5.0)  # dispatches into the slot
+        submit(162.0, 1.0)  # queued, cheap
+        submit(163.0, 9.0)  # evicts the cheap one
+        # The evicted query resolved as shed before the loop ran.
+        assert len(records) == 1
+        assert records[0].outcome is QueryOutcome.SHED
+        frontend.loop.run()
+        assert len(records) == 3
+        served = [
+            r for r in records if r.outcome is QueryOutcome.SERVED
+        ]
+        assert len(served) == 2
+
+    def test_every_submission_yields_exactly_one_record(
+        self, make_frontend, bind
+    ):
+        frontend = make_frontend(
+            AdmissionConfig(max_inflight=2, max_queue_depth=2)
+        )
+        n = 10
+        for index in range(n):
+            frontend.submit(bind(ra=161.0 + 0.5 * index, radius=2.0))
+        frontend.loop.run()
+        proxy = frontend.proxy
+        assert len(proxy.stats.records) == n
+        assert {r.index for r in proxy.stats.records} == set(
+            range(1, n + 1)
+        )
+        assert frontend.completed == n
+        assert proxy.admission.inflight == 0
+        assert proxy.admission.queue_depth == 0

@@ -1,0 +1,88 @@
+"""The discrete-event loop in isolation."""
+
+import pytest
+
+from repro.sched import EventLoop
+
+
+class TestEventLoop:
+    def test_dispatches_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(30.0, lambda: seen.append("c"))
+        loop.at(10.0, lambda: seen.append("a"))
+        loop.at(20.0, lambda: seen.append("b"))
+        assert loop.run() == 3
+        assert seen == ["a", "b", "c"]
+        assert loop.now_ms == 30.0
+
+    def test_ties_dispatch_in_submission_order(self):
+        loop = EventLoop()
+        seen = []
+        for name in ("first", "second", "third"):
+            loop.at(5.0, lambda n=name: seen.append(n))
+        loop.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_after_is_relative_to_event_time(self):
+        loop = EventLoop()
+        times = []
+
+        def chain():
+            times.append(loop.now_ms)
+            if len(times) < 3:
+                loop.after(100.0, chain)
+
+        loop.after(50.0, chain)
+        loop.run()
+        assert times == [50.0, 150.0, 250.0]
+
+    def test_past_times_clamp_to_now(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(100.0, lambda: loop.at(1.0, lambda: seen.append(loop.now_ms)))
+        loop.run()
+        assert seen == [100.0]
+
+    def test_until_ms_leaves_later_events_pending(self):
+        loop = EventLoop()
+        seen = []
+        loop.at(10.0, lambda: seen.append("early"))
+        loop.at(1_000.0, lambda: seen.append("late"))
+        assert loop.run(until_ms=500.0) == 1
+        assert seen == ["early"]
+        assert loop.pending == 1
+        assert loop.run() == 1
+        assert seen == ["early", "late"]
+
+    def test_max_events_bounds_a_runaway_chain(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.after(1.0, forever)
+
+        loop.after(1.0, forever)
+        assert loop.run(max_events=50) == 50
+        assert loop.dispatched == 50
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.after(-1.0, lambda: None)
+
+    def test_callbacks_may_schedule_while_running(self):
+        """A closed loop: each completion schedules the next arrival."""
+        loop = EventLoop()
+        completions = []
+
+        def arrival(n):
+            if n <= 3:
+                loop.after(10.0, lambda: completion(n))
+
+        def completion(n):
+            completions.append((n, loop.now_ms))
+            arrival(n + 1)
+
+        arrival(1)
+        loop.run()
+        assert completions == [(1, 10.0), (2, 20.0), (3, 30.0)]

@@ -1,0 +1,91 @@
+"""Admission over HTTP: 429/503 mapping and the status endpoint."""
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TenantQuota,
+)
+from repro.core.proxy import FunctionProxy
+from repro.webapp.proxy_app import create_proxy_app
+
+
+@pytest.fixture()
+def proxy(origin):
+    controller = AdmissionController(
+        AdmissionConfig(
+            quotas={"metered": TenantQuota(rate_per_s=0.001, burst=1.0)}
+        )
+    )
+    return FunctionProxy(origin, origin.templates, admission=controller)
+
+
+@pytest.fixture()
+def client(proxy):
+    return create_proxy_app(proxy).test_client()
+
+
+def radial(client, ra=164.0, **kwargs):
+    return client.get(f"/search/Radial?ra={ra}&dec=8&radius=10", **kwargs)
+
+
+class TestOverloadStatuses:
+    def test_shed_is_429_with_reason(self, client):
+        headers = {"X-Tenant": "metered"}
+        assert radial(client, headers=headers).status_code == 200
+        response = radial(client, ra=165.0, headers=headers)
+        assert response.status_code == 429
+        assert response.headers["X-Proxy-Outcome"] == "shed"
+        payload = response.get_json()
+        assert payload["reason"] == "quota"
+
+    def test_unmetered_tenant_is_unaffected(self, client):
+        for ra in (164.0, 165.0, 166.0):
+            assert radial(client, ra=ra).status_code == 200
+
+    def test_queued_timeout_maps_to_503(self, proxy, client, monkeypatch):
+        from repro.core.stats import QueryOutcome
+
+        # A queued-timeout record only arises from the event-driven
+        # frontend; fake one at the serve layer to pin the mapping.
+        real_bind = proxy.templates.bind_form
+
+        def timed_out(form_name, values, tenant="default"):
+            bound = real_bind(form_name, values)
+            return proxy.reject(
+                bound,
+                "deadline",
+                QueryOutcome.QUEUED_TIMEOUT,
+                queue_wait_ms=100.0,
+            )
+
+        monkeypatch.setattr(proxy, "serve_form", timed_out)
+        response = radial(client)
+        assert response.status_code == 503
+        assert response.headers["X-Proxy-Outcome"] == "queued-timeout"
+        assert response.get_json()["reason"] == "deadline"
+
+
+class TestAdmissionEndpoint:
+    def test_disabled_without_controller(self, origin):
+        bare = FunctionProxy(origin, origin.templates)
+        client = create_proxy_app(bare).test_client()
+        payload = client.get("/admission").get_json()
+        assert payload["enabled"] is False
+
+    def test_snapshot_reports_counters(self, client):
+        headers = {"X-Tenant": "metered"}
+        radial(client, headers=headers)
+        radial(client, ra=165.0, headers=headers)  # quota shed
+        payload = client.get("/admission").get_json()
+        assert payload["enabled"] is True
+        assert payload["submitted"] == 2
+        assert payload["admitted"] == 1
+        assert payload["shed"] == 1
+        assert payload["shed_by_reason"] == {"quota": 1}
+        assert payload["quota_denials"] == {"metered": 1}
+        assert payload["overload_state"] == "closed"
+        assert payload["config"]["tenants"] == ["metered"]

@@ -44,7 +44,17 @@ def test_think_time_advances_the_simulated_clock(origin, trace):
     proxy = FunctionProxy(origin, origin.templates)
     BrowserEmulator(proxy).run(trace, limit=5, think_time_ms=1_000.0)
     busy_ms = sum(r.response_ms for r in proxy.stats.records)
-    assert proxy.clock.now_ms == pytest.approx(busy_ms + 5 * 1_000.0)
+    # 5 queries incur exactly 4 pauses — between completed responses,
+    # never after the last one.
+    assert proxy.clock.now_ms == pytest.approx(busy_ms + 4 * 1_000.0)
+
+
+def test_think_time_pauses_only_between_responses(origin, trace):
+    """N queries, N−1 pauses: a single-query replay never thinks."""
+    proxy = FunctionProxy(origin, origin.templates)
+    BrowserEmulator(proxy).run(trace, limit=1, think_time_ms=60_000.0)
+    busy_ms = sum(r.response_ms for r in proxy.stats.records)
+    assert proxy.clock.now_ms == pytest.approx(busy_ms)
 
 
 def test_negative_think_time_rejected(origin, trace):
