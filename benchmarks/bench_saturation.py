@@ -21,7 +21,8 @@ proxy performs tens of thousands of times per run at the top rung.
 from repro.admission import AdmissionConfig, AdmissionController
 from repro.core.schemes import CachingScheme
 from repro.core.stats import QueryOutcome
-from repro.harness.saturation import run_saturation
+from repro.harness.saturation import run_saturation, stitch_telemetry
+from repro.obs.events import SHED_POLICY_EVENT_CODES
 from repro.templates.skyserver_templates import RADIAL_TEMPLATE_ID
 
 
@@ -31,6 +32,24 @@ def test_saturation(
     result = run_saturation(runner)
     record_result("saturation", result.render())
     record_json("saturation", result.to_dict())
+
+    # With REPRO_TELEMETRY=1 the rungs carry live-telemetry snapshots;
+    # stitch them onto one time axis and check the telemetry tells the
+    # same graceful-saturation story as the table.
+    telemetry = stitch_telemetry(result)
+    if telemetry is not None:
+        series_doc, events_doc = telemetry
+        record_json("timeseries-saturation", series_doc)
+        record_json("events-saturation", events_doc)
+        # The per-rung mean shed rate rises monotonically with load.
+        rung_shed = [rung["shed_fraction"] for rung in series_doc["rungs"]]
+        assert all(a <= b for a, b in zip(rung_shed, rung_shed[1:]))
+        codes = {event["code"] for event in events_doc["events"]}
+        # The overload breaker opened somewhere on the ladder (EV01,
+        # payload breaker=admission-overload) and the shed policy
+        # activated with it (EV04).
+        assert "EV01" in codes
+        assert codes & set(SHED_POLICY_EVENT_CODES.values())
 
     top = result.points[-1]
     report = bench_report("saturation")

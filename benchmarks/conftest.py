@@ -19,7 +19,10 @@ Scale selection: set ``REPRO_SCALE`` to ``quick`` / ``default`` /
 models; ``paper`` replays the full 11,323-query trace and takes tens of
 minutes.  Set ``REPRO_PROFILE=1`` to run every harness replay with the
 hot-path profiler on; each run then writes a ``profile-<label>.json``
-artifact next to the reproduction tables.
+artifact next to the reproduction tables.  Set ``REPRO_TELEMETRY=1``
+to turn on the live telemetry recorders; each harness replay then
+writes ``timeseries-<label>.json`` and ``events-<label>.json``
+artifacts too.
 """
 
 from __future__ import annotations
@@ -57,6 +60,10 @@ def _select_scale() -> ExperimentScale:
     if os.environ.get("REPRO_PROFILE") in ("1", "true"):
         scale = scale.with_observability(
             replace(scale.obs, profiling=True)
+        )
+    if os.environ.get("REPRO_TELEMETRY") in ("1", "true"):
+        scale = scale.with_observability(
+            replace(scale.obs, timeseries=True, events=True)
         )
     return scale
 

@@ -45,6 +45,7 @@ from repro.admission.config import (
 from repro.faults.resilience import BreakerState, CircuitBreaker
 from repro.locking import guarded_by, named_lock
 from repro.network.clock import SimulatedClock
+from repro.obs.events import BREAKER_EVENT_CODES, SHED_POLICY_EVENT_CODES
 
 
 class AdmissionListener(Protocol):
@@ -52,13 +53,26 @@ class AdmissionListener(Protocol):
 
     def admission_queue_depth(self, depth: int) -> None: ...
 
+    def admission_inflight(self, count: int) -> None: ...
+
     def admission_shed(self, reason: str) -> None: ...
 
     def admission_quota_denied(self, tenant: str) -> None: ...
 
+    def admission_quota_tokens(self, tenant: str, tokens: float) -> None: ...
+
     def admission_queue_wait(self, sim_ms: float) -> None: ...
 
     def admission_overload_transition(self, state: BreakerState) -> None: ...
+
+    def telemetry_event(
+        self,
+        code: str,
+        at_ms: float,
+        trace_id: str | None = None,
+        query_index: int | None = None,
+        **payload: Any,
+    ) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -171,7 +185,7 @@ class AdmissionController:
         the metrics gauge; called once by the proxy's constructor.
         """
         callback = (
-            instrumentation.admission_overload_transition
+            self._overload_transition_hook(instrumentation)
             if instrumentation is not None
             else None
         )
@@ -188,6 +202,34 @@ class AdmissionController:
             instrumentation.admission_overload_transition(
                 BreakerState.CLOSED
             )
+
+    def _overload_transition_hook(
+        self, instrumentation: AdmissionListener
+    ) -> Any:
+        """The overload breaker's state-change callback.
+
+        Each transition updates the overload gauge, lands on the
+        flight recorder as an EV01-03 breaker event (payload
+        ``breaker="admission-overload"``), and — on open/close — marks
+        the shed policy activating/deactivating (EV04/EV05).  The
+        breaker may invoke this while the ``proxy.admission`` lock is
+        held; ``proxy.telemetry`` is a pure sink, so the nesting is
+        safe.
+        """
+
+        def on_transition(state: BreakerState) -> None:
+            instrumentation.admission_overload_transition(state)
+            now_ms = self._breaker_clock.now_ms
+            instrumentation.telemetry_event(
+                BREAKER_EVENT_CODES[state.value],
+                at_ms=now_ms,
+                breaker="admission-overload",
+            )
+            shed_code = SHED_POLICY_EVENT_CODES.get(state.value)
+            if shed_code is not None:
+                instrumentation.telemetry_event(shed_code, at_ms=now_ms)
+
+        return on_transition
 
     # ------------------------------------------------------- direct gate
     def try_admit(self, tenant: str, now_ms: float) -> AdmissionVerdict:
@@ -225,6 +267,8 @@ class AdmissionController:
             if shed_reason:
                 self._count_shed(shed_reason, tenant)
         self._notify_shed(shed_reason, tenant)
+        self._notify_depth()
+        self._notify_quota(tenant)
         return AdmissionVerdict(
             admitted=not shed_reason, reason=shed_reason, degrade=degrade
         )
@@ -234,6 +278,7 @@ class AdmissionController:
         with self._lock:
             if self._inflight > 0:
                 self._inflight -= 1
+        self._notify_depth()
 
     # ------------------------------------------------------ queued gate
     def enqueue(
@@ -284,6 +329,7 @@ class AdmissionController:
             tenant,
         )
         self._notify_depth()
+        self._notify_quota(tenant)
         return (
             AdmissionVerdict(
                 admitted=not shed_reason,
@@ -401,6 +447,13 @@ class AdmissionController:
         obs = self._obs
         if obs is not None:
             obs.admission_queue_depth(len(self._queue))
+            obs.admission_inflight(self._inflight)
+
+    def _notify_quota(self, tenant: str) -> None:
+        obs = self._obs
+        bucket = self._buckets.get(tenant)
+        if obs is not None and bucket is not None:
+            obs.admission_quota_tokens(tenant, bucket.tokens)
 
     # ------------------------------------------------------- monitoring
     @property
@@ -444,6 +497,10 @@ class AdmissionController:
                 "timeouts": self.timeouts,
                 "shed_by_reason": dict(self._shed_by_reason),
                 "quota_denials": dict(self._quota_denials),
+                "quota_tokens": {
+                    tenant: bucket.tokens
+                    for tenant, bucket in sorted(self._buckets.items())
+                },
                 "overload_state": self._overload.state.value,
                 "overload_opens": self._overload.opens,
             }

@@ -161,6 +161,10 @@ CODES: dict[str, CodeInfo] = {
             "FP310", _E,
             "unbounded queue or deque in a serve-path module",
         ),
+        CodeInfo(
+            "FP311", _E,
+            "event emission with a code outside EVENT_CODES",
+        ),
         # --------------------------------------- FP4xx: concurrency safety
         CodeInfo(
             "FP401", _E,

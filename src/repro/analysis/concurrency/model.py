@@ -91,8 +91,11 @@ SERVE_PATH_MODULES = frozenset(
         "sched/frontend.py",
         "sched/loop.py",
         "obs/decisions.py",
+        "obs/events.py",
+        "obs/health.py",
         "obs/instrument.py",
         "obs/spans.py",
+        "obs/timeseries.py",
         "persistence/journal.py",
         "persistence/persister.py",
         "templates/manager.py",

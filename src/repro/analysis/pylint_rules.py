@@ -58,6 +58,14 @@ Invariants the generic tools cannot express:
   concurrency analyzer pins) grows without bound under exactly the
   overload the proxy is supposed to shed.  ``queue.SimpleQueue``
   cannot be bounded at all and is always flagged there.
+* **FP311 — flight-recorder events use pinned EV codes.**  The event
+  timeline (:mod:`repro.obs.events`) is keyed by the stable
+  ``EVENT_CODES`` registry, exactly like the FP diagnostic codes: a
+  string-literal code outside the registry passed to ``emit`` /
+  ``telemetry_event`` would raise at runtime on a real recorder — or
+  worse, silently vanish into the null recorder on a disabled run.
+  Codes must be the ``EV_*`` constants (or registry lookups such as
+  ``BREAKER_EVENT_CODES[...]``).
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -701,6 +709,84 @@ def unbounded_queue_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
             )
 
 
+# ------------------------------------------------------------------- FP311
+#: Receiver names that mark a bare ``.emit`` as the flight recorder's
+#: (the diagnostics layer has its own ``.emit(code, message, node)``).
+EVENT_RECORDER_RECEIVERS = frozenset({"events", "recorder", "flight"})
+
+
+def _is_event_emission(func: ast.Attribute, call: ast.Call) -> bool:
+    """Whether a method call puts an event on the telemetry timeline.
+
+    ``telemetry_event`` is unambiguous.  ``emit`` is shared with the
+    diagnostics layer, so it only counts when the call carries the
+    recorder's signature (an ``at_ms`` keyword) or the receiver is an
+    events/recorder attribute (``self.events.emit``, ``recorder.emit``).
+    """
+    if func.attr == "telemetry_event":
+        return True
+    if func.attr != "emit":
+        return False
+    if any(keyword.arg == "at_ms" for keyword in call.keywords):
+        return True
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id in EVENT_RECORDER_RECEIVERS
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in EVENT_RECORDER_RECEIVERS
+    return False
+
+
+def event_code_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
+    """FP311: flight-recorder emissions must use pinned EV codes.
+
+    Flags flight-recorder ``emit`` / ``telemetry_event`` calls whose
+    code argument is a string literal absent from
+    :data:`repro.obs.events.EVENT_CODES`.  Codes that arrive as names
+    (the ``EV_*`` constants) or subscripts
+    (``BREAKER_EVENT_CODES[...]``) resolve at runtime against the same
+    registry, so only literals are judged here; the recorder itself
+    still rejects unknown codes loudly at runtime.
+    """
+    # Lazy for the same reason as FP310: keep the lint rules
+    # importable without dragging in the subsystem they police.
+    from repro.obs.events import EVENT_CODES
+
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    if module.repro_parts == ("obs", "events.py"):
+        return  # the registry module itself (docs, validation message)
+    hint = (
+        "use a pinned EV constant from repro.obs.events "
+        f"(registry: {', '.join(sorted(EVENT_CODES))})"
+    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if not _is_event_emission(func, node):
+            continue
+        code: ast.expr | None = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "code":
+                code = keyword.value
+        if (
+            isinstance(code, ast.Constant)
+            and isinstance(code.value, str)
+            and code.value not in EVENT_CODES
+        ):
+            yield module.diagnostic(
+                "FP311",
+                f"event code {code.value!r} is not in the pinned "
+                "EVENT_CODES registry; ad-hoc codes never reach "
+                "dashboards or tests keyed on the timeline",
+                node,
+                hint=hint,
+            )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
@@ -711,6 +797,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     bench_print_rule,
     raw_lock_rule,
     unbounded_queue_rule,
+    event_code_rule,
 )
 
 

@@ -92,6 +92,13 @@ from repro.locking import guarded_by, named_lock
 from repro.network.clock import SimulatedClock
 from repro.network.link import Topology
 from repro.obs.decisions import region_summary
+from repro.obs.events import (
+    BREAKER_EVENT_CODES,
+    EV_DATA_VERSION_FLUSH,
+    EV_EVICTION_STORM,
+    EV_RECOVERY_COMPLETED,
+    EVICTION_STORM_THRESHOLD,
+)
 from repro.obs.instrument import ProxyInstrumentation, QueryObservation
 from repro.persistence.persister import CachePersister
 from repro.persistence.recovery import RecoveryReport, recover_cache
@@ -192,14 +199,19 @@ class FunctionProxy:
         self.invalidations = 0
         # ---------------------------------------------------- resilience
         self.clock = clock or SimulatedClock()
+        #: The time axis telemetry carries (flight-recorder events,
+        #: time-series samples, health verdicts).  Defaults to the
+        #: proxy's own work clock; an event-driven frontend rebinds it
+        #: to the event loop at construction, so one run's telemetry
+        #: lives on one monotone axis — the load timeline — instead of
+        #: mixing the work clock into it.
+        self.telemetry_clock = self.clock
         self.resilience = resilience or ResilienceConfig()
         self.breaker = CircuitBreaker(
             self.clock,
             failure_threshold=self.resilience.breaker_failure_threshold,
             cooldown_ms=self.resilience.breaker_cooldown_ms,
-            on_state_change=lambda state: self.obs.breaker_transition(
-                BREAKER_STATE_VALUES[state]
-            ),
+            on_state_change=self._on_breaker_transition,
         )
         self.obs.breaker_transition(BREAKER_STATE_VALUES[self.breaker.state])
         self.gateway = OriginGateway(
@@ -220,6 +232,9 @@ class FunctionProxy:
             admission.bind(
                 self.obs,
                 allow_degrade=self.resilience.degradation.tunnel_on_overload,
+            )
+            self.obs.set_admission_queue_limit(
+                admission.config.max_queue_depth
             )
         self._base_origin = origin
         self._base_topology = self.topology
@@ -250,6 +265,15 @@ class FunctionProxy:
                 self.recovery_report = recover_cache(
                     persistence, self.cache, self.templates, obs=self.obs
                 )
+                report = self.recovery_report
+                self.obs.telemetry_event(
+                    EV_RECOVERY_COMPLETED,
+                    at_ms=self.telemetry_clock.now_ms,
+                    restored=report.entries_restored,
+                    stale=report.entries_stale,
+                    replayed=report.records_replayed,
+                    clean=report.clean,
+                )
 
     @property
     def metrics(self):
@@ -265,6 +289,35 @@ class FunctionProxy:
     def profiler(self):
         """The proxy's hot-path profiler (``GET /profile`` source)."""
         return self.obs.profiler
+
+    @property
+    def timeseries(self):
+        """The proxy's time-series recorder (``GET /timeseries``)."""
+        return self.obs.timeseries
+
+    @property
+    def events(self):
+        """The proxy's flight recorder (``GET /events`` source)."""
+        return self.obs.events
+
+    @property
+    def health(self):
+        """The proxy's health monitor (``GET /health`` source)."""
+        return self.obs.health
+
+    def _on_breaker_transition(self, state: BreakerState) -> None:
+        """Origin-breaker callback: gauge update plus an EV01-03 event.
+
+        The breaker fires this after releasing its lock, and only on
+        actual state changes, so every call is one timeline-worthy
+        transition.
+        """
+        self.obs.breaker_transition(BREAKER_STATE_VALUES[state])
+        self.obs.telemetry_event(
+            BREAKER_EVENT_CODES[state.value],
+            at_ms=self.telemetry_clock.now_ms,
+            breaker="origin",
+        )
 
     # --------------------------------------------------- fault injection
     def install_fault_plan(self, plan: FaultPlan | None) -> None:
@@ -454,8 +507,16 @@ class FunctionProxy:
         """
         with self._lock:
             self._query_index += 1
-            self._check_data_version()
-            return self._query_index, self._seen_data_version
+            flushed = self._check_data_version()
+            index, version = self._query_index, self._seen_data_version
+        if flushed is not None:
+            self.obs.telemetry_event(
+                EV_DATA_VERSION_FLUSH,
+                at_ms=self.telemetry_clock.now_ms,
+                query_index=index,
+                entries_flushed=flushed,
+            )
+        return index, version
 
     def _stage_parse_bind(self, bound, observation, policy) -> bool:
         """Stage 1 (parse/bind): charge parsing, classify tunneling.
@@ -647,6 +708,14 @@ class FunctionProxy:
                     )
                 else:
                     decision.record_admission(entry is not None)
+        if report.evicted_entries >= EVICTION_STORM_THRESHOLD:
+            self.obs.telemetry_event(
+                EV_EVICTION_STORM,
+                at_ms=self.telemetry_clock.now_ms,
+                trace_id=observation.trace_id,
+                query_index=observation.index,
+                evicted=report.evicted_entries,
+            )
         return entry, report
 
     # ------------------------------------------------------ description
@@ -967,19 +1036,24 @@ class FunctionProxy:
         )
 
     # ---------------------------------------------------------- helpers
-    def _check_data_version(self) -> None:
+    def _check_data_version(self) -> int | None:
         """Flush the cache when the origin's data version moved.
 
         Cached results are snapshots of the origin's base data; the
         determinism that justifies caching holds only per data version
         (paper property 1: "nothing changes over time").  Origins
-        without a version attribute are treated as immutable.
+        without a version attribute are treated as immutable.  Returns
+        the number of entries flushed, or None when the version held
+        (the caller owes a flush event — emitted outside the lock).
         """
         version = getattr(self.origin, "data_version", None)
-        if version != self._seen_data_version:
-            self.cache.clear()
-            self._seen_data_version = version
-            self.invalidations += 1
+        if version == self._seen_data_version:
+            return None
+        flushed = len(self.cache)
+        self.cache.clear()
+        self._seen_data_version = version
+        self.invalidations += 1
+        return flushed
 
     @staticmethod
     def _signature(bound: BoundQuery) -> str:
@@ -1039,6 +1113,7 @@ class FunctionProxy:
             self.obs.decisions.record(decision)
             observation.decision = None
         self.obs.observe_record(record, trace_id=trace_id)
+        self.obs.sample_telemetry(self.telemetry_clock.now_ms)
         return ProxyResponse(result=result, record=record)
 
     def _respond_failure(

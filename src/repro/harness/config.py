@@ -71,6 +71,10 @@ class ObservabilityConfig:
     :class:`~repro.obs.profiling.Profiler` aggregating the hot-path
     stages, with ``profile_top_k`` slowest queries retained; the
     runner then writes a ``profile-<label>.json`` artifact per run.
+    ``timeseries`` / ``events`` install live telemetry recorders
+    (:mod:`repro.obs.timeseries` / :mod:`repro.obs.events`) on the
+    proxy, producing ``timeseries-<label>.json`` (with the embedded
+    health report) and ``events-<label>.json`` artifacts.
     """
 
     tracing: bool = False
@@ -79,6 +83,11 @@ class ObservabilityConfig:
     id_seed: int | None = None
     profiling: bool = False
     profile_top_k: int = 10
+    timeseries: bool = False
+    timeseries_interval_ms: float = 1_000.0
+    timeseries_capacity: int = 512
+    events: bool = False
+    event_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.trace_capacity < 1 or self.explain_capacity < 1:
@@ -91,6 +100,17 @@ class ObservabilityConfig:
             raise ValueError(
                 "profile_top_k must be positive: "
                 f"{self.profile_top_k}"
+            )
+        if self.timeseries_interval_ms <= 0:
+            raise ValueError(
+                "timeseries_interval_ms must be positive: "
+                f"{self.timeseries_interval_ms}"
+            )
+        if self.timeseries_capacity < 1 or self.event_capacity < 1:
+            raise ValueError(
+                "telemetry capacities must be positive: "
+                f"timeseries={self.timeseries_capacity} "
+                f"events={self.event_capacity}"
             )
 
 

@@ -6,8 +6,11 @@ as JSON next to the benchmark results, so performance trajectories can
 be diffed across PRs.  The scale's
 :class:`~repro.harness.config.ObservabilityConfig` governs the rest of
 the run artifacts: a ``decisions-<label>.json`` explain dump (always),
-a ``trace-<label>.jsonl`` span export when tracing is enabled, and a
-``profile-<label>.json`` hot-path profile when profiling is enabled.
+a ``trace-<label>.jsonl`` span export when tracing is enabled, a
+``profile-<label>.json`` hot-path profile when profiling is enabled,
+and ``timeseries-<label>.json`` / ``events-<label>.json`` live
+telemetry (the time series embeds the final health report) when the
+telemetry recorders are on.
 """
 
 from __future__ import annotations
@@ -21,10 +24,12 @@ from repro.core.proxy import FunctionProxy
 from repro.core.schemes import CachingScheme
 from repro.core.stats import TraceStats
 from repro.harness.config import ExperimentScale
+from repro.obs.events import EventRecorder
 from repro.obs.instrument import ProxyInstrumentation
 from repro.obs.profiling import Profiler
 from repro.obs.propagation import IdGenerator
 from repro.obs.spans import SpanTracer
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.persistence.atomic import atomic_write_text
 from repro.server.origin import OriginServer
 from repro.workload.generator import generate_radial_trace
@@ -148,10 +153,21 @@ class ExperimentRunner:
         profiler = None
         if obs.profiling:
             profiler = Profiler(top_k=obs.profile_top_k)
+        timeseries = None
+        if obs.timeseries:
+            timeseries = TimeSeriesRecorder(
+                interval_ms=obs.timeseries_interval_ms,
+                capacity=obs.timeseries_capacity,
+            )
+        events = None
+        if obs.events:
+            events = EventRecorder(capacity=obs.event_capacity)
         return ProxyInstrumentation(
             tracer=tracer,
             decision_capacity=obs.explain_capacity,
             profiler=profiler,
+            timeseries=timeseries,
+            events=events,
         )
 
     def run(
@@ -215,6 +231,23 @@ class ExperimentRunner:
                 self.snapshot_dir / f"profile-{label}.json",
                 json.dumps(
                     proxy.profiler.snapshot(), indent=2, sort_keys=True
+                )
+                + "\n",
+            )
+        if proxy.timeseries.enabled:
+            telemetry = proxy.timeseries.snapshot()
+            telemetry["health"] = proxy.health.evaluate(
+                proxy.telemetry_clock.now_ms
+            )
+            atomic_write_text(
+                self.snapshot_dir / f"timeseries-{label}.json",
+                json.dumps(telemetry, indent=2, sort_keys=True) + "\n",
+            )
+        if proxy.events.enabled:
+            atomic_write_text(
+                self.snapshot_dir / f"events-{label}.json",
+                json.dumps(
+                    proxy.events.snapshot(), indent=2, sort_keys=True
                 )
                 + "\n",
             )

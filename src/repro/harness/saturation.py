@@ -24,6 +24,7 @@ so the whole curve is reproducible bit for bit.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.admission import AdmissionConfig, AdmissionController
@@ -81,6 +82,11 @@ class LoadPoint:
     p95_admitted_ms: float
     shed_fraction: float
     overload_opens: int
+    #: This rung's live-telemetry snapshots ({"timeseries", "events"})
+    #: when the runner's scale enables the recorders; ``None`` otherwise.
+    #: Deliberately excluded from :meth:`to_dict` — the stitched
+    #: artifacts (:func:`stitch_telemetry`) are the export surface.
+    telemetry: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -222,6 +228,14 @@ def run_load_point(
         ),
     )
     stats = driver.run()
+    telemetry = None
+    if proxy.timeseries.enabled or proxy.events.enabled:
+        series = proxy.timeseries.snapshot()
+        series["health"] = proxy.health.evaluate(driver.loop.now_ms)
+        telemetry = {
+            "timeseries": series,
+            "events": proxy.events.snapshot(),
+        }
     snapshot = proxy.admission.snapshot()
     counts = {
         outcome.value: count
@@ -250,6 +264,7 @@ def run_load_point(
         p95_admitted_ms=_percentile(admitted_ms, 0.95),
         shed_fraction=(shed + timed_out) / submitted if submitted else 0.0,
         overload_opens=snapshot["overload_opens"],
+        telemetry=telemetry,
     )
 
 
@@ -282,3 +297,74 @@ def run_saturation(
         think_time_ms=think_time_ms,
         seed=seed,
     )
+
+
+def stitch_telemetry(result: SaturationResult) -> tuple[dict, dict] | None:
+    """Concatenate the per-rung telemetry onto one monotone time axis.
+
+    Each rung runs on a fresh proxy whose clock starts at zero, so the
+    per-rung samples and events all live near the origin.  Stitching
+    shifts every rung's timestamps by the cumulative duration of the
+    rungs before it (rounded up to the sampling grid), producing one
+    ``timeseries`` document and one ``events`` document whose timeline
+    walks the whole ladder — the shed-rate lane rising rung over rung
+    is the graceful-saturation picture in time-series form.  Returns
+    ``None`` when the rungs carried no telemetry (recorders disabled).
+    """
+    stitched = [p for p in result.points if p.telemetry is not None]
+    if not stitched:
+        return None
+    first = stitched[0].telemetry["timeseries"]
+    interval = float(first.get("interval_ms") or 1_000.0)
+    samples: list[dict] = []
+    events: list[dict] = []
+    counts: dict[str, int] = {}
+    total = 0
+    rungs: list[dict] = []
+    offset = 0.0
+    for point in stitched:
+        series = point.telemetry["timeseries"]
+        flight = point.telemetry["events"]
+        for sample in series.get("samples", []):
+            shifted = dict(sample)
+            shifted["t_ms"] = sample["t_ms"] + offset
+            samples.append(shifted)
+        for event in flight.get("events", []):
+            shifted = dict(event)
+            shifted["at_ms"] = event["at_ms"] + offset
+            events.append(shifted)
+        total += flight.get("total", 0)
+        for code, count in flight.get("counts", {}).items():
+            counts[code] = counts.get(code, 0) + count
+        span = math.ceil(point.end_ms / interval) * interval
+        rungs.append(
+            {
+                "n_clients": point.n_clients,
+                "t_start_ms": offset,
+                "t_end_ms": offset + span,
+                "shed_fraction": point.shed_fraction,
+            }
+        )
+        offset += span
+    timeseries_doc = {
+        "enabled": True,
+        "clock": "sim-ms",
+        "interval_ms": interval,
+        "capacity": first.get("capacity", 0),
+        "lanes": first.get("lanes", {}),
+        "samples": samples,
+        "rungs": rungs,
+        "health": stitched[-1].telemetry["timeseries"].get("health"),
+    }
+    events_doc = {
+        "enabled": True,
+        "clock": "sim-ms",
+        "capacity": max(
+            p.telemetry["events"].get("capacity", 0) for p in stitched
+        ),
+        "total": total,
+        "counts": dict(sorted(counts.items())),
+        "events": events,
+        "rungs": rungs,
+    }
+    return timeseries_doc, events_doc

@@ -44,6 +44,19 @@ from repro.obs.decisions import (
     action_for,
     region_summary,
 )
+from repro.obs.events import (
+    EVENT_CODES,
+    NULL_EVENTS,
+    EventRecorder,
+    NullEventRecorder,
+)
+from repro.obs.health import (
+    HEALTH_RULES,
+    NULL_HEALTH,
+    HealthMonitor,
+    NullHealthMonitor,
+    evaluate_samples,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -54,6 +67,14 @@ from repro.obs.metrics import (
 from repro.obs.propagation import IdGenerator, TraceContext, parse_traceparent
 from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.spans import NULL_SPAN, NullTracer, Span, SpanTracer
+from repro.obs.timeseries import (
+    NULL_TIMESERIES,
+    ORIGIN_LANES,
+    PROXY_LANES,
+    LaneSet,
+    NullTimeSeries,
+    TimeSeriesRecorder,
+)
 from repro.obs.instrument import (
     OriginInstrumentation,
     ProxyInstrumentation,
@@ -67,23 +88,38 @@ __all__ = [
     "DecisionAction",
     "DecisionLog",
     "DecisionTrace",
+    "EVENT_CODES",
+    "EventRecorder",
     "EvictionRecord",
     "Gauge",
+    "HEALTH_RULES",
+    "HealthMonitor",
     "Histogram",
     "IdGenerator",
+    "LaneSet",
     "MetricError",
     "MetricsRegistry",
+    "NULL_EVENTS",
+    "NULL_HEALTH",
     "NULL_SPAN",
+    "NULL_TIMESERIES",
+    "NullEventRecorder",
+    "NullHealthMonitor",
+    "NullTimeSeries",
     "NullTracer",
+    "ORIGIN_LANES",
     "OriginInstrumentation",
+    "PROXY_LANES",
     "ProxyInstrumentation",
     "QueryObservation",
     "SloObjective",
     "SloTracker",
     "Span",
     "SpanTracer",
+    "TimeSeriesRecorder",
     "TraceContext",
     "action_for",
+    "evaluate_samples",
     "parse_traceparent",
     "region_summary",
 ]

@@ -1,0 +1,337 @@
+"""Declarative health rules evaluated over the live time series.
+
+The health monitor turns the :mod:`repro.obs.timeseries` samples into
+an operational verdict — ``healthy`` / ``degraded`` / ``unhealthy`` —
+by evaluating a fixed set of **pinned rules** (HR ids, stable like the
+FP diagnostic and EV event codes; see DESIGN.md):
+
+* ``HR01`` *hit-ratio-collapse* — the newest window's cache hit ratio
+  (1 − origin rate / throughput) against the trailing baseline of the
+  preceding windows; a collapse after a data-version flush or an
+  eviction storm shows up here first.
+* ``HR02`` *shed-spike* — the fraction of arrivals turned away by
+  admission control in the newest window.
+* ``HR03`` *latency-slo* — the newest window's rolling p95 response
+  time against the strictest configured per-template latency
+  objective (the PR 4 SLO targets); inactive when no per-template
+  objective was configured.
+* ``HR04`` *queue-saturation* — the accept queue pinned near its
+  configured limit for several consecutive windows.
+* ``HR05`` *breaker-open* — the origin circuit breaker not closed at
+  the newest sample (the origin is presumed down; answers degrade).
+
+The overall verdict is the worst rule verdict.  Each evaluation that
+*changes* the overall verdict fires an ``EV11`` event into the flight
+recorder, so verdict flips are on the same timeline as the breaker
+and shed-policy transitions that caused them.
+
+:func:`evaluate_samples` is a pure function over exported samples —
+the ``repro.obs.report`` CLI re-runs it offline on a
+``timeseries-<label>.json`` artifact.  :class:`HealthMonitor` wraps it
+with state (the last verdict, for EV11) guarded by the
+``proxy.telemetry`` lock; :class:`NullHealthMonitor` is the shared
+no-op default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.locking import guarded_by, named_lock
+from repro.obs.events import EV_HEALTH_STATE_CHANGE, NULL_EVENTS
+from repro.obs.slo import SloTracker
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+_SEVERITY = {HEALTHY: 0, DEGRADED: 1, UNHEALTHY: 2}
+
+#: The pinned health-rule registry (see DESIGN.md): id -> stable name.
+HEALTH_RULES: Mapping[str, str] = {
+    "HR01": "hit-ratio-collapse",
+    "HR02": "shed-spike",
+    "HR03": "latency-slo",
+    "HR04": "queue-saturation",
+    "HR05": "breaker-open",
+}
+
+#: HR01 needs this many windows with traffic before judging.
+MIN_BASELINE_WINDOWS = 4
+#: HR01 thresholds: recent hit ratio under these fractions of baseline.
+HIT_COLLAPSE_DEGRADED = 0.5
+HIT_COLLAPSE_UNHEALTHY = 0.25
+#: HR01 ignores baselines below this (a cold cache has no ratio to lose).
+HIT_BASELINE_FLOOR = 0.2
+#: HR02 thresholds on the newest window's shed fraction.
+SHED_DEGRADED = 0.1
+SHED_UNHEALTHY = 0.5
+#: HR04: consecutive windows required, and the near-limit fraction.
+QUEUE_SATURATION_WINDOWS = 3
+QUEUE_SATURATION_FRACTION = 0.8
+
+
+def _rule(rule_id: str, status: str, detail: str) -> dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": HEALTH_RULES[rule_id],
+        "status": status,
+        "detail": detail,
+    }
+
+
+def _hit_ratios(samples: list[dict[str, Any]]) -> list[float]:
+    ratios = []
+    for sample in samples:
+        rates = sample.get("rates", {})
+        throughput = float(rates.get("throughput_qps", 0.0) or 0.0)
+        if throughput <= 0.0:
+            continue
+        origin = float(rates.get("origin_per_s", 0.0) or 0.0)
+        ratios.append(min(1.0, max(0.0, 1.0 - origin / throughput)))
+    return ratios
+
+
+def _hit_ratio_collapse(samples: list[dict[str, Any]]) -> dict[str, Any]:
+    ratios = _hit_ratios(samples)
+    if len(ratios) < MIN_BASELINE_WINDOWS:
+        return _rule(
+            "HR01",
+            HEALTHY,
+            f"insufficient data ({len(ratios)} windows with traffic, "
+            f"need {MIN_BASELINE_WINDOWS})",
+        )
+    recent = ratios[-1]
+    baseline = sum(ratios[:-1]) / len(ratios[:-1])
+    if baseline < HIT_BASELINE_FLOOR:
+        return _rule(
+            "HR01",
+            HEALTHY,
+            f"baseline hit ratio {baseline:.2f} below the "
+            f"{HIT_BASELINE_FLOOR} judgment floor",
+        )
+    detail = (
+        f"recent hit ratio {recent:.2f} vs trailing baseline "
+        f"{baseline:.2f}"
+    )
+    if recent < baseline * HIT_COLLAPSE_UNHEALTHY:
+        return _rule("HR01", UNHEALTHY, detail)
+    if recent < baseline * HIT_COLLAPSE_DEGRADED:
+        return _rule("HR01", DEGRADED, detail)
+    return _rule("HR01", HEALTHY, detail)
+
+
+def _shed_spike(samples: list[dict[str, Any]]) -> dict[str, Any]:
+    if not samples:
+        return _rule("HR02", HEALTHY, "no samples")
+    rates = samples[-1].get("rates", {})
+    shed = float(rates.get("shed_per_s", 0.0) or 0.0)
+    served = float(rates.get("throughput_qps", 0.0) or 0.0)
+    offered = shed + served
+    fraction = shed / offered if offered > 0 else 0.0
+    detail = f"shed fraction {fraction:.2f} in the newest window"
+    if fraction >= SHED_UNHEALTHY:
+        return _rule("HR02", UNHEALTHY, detail)
+    if fraction >= SHED_DEGRADED:
+        return _rule("HR02", DEGRADED, detail)
+    return _rule("HR02", HEALTHY, detail)
+
+
+def _latency_slo(
+    samples: list[dict[str, Any]], latency_slo_ms: float | None
+) -> dict[str, Any]:
+    if latency_slo_ms is None:
+        return _rule(
+            "HR03", HEALTHY, "no per-template latency objective configured"
+        )
+    if not samples:
+        return _rule("HR03", HEALTHY, "no samples")
+    quantiles = samples[-1].get("quantiles", {}).get("response_ms", {})
+    p95 = quantiles.get("p95")
+    if p95 is None:
+        return _rule("HR03", HEALTHY, "no observations in the newest window")
+    detail = (
+        f"rolling p95 {p95:.0f} ms vs {latency_slo_ms:.0f} ms objective"
+    )
+    if p95 > 2.0 * latency_slo_ms:
+        return _rule("HR03", UNHEALTHY, detail)
+    if p95 > latency_slo_ms:
+        return _rule("HR03", DEGRADED, detail)
+    return _rule("HR03", HEALTHY, detail)
+
+
+def _queue_saturation(
+    samples: list[dict[str, Any]], queue_limit: int | None
+) -> dict[str, Any]:
+    if queue_limit is None or queue_limit <= 0:
+        return _rule("HR04", HEALTHY, "no queue limit configured")
+    if len(samples) < QUEUE_SATURATION_WINDOWS:
+        return _rule(
+            "HR04",
+            HEALTHY,
+            f"insufficient data ({len(samples)} windows, need "
+            f"{QUEUE_SATURATION_WINDOWS})",
+        )
+    window = samples[-QUEUE_SATURATION_WINDOWS:]
+    depths = [
+        float(sample.get("gauges", {}).get("queue_depth", 0.0) or 0.0)
+        for sample in window
+    ]
+    detail = (
+        f"queue depth {[round(d) for d in depths]} of limit {queue_limit} "
+        f"over the last {QUEUE_SATURATION_WINDOWS} windows"
+    )
+    if all(depth >= queue_limit for depth in depths):
+        return _rule("HR04", UNHEALTHY, detail)
+    if all(
+        depth >= QUEUE_SATURATION_FRACTION * queue_limit
+        for depth in depths
+    ):
+        return _rule("HR04", DEGRADED, detail)
+    return _rule("HR04", HEALTHY, detail)
+
+
+def _breaker_open(samples: list[dict[str, Any]]) -> dict[str, Any]:
+    if not samples:
+        return _rule("HR05", HEALTHY, "no samples")
+    state = float(
+        samples[-1].get("gauges", {}).get("breaker_state", 0.0) or 0.0
+    )
+    if state >= 2.0:
+        return _rule(
+            "HR05", DEGRADED, "origin breaker open (origin presumed down)"
+        )
+    if state >= 1.0:
+        return _rule("HR05", DEGRADED, "origin breaker half-open (probing)")
+    return _rule("HR05", HEALTHY, "origin breaker closed")
+
+
+def evaluate_samples(
+    samples: list[dict[str, Any]],
+    latency_slo_ms: float | None = None,
+    queue_limit: int | None = None,
+) -> dict[str, Any]:
+    """Run every pinned rule over ``samples``; worst verdict wins.
+
+    Pure — usable offline over an exported ``timeseries-*.json``.
+    """
+    rules = [
+        _hit_ratio_collapse(samples),
+        _shed_spike(samples),
+        _latency_slo(samples, latency_slo_ms),
+        _queue_saturation(samples, queue_limit),
+        _breaker_open(samples),
+    ]
+    status = max(
+        (rule["status"] for rule in rules),
+        key=lambda verdict: _SEVERITY[str(verdict)],
+        default=HEALTHY,
+    )
+    return {"status": status, "rules": rules, "windows": len(samples)}
+
+
+def strictest_latency_objective(slo: SloTracker | None) -> float | None:
+    """The tightest *per-template* latency objective, or None.
+
+    Only explicit per-template overrides (the PR 4 targets) count: the
+    tracker's blanket default objective exists on every proxy and
+    would otherwise flag ordinary cold-cache traffic forever.
+    """
+    if slo is None or not slo.overrides:
+        return None
+    return min(
+        objective.latency_objective_ms
+        for objective in slo.overrides.values()
+    )
+
+
+@guarded_by("proxy.telemetry", "_last_status", "_queue_limit")
+class HealthMonitor:
+    """Stateful wrapper: evaluate, remember, fire EV11 on change.
+
+    Reads the samples its :class:`~repro.obs.timeseries.
+    TimeSeriesRecorder` retained, so callers evaluate against exactly
+    what ``GET /timeseries`` shows.  The queue limit arrives late (the
+    proxy learns it when the admission controller binds), hence the
+    setter.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        timeseries: Any,
+        events: Any = NULL_EVENTS,
+        slo: SloTracker | None = None,
+        latency_slo_ms: float | None = None,
+        queue_limit: int | None = None,
+    ) -> None:
+        self.timeseries = timeseries
+        self.events = events
+        if latency_slo_ms is None:
+            latency_slo_ms = strictest_latency_objective(slo)
+        self.latency_slo_ms = latency_slo_ms
+        self._lock = named_lock("proxy.telemetry")
+        self._queue_limit = queue_limit
+        self._last_status: str | None = None
+
+    def set_queue_limit(self, queue_limit: int | None) -> None:
+        """Late-bind the accept queue's depth limit (HR04's yardstick)."""
+        with self._lock:
+            self._queue_limit = queue_limit
+
+    def evaluate(self, now_ms: float) -> dict[str, Any]:
+        """One full rule pass at simulated time ``now_ms``."""
+        with self._lock:
+            queue_limit = self._queue_limit
+        report = evaluate_samples(
+            self.timeseries.samples(),
+            latency_slo_ms=self.latency_slo_ms,
+            queue_limit=queue_limit,
+        )
+        status = str(report["status"])
+        with self._lock:
+            previous = self._last_status
+            self._last_status = status
+        changed = (
+            previous != status
+            if previous is not None
+            else status != HEALTHY
+        )
+        if changed:
+            self.events.emit(
+                EV_HEALTH_STATE_CHANGE,
+                at_ms=now_ms,
+                status=status,
+                previous=previous,
+            )
+        report["enabled"] = True
+        report["at_ms"] = float(now_ms)
+        if self.latency_slo_ms is not None:
+            report["latency_slo_ms"] = self.latency_slo_ms
+        if queue_limit is not None:
+            report["queue_limit"] = queue_limit
+        return report
+
+
+class NullHealthMonitor:
+    """The disabled monitor: always healthy, remembers nothing."""
+
+    enabled = False
+    latency_slo_ms = None
+
+    def set_queue_limit(self, queue_limit: int | None) -> None:
+        return None
+
+    def evaluate(self, now_ms: float) -> dict[str, Any]:
+        return {
+            "enabled": False,
+            "status": HEALTHY,
+            "rules": [],
+            "windows": 0,
+            "at_ms": float(now_ms),
+        }
+
+
+#: The singleton no-op monitor instrumentation defaults to.
+NULL_HEALTH = NullHealthMonitor()

@@ -31,10 +31,13 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.locking import read_only, unshared
 from repro.obs.decisions import DecisionLog, DecisionTrace
+from repro.obs.events import NULL_EVENTS
+from repro.obs.health import NULL_HEALTH, HealthMonitor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import NULL_PROFILER
 from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.spans import NullTracer
+from repro.obs.timeseries import NULL_TIMESERIES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.stats import QueryRecord
@@ -244,14 +247,18 @@ class QueryObservation:
         self._root.charge(sim_ms)
 
 
-@unshared("tracer", "profiler")
+@unshared(
+    "tracer", "profiler", "timeseries", "events", "health", "_queue_limit"
+)
 class ProxyInstrumentation:
     """The proxy's metric families, tracer, decision log, and hooks.
 
-    ``tracer`` / ``profiler`` are rebound only during single-threaded
-    deployment wiring (the web apps swap in live tracers before any
-    request thread starts), hence the ``unshared`` waiver; the objects
-    behind them synchronize internally.
+    ``tracer`` / ``profiler`` — and the telemetry trio ``timeseries``
+    / ``events`` / ``health`` — are rebound only during
+    single-threaded deployment wiring (the web apps swap in live
+    recorders before any request thread starts), hence the
+    ``unshared`` waiver; the objects behind them synchronize
+    internally.
     """
 
     def __init__(
@@ -261,12 +268,21 @@ class ProxyInstrumentation:
         decision_capacity: int = 256,
         slo: SloObjective | None = None,
         profiler: Any = None,
+        timeseries: Any = None,
+        events: Any = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.decisions = DecisionLog(capacity=decision_capacity)
         self.slo = SloTracker(self.registry, objective=slo)
+        self.timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
+        self.events = events if events is not None else NULL_EVENTS
+        self.timeseries.bind(self.registry)
+        self._queue_limit: int | None = None
+        self.health = self._build_health()
         r = self.registry
         self.queries = r.counter(
             "proxy_queries_total",
@@ -404,6 +420,73 @@ class ProxyInstrumentation:
             "Overload circuit breaker gating admission "
             "(0=closed, 1=half-open, 2=open).",
         )
+        self.admission_running = r.gauge(
+            "admission_inflight",
+            "Admitted queries currently holding a serve slot.",
+        )
+        self.admission_quota = r.gauge(
+            "admission_quota_tokens",
+            "Tokens currently available in each tenant's admission "
+            "bucket.",
+            ("tenant",),
+        )
+
+    # --------------------------------------------------------- telemetry
+    def _build_health(self) -> Any:
+        """The health monitor matching the current telemetry wiring."""
+        if not self.timeseries.enabled:
+            return NULL_HEALTH
+        monitor = HealthMonitor(self.timeseries, self.events, slo=self.slo)
+        monitor.set_queue_limit(self._queue_limit)
+        return monitor
+
+    def sample_telemetry(self, now_ms: float) -> None:
+        """Serve-path hook: advance the time series to ``now_ms``.
+
+        When the call lands a new sample (an interval boundary was
+        crossed) the health rules are re-evaluated against the updated
+        series, so verdict flips land at window granularity.  With the
+        null recorder this is one no-op method call per query.
+        """
+        if self.timeseries.maybe_sample(now_ms) is not None:
+            self.health.evaluate(now_ms)
+
+    def telemetry_event(
+        self,
+        code: str,
+        at_ms: float,
+        trace_id: str | None = None,
+        query_index: int | None = None,
+        **payload: Any,
+    ) -> None:
+        """Serve-path hook: one pinned-code flight-recorder event."""
+        self.events.emit(
+            code,
+            at_ms,
+            trace_id=trace_id,
+            query_index=query_index,
+            **payload,
+        )
+
+    def install_telemetry(
+        self, timeseries: Any = None, events: Any = None
+    ) -> None:
+        """Deployment wiring: swap in live telemetry recorders.
+
+        Like tracer/profiler rebinding, legal only during
+        single-threaded wiring before any request thread starts.
+        """
+        if timeseries is not None:
+            self.timeseries = timeseries
+            self.timeseries.bind(self.registry)
+        if events is not None:
+            self.events = events
+        self.health = self._build_health()
+
+    def set_admission_queue_limit(self, limit: int | None) -> None:
+        """Admission wiring: the accept queue's depth limit (HR04)."""
+        self._queue_limit = limit
+        self.health.set_queue_limit(limit)
 
     # ------------------------------------------------- analysis observation
     def record_diagnostic(self, diagnostic: Any) -> None:
@@ -429,6 +512,14 @@ class ProxyInstrumentation:
     def admission_queue_depth(self, depth: int) -> None:
         """Admission hook: the accept queue's current depth."""
         self.admission_depth.set(depth)
+
+    def admission_inflight(self, count: int) -> None:
+        """Admission hook: queries currently holding a serve slot."""
+        self.admission_running.set(count)
+
+    def admission_quota_tokens(self, tenant: str, tokens: float) -> None:
+        """Admission hook: a tenant bucket's current token level."""
+        self.admission_quota.labels(tenant=tenant).set(tokens)
 
     def admission_shed(self, reason: str) -> None:
         """Admission hook: one query was turned away."""
@@ -557,7 +648,7 @@ class ProxyInstrumentation:
         self.transfer_bytes.labels(hop=hop).inc(n_bytes)
 
 
-@unshared("tracer", "profiler")
+@unshared("tracer", "profiler", "timeseries", "events", "health")
 class OriginInstrumentation:
     """The origin server's metric families and tracer.
 
@@ -570,10 +661,18 @@ class OriginInstrumentation:
         registry: MetricsRegistry | None = None,
         tracer: Any = None,
         profiler: Any = None,
+        timeseries: Any = None,
+        events: Any = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NullTracer()
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.timeseries = (
+            timeseries if timeseries is not None else NULL_TIMESERIES
+        )
+        self.events = events if events is not None else NULL_EVENTS
+        self.timeseries.bind(self.registry)
+        self.health = self._build_health()
         r = self.registry
         self.requests = r.counter(
             "origin_requests_total",
@@ -596,6 +695,27 @@ class OriginInstrumentation:
             "origin_data_version", "Current base-data version."
         )
         self.data_version.set(1)
+
+    def _build_health(self) -> Any:
+        if not self.timeseries.enabled:
+            return NULL_HEALTH
+        return HealthMonitor(self.timeseries, self.events)
+
+    def sample_telemetry(self, now_ms: float) -> None:
+        """Request-path hook: advance the time series to ``now_ms``."""
+        if self.timeseries.maybe_sample(now_ms) is not None:
+            self.health.evaluate(now_ms)
+
+    def install_telemetry(
+        self, timeseries: Any = None, events: Any = None
+    ) -> None:
+        """Deployment wiring: swap in live telemetry recorders."""
+        if timeseries is not None:
+            self.timeseries = timeseries
+            self.timeseries.bind(self.registry)
+        if events is not None:
+            self.events = events
+        self.health = self._build_health()
 
     def observe(self, kind: str, result_bytes: int, server_ms: float) -> None:
         self.requests.labels(kind=kind).inc()

@@ -160,6 +160,16 @@ class Counter(_Metric):
     def value(self) -> float:
         return self._default_child().value
 
+    def total(self) -> float:
+        """The family total across every label child.
+
+        The time-series sampler's read path: an unlabeled family
+        reports its single child, a labeled one (e.g. sheds by reason)
+        the sum — and a family nothing observed yet reports 0.0
+        without materializing a child.
+        """
+        return sum(child.value for child in self._children.values())
+
     def sample_lines(self) -> list[str]:
         return [
             f"{self.name}{_label_pairs(self.labelnames, key)} "
@@ -211,6 +221,7 @@ class Gauge(_Metric):
     def value(self) -> float:
         return self._default_child().value
 
+    total = Counter.total
     sample_lines = Counter.sample_lines
     snapshot_values = Counter.snapshot_values
 
@@ -280,6 +291,20 @@ class Histogram(_Metric):
     @property
     def total_count(self) -> int:
         return sum(child.count for child in self._children.values())
+
+    def merged_counts(self) -> list[int]:
+        """Per-bucket *non-cumulative* counts summed across children.
+
+        The final slot is the implicit +Inf bucket.  The time-series
+        sampler diffs successive merged counts to get the observation
+        distribution of one window, from which rolling quantiles fall
+        out without retaining raw observations.
+        """
+        merged = [0] * (len(self.buckets) + 1)
+        for child in self._children.values():
+            for slot, count in enumerate(child.counts):
+                merged[slot] += count
+        return merged
 
     def sample_lines(self, exemplars: bool = False) -> list[str]:
         lines = []

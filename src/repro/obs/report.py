@@ -1,0 +1,275 @@
+"""Render exported telemetry as a terminal/markdown dashboard.
+
+Usage::
+
+    python -m repro.obs.report --timeseries timeseries-run.json \
+        --events events-run.json [--format text|markdown]
+
+Reads the ``timeseries-<label>.json`` / ``events-<label>.json``
+artifacts written by the harness (or fetched from ``GET /timeseries``
+and ``GET /events``) and renders:
+
+* one **sparkline lane** per rate, gauge, and quantile series;
+* the **event timeline** (pinned EV codes, sim timestamps, payloads);
+* the **health verdict** — the artifact's embedded report when
+  present, otherwise re-evaluated offline with
+  :func:`repro.obs.health.evaluate_samples` over the samples.
+
+Everything is computed from the artifacts alone; no proxy required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs.health import evaluate_samples
+
+#: The eight-step sparkline alphabet, lowest to highest.
+SPARKS = "▁▂▃▄▅▆▇█"
+#: Missing points (empty quantile windows) render as a gap.
+GAP = "·"
+
+
+def sparkline(values: Sequence[float | None]) -> str:
+    """Scale ``values`` onto the eight-glyph sparkline alphabet."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return GAP * len(values)
+    low = min(present)
+    high = max(present)
+    span = high - low
+    out = []
+    for value in values:
+        if value is None:
+            out.append(GAP)
+        elif span <= 0:
+            out.append(SPARKS[0])
+        else:
+            slot = int((value - low) / span * (len(SPARKS) - 1))
+            out.append(SPARKS[slot])
+    return "".join(out)
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _lane_rows(snapshot: dict[str, Any]) -> list[tuple[str, str, str]]:
+    """(label, sparkline, min/mean/max summary) per lane."""
+    samples = snapshot.get("samples", [])
+    lanes = snapshot.get("lanes", {})
+    rows: list[tuple[str, str, str]] = []
+
+    def summarize(values: list[float | None]) -> str:
+        present = [v for v in values if v is not None]
+        if not present:
+            return "no data"
+        mean = sum(present) / len(present)
+        return (
+            f"min {_fmt(min(present))}  mean {_fmt(mean)}  "
+            f"max {_fmt(max(present))}"
+        )
+
+    for name in lanes.get("rates", []):
+        values: list[float | None] = [
+            sample.get("rates", {}).get(name) for sample in samples
+        ]
+        rows.append((f"{name} (rate)", sparkline(values), summarize(values)))
+    for name in lanes.get("gauges", []):
+        values = [sample.get("gauges", {}).get(name) for sample in samples]
+        rows.append((f"{name} (gauge)", sparkline(values), summarize(values)))
+    for name in lanes.get("quantiles", []):
+        for quantile in ("p50", "p95"):
+            values = [
+                sample.get("quantiles", {}).get(name, {}).get(quantile)
+                for sample in samples
+            ]
+            rows.append(
+                (f"{name} {quantile}", sparkline(values), summarize(values))
+            )
+    return rows
+
+
+def render_timeseries(
+    snapshot: dict[str, Any], markdown: bool = False
+) -> list[str]:
+    samples = snapshot.get("samples", [])
+    lines = ["## Time series" if markdown else "Time series"]
+    if not samples:
+        lines.append("  (no samples)")
+        return lines
+    first = samples[0].get("t_ms", 0.0)
+    last = samples[-1].get("t_ms", 0.0)
+    lines.append(
+        f"  {len(samples)} samples, interval "
+        f"{_fmt(snapshot.get('interval_ms'))} ms, sim time "
+        f"{_fmt(first)}..{_fmt(last)} ms"
+    )
+    rows = _lane_rows(snapshot)
+    width = max((len(label) for label, _, _ in rows), default=0)
+    if markdown:
+        lines.append("")
+        lines.append("| lane | trend | summary |")
+        lines.append("| --- | --- | --- |")
+        for label, spark, summary in rows:
+            lines.append(f"| {label} | `{spark}` | {summary} |")
+    else:
+        for label, spark, summary in rows:
+            lines.append(f"  {label.ljust(width)}  {spark}  {summary}")
+    return lines
+
+
+def render_events(
+    snapshot: dict[str, Any], markdown: bool = False
+) -> list[str]:
+    events = snapshot.get("events", [])
+    lines = ["## Event timeline" if markdown else "Event timeline"]
+    total = snapshot.get("total", len(events))
+    dropped = total - len(events)
+    lines.append(
+        f"  {len(events)} events retained"
+        + (f" ({dropped} older dropped)" if dropped > 0 else "")
+    )
+    if markdown and events:
+        lines.append("")
+        lines.append("| t_ms | code | event | details |")
+        lines.append("| --- | --- | --- | --- |")
+    for event in events:
+        details: list[str] = []
+        if "trace_id" in event:
+            details.append(f"trace={event['trace_id']}")
+        if "query_index" in event:
+            details.append(f"query={event['query_index']}")
+        for key, value in event.get("payload", {}).items():
+            details.append(f"{key}={value}")
+        detail = " ".join(details)
+        if markdown:
+            lines.append(
+                f"| {_fmt(event.get('at_ms'))} | {event.get('code')} "
+                f"| {event.get('name')} | {detail} |"
+            )
+        else:
+            lines.append(
+                f"  {_fmt(event.get('at_ms')).rjust(10)} ms  "
+                f"{event.get('code')}  {event.get('name')}"
+                + (f"  [{detail}]" if detail else "")
+            )
+    return lines
+
+
+def render_health(
+    report: dict[str, Any], markdown: bool = False
+) -> list[str]:
+    lines = ["## Health" if markdown else "Health"]
+    lines.append(
+        f"  verdict: {report.get('status', 'unknown')} "
+        f"({report.get('windows', 0)} windows)"
+    )
+    if markdown and report.get("rules"):
+        lines.append("")
+        lines.append("| rule | name | status | detail |")
+        lines.append("| --- | --- | --- | --- |")
+    for rule in report.get("rules", []):
+        if markdown:
+            lines.append(
+                f"| {rule['id']} | {rule['name']} | {rule['status']} "
+                f"| {rule['detail']} |"
+            )
+        else:
+            lines.append(
+                f"  {rule['id']}  {rule['name'].ljust(20)} "
+                f"{rule['status'].ljust(10)} {rule['detail']}"
+            )
+    return lines
+
+
+def render(
+    timeseries: dict[str, Any] | None = None,
+    events: dict[str, Any] | None = None,
+    markdown: bool = False,
+    queue_limit: int | None = None,
+    latency_slo_ms: float | None = None,
+) -> str:
+    """The full dashboard as one string."""
+    sections: list[list[str]] = []
+    if timeseries is not None:
+        sections.append(render_timeseries(timeseries, markdown))
+        health = timeseries.get("health")
+        if not isinstance(health, dict):
+            health = evaluate_samples(
+                timeseries.get("samples", []),
+                latency_slo_ms=latency_slo_ms,
+                queue_limit=queue_limit,
+            )
+        sections.append(render_health(health, markdown))
+    if events is not None:
+        sections.append(render_events(events, markdown))
+    if not sections:
+        return "nothing to render (no artifacts given)\n"
+    return "\n\n".join("\n".join(section) for section in sections) + "\n"
+
+
+def _load(path: str | None) -> dict[str, Any] | None:
+    if path is None:
+        return None
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object snapshot")
+    return data
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description=(
+            "Render timeseries-/events-<label>.json telemetry artifacts "
+            "as a terminal or markdown dashboard."
+        ),
+    )
+    parser.add_argument(
+        "--timeseries", help="path to a timeseries-<label>.json artifact"
+    )
+    parser.add_argument(
+        "--events", help="path to an events-<label>.json artifact"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "markdown"),
+        default="text",
+        help="output flavor (default: text)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        help="queue depth limit for the offline HR04 evaluation",
+    )
+    parser.add_argument(
+        "--latency-slo-ms",
+        type=float,
+        help="latency objective for the offline HR03 evaluation",
+    )
+    args = parser.parse_args(argv)
+    if args.timeseries is None and args.events is None:
+        parser.error("give at least one of --timeseries / --events")
+    print(
+        render(
+            _load(args.timeseries),
+            _load(args.events),
+            markdown=args.format == "markdown",
+            queue_limit=args.queue_limit,
+            latency_slo_ms=args.latency_slo_ms,
+        ),
+        end="",
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

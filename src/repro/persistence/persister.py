@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.faults.errors import SimulatedCrash
 from repro.locking import guarded_by, named_lock, unshared
+from repro.obs.events import EV_SNAPSHOT_CHECKPOINT
 from repro.persistence.errors import PersistenceError
 from repro.persistence.journal import Journal
 from repro.persistence.records import (
@@ -248,6 +249,16 @@ class CachePersister:
             self.journal.reset()
             self.last_snapshot_ts_ms = snapshot.ts_ms
         self._update_snapshot_age()
+        # The flight-recorder mark; getattr-guarded because bind()
+        # accepts any object with the metrics hooks.
+        emit = getattr(self._obs, "telemetry_event", None)
+        if emit is not None:
+            emit(
+                EV_SNAPSHOT_CHECKPOINT,
+                at_ms=snapshot.ts_ms,
+                entries=len(entries),
+                data_version=snapshot.data_version,
+            )
         return snapshot
 
     def load_snapshot(self) -> Snapshot | None:

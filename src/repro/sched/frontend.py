@@ -27,6 +27,7 @@ from repro.admission.controller import AdmissionController, QueuedRequest
 from repro.core.proxy import FunctionProxy, ProxyResponse
 from repro.core.stats import QueryOutcome
 from repro.locking import unshared
+from repro.obs.events import EV_QUEUE_DEADLINE_DROPS
 from repro.sched.loop import EventLoop
 
 
@@ -70,6 +71,10 @@ class ProxyFrontend:
         self.proxy = proxy
         self.loop = loop
         self.controller = controller
+        # Telemetry joins the load timeline: events and samples from
+        # inside serve stages stamp event time, matching the admission
+        # controller's breaker clock (synced to each enqueue/dequeue).
+        proxy.telemetry_clock = loop
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
@@ -108,6 +113,12 @@ class ProxyFrontend:
             got, waited_ms, expired = self.controller.dequeue(
                 self.loop.now_ms
             )
+            if expired:
+                self.proxy.obs.telemetry_event(
+                    EV_QUEUE_DEADLINE_DROPS,
+                    at_ms=self.loop.now_ms,
+                    count=len(expired),
+                )
             for stale in expired:
                 self._reject(
                     stale, REASON_DEADLINE, QueryOutcome.QUEUED_TIMEOUT

@@ -34,6 +34,11 @@ malformed header degrades to a fresh local trace, never an error.
     templates, checked against the origin's own function catalog (so
     determinism, property 1, is verified too).
 
+``GET /timeseries`` / ``GET /events`` / ``GET /health``
+    The live-telemetry surface (origin lanes, sampled on the origin's
+    cumulative simulated server time), the flight recorder's buffer,
+    and the health verdict merged into the existing status fields.
+
 Every response carries ``X-Server-Ms``: the simulated server cost the
 caller should charge to its clock.
 """
@@ -41,10 +46,13 @@ caller should charge to its clock.
 from __future__ import annotations
 
 from repro.analysis.analyzer import analyze_manager
+from repro.network.clock import SimulatedClock
+from repro.obs.events import EventRecorder
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.obs.profiling import Profiler
 from repro.obs.propagation import parse_traceparent
 from repro.obs.spans import SpanTracer
+from repro.obs.timeseries import ORIGIN_LANES, TimeSeriesRecorder
 from repro.relational.errors import RelationalError
 from repro.server.origin import OriginServer
 from repro.sqlparser.errors import ParseError
@@ -56,6 +64,8 @@ def create_origin_app(
     origin: OriginServer,
     trace_capacity: int | None = None,
     profile_top_k: int | None = None,
+    timeseries_interval_ms: float | None = None,
+    event_capacity: int | None = None,
 ):
     """Build the Flask app for an origin server.
 
@@ -63,7 +73,11 @@ def create_origin_app(
     :class:`~repro.obs.spans.SpanTracer` retaining that many root
     spans (harness-configurable; default: whatever tracer the origin
     was built with, usually the null tracer); ``profile_top_k``
-    likewise swaps in a real profiler for ``/profile``.
+    likewise swaps in a real profiler for ``/profile``;
+    ``timeseries_interval_ms`` / ``event_capacity`` install live
+    telemetry recorders (origin lanes) behind ``/timeseries`` and
+    ``/events``, sampled on the origin's cumulative simulated server
+    time.
     """
     try:
         from flask import Flask, request
@@ -77,6 +91,25 @@ def create_origin_app(
         origin.instrumentation.tracer = SpanTracer(capacity=trace_capacity)
     if profile_top_k is not None:
         origin.instrumentation.profiler = Profiler(top_k=profile_top_k)
+    if timeseries_interval_ms is not None or event_capacity is not None:
+        origin.instrumentation.install_telemetry(
+            timeseries=(
+                TimeSeriesRecorder(
+                    interval_ms=timeseries_interval_ms,
+                    lanes=ORIGIN_LANES,
+                )
+                if timeseries_interval_ms is not None
+                else None
+            ),
+            events=(
+                EventRecorder(capacity=event_capacity)
+                if event_capacity is not None
+                else None
+            ),
+        )
+    # The origin has no work clock of its own; its telemetry axis is
+    # the cumulative simulated server time it has charged.
+    served_clock = SimulatedClock()
 
     def incoming_context():
         return parse_traceparent(request.headers.get("traceparent"))
@@ -87,6 +120,8 @@ def create_origin_app(
         app.logger.warning("%s", diagnostic.format())
 
     def xml_response(result, server_ms: float):
+        served_clock.advance(server_ms)
+        origin.instrumentation.sample_telemetry(served_clock.now_ms)
         return (
             result.to_xml(),
             200,
@@ -183,11 +218,26 @@ def create_origin_app(
 
     @app.get("/health")
     def health():
-        return {
-            "tables": [t.name for t in origin.catalog.tables()],
-            "queries_served": origin.queries_served,
-            "remainders_served": origin.remainders_served,
-            "data_version": origin.data_version,
-        }
+        report = origin.instrumentation.health.evaluate(
+            served_clock.now_ms
+        )
+        report.update(
+            {
+                "tables": [t.name for t in origin.catalog.tables()],
+                "queries_served": origin.queries_served,
+                "remainders_served": origin.remainders_served,
+                "data_version": origin.data_version,
+            }
+        )
+        status_code = 503 if report["status"] == "unhealthy" else 200
+        return report, status_code
+
+    @app.get("/timeseries")
+    def timeseries():
+        return origin.instrumentation.timeseries.snapshot()
+
+    @app.get("/events")
+    def events():
+        return origin.instrumentation.events.snapshot()
 
     return app

@@ -73,9 +73,17 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 ``GET /admission``
     The admission controller's live status: configured limits and shed
     policy, queue depth and inflight count, submitted/admitted/shed/
-    timeout counters by reason, per-tenant quota denials, and the
-    overload breaker's state (``enabled: false`` when the proxy runs
-    without admission control).
+    timeout counters by reason, per-tenant quota denials and token
+    levels, and the overload breaker's state (``enabled: false`` when
+    the proxy runs without admission control).
+
+``GET /timeseries`` / ``GET /events`` / ``GET /health``
+    The live-telemetry surface: the fixed-interval time series sampled
+    on the proxy's simulated clock (rate/gauge/quantile lanes), the
+    flight recorder's pinned-code event buffer (``?n=`` limits to the
+    newest N), and the declarative health verdict
+    (``healthy``/``degraded``/``unhealthy`` — the last answers 503).
+    All report ``enabled: false`` under the default no-op recorders.
 """
 
 from __future__ import annotations
@@ -85,9 +93,11 @@ from repro.core.proxy import FunctionProxy
 from repro.core.stats import QueryOutcome
 from repro.faults.errors import FaultPlanError
 from repro.faults.plan import FaultPlan
+from repro.obs.events import EventRecorder
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.obs.profiling import Profiler
 from repro.obs.spans import SpanTracer
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.relational.errors import RelationalError
 from repro.sqlparser.errors import ParseError
 from repro.templates.errors import TemplateError
@@ -98,6 +108,8 @@ def create_proxy_app(
     trace_capacity: int | None = None,
     explain_capacity: int | None = None,
     profile_top_k: int | None = None,
+    timeseries_interval_ms: float | None = None,
+    event_capacity: int | None = None,
 ):
     """Build the Flask app for a function proxy.
 
@@ -106,8 +118,11 @@ def create_proxy_app(
     spans; ``explain_capacity`` resizes the decision log backing the
     ``/explain`` endpoints; ``profile_top_k`` swaps the proxy's
     profiler for a real :class:`~repro.obs.profiling.Profiler`
-    retaining that many slowest queries (``/profile`` source).  All
-    default to whatever the proxy's instrumentation was built with.
+    retaining that many slowest queries (``/profile`` source);
+    ``timeseries_interval_ms`` / ``event_capacity`` install live
+    telemetry recorders behind ``/timeseries``, ``/events``, and
+    ``/health``.  All default to whatever the proxy's instrumentation
+    was built with.
     """
     try:
         from flask import Flask, request
@@ -126,6 +141,23 @@ def create_proxy_app(
         proxy.obs.decisions.resize(explain_capacity)
     if profile_top_k is not None:
         proxy.obs.profiler = Profiler(top_k=profile_top_k)
+    if timeseries_interval_ms is not None or event_capacity is not None:
+        proxy.obs.install_telemetry(
+            timeseries=(
+                TimeSeriesRecorder(interval_ms=timeseries_interval_ms)
+                if timeseries_interval_ms is not None
+                else None
+            ),
+            events=(
+                EventRecorder(capacity=event_capacity)
+                if event_capacity is not None
+                else None
+            ),
+        )
+        if proxy.admission is not None:
+            proxy.obs.set_admission_queue_limit(
+                proxy.admission.config.max_queue_depth
+            )
 
     def _function_registry():
         catalog = getattr(proxy.origin, "catalog", None)
@@ -349,5 +381,23 @@ def create_proxy_app(
         payload = controller.snapshot()
         payload["enabled"] = True
         return payload
+
+    @app.get("/timeseries")
+    def timeseries():
+        return proxy.timeseries.snapshot()
+
+    @app.get("/events")
+    def events():
+        limit = request.args.get("n", type=int)
+        payload = proxy.events.snapshot()
+        if limit is not None:
+            payload["events"] = payload["events"][-max(0, limit):]
+        return payload
+
+    @app.get("/health")
+    def health():
+        report = proxy.health.evaluate(proxy.telemetry_clock.now_ms)
+        status_code = 503 if report["status"] == "unhealthy" else 200
+        return report, status_code
 
     return app

@@ -22,13 +22,19 @@ class Listener:
 
     def __init__(self):
         self.depths = []
+        self.inflight = []
         self.sheds = []
         self.quota_denied = []
+        self.quota_tokens = []
         self.waits = []
         self.overload = []
+        self.events = []
 
     def admission_queue_depth(self, depth):
         self.depths.append(depth)
+
+    def admission_inflight(self, count):
+        self.inflight.append(count)
 
     def admission_shed(self, reason):
         self.sheds.append(reason)
@@ -36,11 +42,18 @@ class Listener:
     def admission_quota_denied(self, tenant):
         self.quota_denied.append(tenant)
 
+    def admission_quota_tokens(self, tenant, tokens):
+        self.quota_tokens.append((tenant, tokens))
+
     def admission_queue_wait(self, sim_ms):
         self.waits.append(sim_ms)
 
     def admission_overload_transition(self, state):
         self.overload.append(state)
+
+    def telemetry_event(self, code, at_ms, trace_id=None,
+                        query_index=None, **payload):
+        self.events.append((code, at_ms, payload))
 
 
 def make(
@@ -368,3 +381,38 @@ class TestSnapshot:
         assert snapshot["admitted"] == 1
         assert snapshot["overload_state"] == "closed"
         assert snapshot["overload_opens"] == 0
+
+
+class TestGaugeBackfill:
+    """The inflight and quota-token gauges mirror the controller."""
+
+    def test_inflight_hook_tracks_admit_and_release(self):
+        controller = make(max_inflight=2)
+        listener = Listener()
+        controller.bind(listener)
+        controller.try_admit("t", 0.0)
+        controller.try_admit("t", 0.0)
+        controller.release()
+        assert listener.inflight[-3:] == [1, 2, 1]
+
+    def test_quota_tokens_hook_fires_on_every_take(self):
+        controller = make(
+            quotas={"m": TenantQuota(rate_per_s=1.0, burst=2.0)}
+        )
+        listener = Listener()
+        controller.bind(listener)
+        controller.try_admit("m", 0.0)
+        controller.try_admit("m", 0.0)
+        assert listener.quota_tokens == [("m", 1.0), ("m", 0.0)]
+
+    def test_snapshot_reports_quota_tokens(self):
+        controller = make(
+            quotas={
+                "m": TenantQuota(rate_per_s=1.0, burst=2.0),
+                "idle": TenantQuota(rate_per_s=1.0, burst=3.0),
+            }
+        )
+        controller.try_admit("m", 0.0)
+        snapshot = controller.snapshot()
+        assert snapshot["quota_tokens"] == {"idle": 3.0, "m": 1.0}
+        assert snapshot["inflight"] == 1

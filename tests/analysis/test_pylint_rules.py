@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP310) on synthetic modules."""
+"""The repository lint rules (FP301-FP311) on synthetic modules."""
 
 import pathlib
 
@@ -536,6 +536,89 @@ class TestUnboundedQueueRule:
             tmp_path,
             "repro/core/proxy.py",
             "from mylib import deque\nq = deque()\n",
+        )
+        assert len(report) == 0
+
+
+class TestEventCodeRule:
+    """FP311: flight-recorder emissions must use pinned EV codes."""
+
+    def test_adhoc_literal_on_emit_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "self.events.emit('EV99', at_ms=0.0)\n",
+        )
+        assert report.codes() == {"FP311"}
+
+    def test_adhoc_literal_on_telemetry_event_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "obs.telemetry_event('bogus', at_ms=1.0)\n",
+        )
+        assert report.codes() == {"FP311"}
+
+    def test_code_keyword_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/sched/x.py",
+            "recorder.emit(code='EV99', at_ms=0.0)\n",
+        )
+        assert report.codes() == {"FP311"}
+
+    def test_pinned_literal_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "self.events.emit('EV01', at_ms=0.0)\n",
+        )
+        assert len(report) == 0
+
+    def test_name_reference_clean(self, tmp_path):
+        # A code held in a variable is out of scope: only string
+        # literals are judged.
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "self.events.emit(EV_BREAKER_OPEN, at_ms=0.0)\n",
+        )
+        assert len(report) == 0
+
+    def test_mapping_lookup_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/core/x.py",
+            "obs.telemetry_event("
+            "BREAKER_EVENT_CODES[state.value], at_ms=now)\n",
+        )
+        assert len(report) == 0
+
+    def test_diagnostics_style_emit_not_matched(self, tmp_path):
+        # The diagnostics layer also has .emit() methods; without an
+        # at_ms keyword or a recorder-like receiver name they are not
+        # flight-recorder emissions.
+        report = lint(
+            tmp_path,
+            "repro/analysis/x.py",
+            "reporter.emit('FP102', 'message', node)\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/obs/test_x.py",
+            "events.emit('EV99', at_ms=0.0)\n",
+        )
+        assert len(report) == 0
+
+    def test_events_module_exempt(self, tmp_path):
+        # The registry module itself constructs codes freely.
+        report = lint(
+            tmp_path,
+            "repro/obs/events.py",
+            "self.emit('EV99', at_ms=0.0)\n",
         )
         assert len(report) == 0
 

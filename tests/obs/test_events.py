@@ -1,0 +1,122 @@
+"""EventRecorder: pinned codes, validation, wraparound accounting."""
+
+import pytest
+
+from repro.obs.events import (
+    BREAKER_EVENT_CODES,
+    EVENT_CODES,
+    EV_BREAKER_OPEN,
+    EV_SHED_ACTIVATED,
+    NULL_EVENTS,
+    EventRecorder,
+    NullEventRecorder,
+    SHED_POLICY_EVENT_CODES,
+)
+
+
+class TestRegistryGolden:
+    """The EV registry is a stable contract, like the FP codes."""
+
+    def test_codes_are_pinned(self):
+        assert dict(EVENT_CODES) == {
+            "EV01": "breaker-open",
+            "EV02": "breaker-half-open",
+            "EV03": "breaker-closed",
+            "EV04": "shed-policy-activated",
+            "EV05": "shed-policy-deactivated",
+            "EV06": "data-version-flush",
+            "EV07": "recovery-completed",
+            "EV08": "queue-deadline-drops",
+            "EV09": "eviction-storm",
+            "EV10": "snapshot-checkpoint",
+            "EV11": "health-state-change",
+        }
+
+    def test_breaker_states_map_to_breaker_codes(self):
+        assert dict(BREAKER_EVENT_CODES) == {
+            "open": "EV01", "half-open": "EV02", "closed": "EV03",
+        }
+
+    def test_shed_policy_map_skips_half_open(self):
+        # Half-open is probing: the policy is neither active nor
+        # lifted, so no shed event fires on that transition.
+        assert dict(SHED_POLICY_EVENT_CODES) == {
+            "open": "EV04", "closed": "EV05",
+        }
+
+
+class TestEmit:
+    def test_unknown_code_is_a_loud_error(self):
+        recorder = EventRecorder()
+        with pytest.raises(ValueError, match="EV99"):
+            recorder.emit("EV99", at_ms=0.0)
+        assert recorder.total == 0
+
+    def test_record_shape_with_optional_fields(self):
+        recorder = EventRecorder()
+        recorder.emit(EV_BREAKER_OPEN, at_ms=10)
+        recorder.emit(
+            EV_SHED_ACTIVATED,
+            at_ms=20.0,
+            trace_id="t1",
+            query_index=7,
+            reason="queue-full",
+        )
+        bare, rich = recorder.recent()
+        assert bare == {
+            "code": "EV01", "name": "breaker-open", "at_ms": 10.0,
+        }
+        assert rich == {
+            "code": "EV04",
+            "name": "shed-policy-activated",
+            "at_ms": 20.0,
+            "trace_id": "t1",
+            "query_index": 7,
+            "payload": {"reason": "queue-full"},
+        }
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventRecorder(capacity=0)
+
+
+class TestRingBuffer:
+    def test_wraparound_keeps_counting(self):
+        recorder = EventRecorder(capacity=3)
+        for step in range(5):
+            recorder.emit(EV_BREAKER_OPEN, at_ms=float(step))
+        recorder.emit(EV_SHED_ACTIVATED, at_ms=5.0)
+        # Only the newest three survive, but total/counts remember
+        # everything, so the snapshot says how much was dropped.
+        assert [e["at_ms"] for e in recorder.recent()] == [3.0, 4.0, 5.0]
+        assert recorder.total == 6
+        assert recorder.counts() == {"EV01": 5, "EV04": 1}
+        snapshot = recorder.snapshot()
+        assert snapshot["total"] == 6
+        assert snapshot["capacity"] == 3
+        assert len(snapshot["events"]) == 3
+
+    def test_recent_limits(self):
+        recorder = EventRecorder()
+        for step in range(4):
+            recorder.emit(EV_BREAKER_OPEN, at_ms=float(step))
+        assert [e["at_ms"] for e in recorder.recent(2)] == [2.0, 3.0]
+        assert recorder.recent(0) == []
+        assert len(recorder.recent(99)) == 4
+
+
+class TestNullRecorder:
+    def test_null_recorder_is_inert(self):
+        null = NullEventRecorder()
+        null.emit("totally-bogus", at_ms=0.0)  # validates nothing
+        assert null.recent() == []
+        assert null.counts() == {}
+        assert null.snapshot() == {
+            "enabled": False,
+            "clock": "sim-ms",
+            "capacity": 0,
+            "total": 0,
+            "counts": {},
+            "events": [],
+        }
+        assert NULL_EVENTS.enabled is False

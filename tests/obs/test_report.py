@@ -1,0 +1,155 @@
+"""The offline telemetry dashboard renderer and its CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.report import GAP, SPARKS, main, render, sparkline
+
+
+def timeseries_doc(samples=None, health=None):
+    doc = {
+        "enabled": True,
+        "clock": "sim-ms",
+        "interval_ms": 1_000.0,
+        "capacity": 8,
+        "lanes": {
+            "rates": ["throughput_qps"],
+            "gauges": ["queue_depth"],
+            "quantiles": ["response_ms"],
+        },
+        "samples": samples if samples is not None else [
+            {
+                "t_ms": float(step * 1_000),
+                "rates": {"throughput_qps": float(step)},
+                "gauges": {"queue_depth": 0.0},
+                "quantiles": {
+                    "response_ms": {"p50": 10.0, "p95": None}
+                },
+            }
+            for step in range(1, 4)
+        ],
+    }
+    if health is not None:
+        doc["health"] = health
+    return doc
+
+
+def events_doc():
+    return {
+        "enabled": True,
+        "clock": "sim-ms",
+        "capacity": 4,
+        "total": 5,
+        "counts": {"EV01": 5},
+        "events": [
+            {"code": "EV01", "name": "breaker-open", "at_ms": 1_000.0,
+             "payload": {"failures": 5}},
+        ],
+    }
+
+
+class TestSparkline:
+    def test_scales_to_the_full_alphabet(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == SPARKS[0]
+        assert line[-1] == SPARKS[-1]
+        assert len(line) == 4
+
+    def test_missing_points_render_as_gaps(self):
+        assert sparkline([None, 1.0, None]) == f"{GAP}{SPARKS[0]}{GAP}"
+        assert sparkline([None, None]) == GAP * 2
+
+    def test_flat_series_uses_the_lowest_glyph(self):
+        assert sparkline([5.0, 5.0]) == SPARKS[0] * 2
+
+
+class TestRender:
+    def test_all_sections_present(self):
+        text = render(timeseries_doc(), events_doc())
+        assert "Time series" in text
+        assert "throughput_qps (rate)" in text
+        assert "queue_depth (gauge)" in text
+        assert "response_ms p50" in text
+        assert "Health" in text
+        assert "Event timeline" in text
+        assert "EV01  breaker-open" in text
+        assert "failures=5" in text
+
+    def test_health_reevaluated_offline_when_not_embedded(self):
+        text = render(timeseries_doc())
+        # evaluate_samples runs over the samples: all five rules show.
+        assert "verdict: healthy" in text
+        for rule_id in ("HR01", "HR02", "HR03", "HR04", "HR05"):
+            assert rule_id in text
+
+    def test_embedded_health_wins(self):
+        health = {
+            "status": "degraded",
+            "windows": 3,
+            "rules": [
+                {"id": "HR05", "name": "breaker-open",
+                 "status": "degraded", "detail": "origin breaker open"},
+            ],
+        }
+        text = render(timeseries_doc(health=health))
+        assert "verdict: degraded" in text
+
+    def test_empty_inputs(self):
+        assert render(None, None) == "nothing to render (no artifacts given)\n"
+        assert "(no samples)" in render(timeseries_doc(samples=[]))
+
+    def test_markdown_tables(self):
+        text = render(timeseries_doc(), events_doc(), markdown=True)
+        assert "## Time series" in text
+        assert "| lane | trend | summary |" in text
+        assert "| t_ms | code | event | details |" in text
+        assert "| rule | name | status | detail |" in text
+
+
+class TestMain:
+    def test_renders_artifacts_from_disk(self, tmp_path, capsys):
+        series_path = tmp_path / "timeseries-run.json"
+        events_path = tmp_path / "events-run.json"
+        series_path.write_text(json.dumps(timeseries_doc()))
+        events_path.write_text(json.dumps(events_doc()))
+        assert main([
+            "--timeseries", str(series_path),
+            "--events", str(events_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Time series" in out
+        assert "Event timeline" in out
+
+    def test_events_only(self, tmp_path, capsys):
+        events_path = tmp_path / "events-run.json"
+        events_path.write_text(json.dumps(events_doc()))
+        assert main(["--events", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Event timeline" in out
+        assert "Time series" not in out
+
+    def test_offline_rule_config_flags(self, tmp_path, capsys):
+        saturated = timeseries_doc(samples=[
+            {
+                "t_ms": float(step * 1_000),
+                "rates": {"throughput_qps": 1.0},
+                "gauges": {"queue_depth": 10.0},
+                "quantiles": {"response_ms": {"p50": None, "p95": None}},
+            }
+            for step in range(3)
+        ])
+        series_path = tmp_path / "timeseries-run.json"
+        series_path.write_text(json.dumps(saturated))
+        main(["--timeseries", str(series_path), "--queue-limit", "10"])
+        assert "verdict: unhealthy" in capsys.readouterr().out
+
+    def test_no_artifacts_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_non_object_artifact_is_rejected(self, tmp_path):
+        bad = tmp_path / "timeseries-bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(SystemExit):
+            main(["--timeseries", str(bad)])

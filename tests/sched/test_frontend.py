@@ -180,3 +180,40 @@ class TestFrontend:
         assert frontend.completed == n
         assert proxy.admission.inflight == 0
         assert proxy.admission.queue_depth == 0
+
+
+class TestTelemetryClock:
+    """Telemetry lives on the load timeline under the event loop."""
+
+    def test_default_telemetry_clock_is_the_work_clock(self, origin):
+        proxy = FunctionProxy(origin, origin.templates)
+        assert proxy.telemetry_clock is proxy.clock
+
+    def test_frontend_rebinds_to_the_loop(self, make_frontend):
+        frontend = make_frontend(AdmissionConfig(max_inflight=2))
+        assert frontend.proxy.telemetry_clock is frontend.loop
+
+    def test_samples_align_to_the_loop_timeline(self, make_frontend, bind):
+        from repro.obs import ProxyInstrumentation
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        interval = 500.0
+        frontend = make_frontend(
+            AdmissionConfig(max_inflight=1, max_queue_depth=8),
+            instrumentation=ProxyInstrumentation(
+                timeseries=TimeSeriesRecorder(interval_ms=interval)
+            ),
+        )
+        for index in range(6):
+            frontend.submit(bind(ra=161.0 + index, radius=2.0))
+        frontend.loop.run()
+        samples = frontend.proxy.timeseries.samples()
+        # Service times are seconds each: serialized dispatch crosses
+        # several 500 ms boundaries, stamped in loop (event) time.
+        assert samples
+        for sample in samples:
+            assert sample["t_ms"] % interval == 0.0
+            assert sample["t_ms"] <= frontend.loop.now_ms
+        # The work clock accumulated the same serial service time, but
+        # the telemetry axis is the loop's.
+        assert frontend.proxy.telemetry_clock is frontend.loop

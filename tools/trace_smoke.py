@@ -6,6 +6,8 @@ function proxy over :class:`~repro.webapp.http_origin.HttpOriginClient`
 against it, and asserts the tentpole observability claim: proxy-side
 and origin-side spans for one query carry the *same* W3C trace id (the
 proxy injects ``traceparent`` on its fetches; the origin adopts it).
+The proxy app runs with live telemetry on, so the smoke also checks
+that ``GET /timeseries``, ``GET /events``, and ``GET /health`` answer.
 
 Artifacts written next to the benchmark results:
 
@@ -82,7 +84,9 @@ def main(argv: list[str]) -> int:
                 tracer=SpanTracer(capacity=64, ids=IdGenerator(7))
             ),
         )
-        proxy_app = create_proxy_app(proxy).test_client()
+        proxy_app = create_proxy_app(
+            proxy, timeseries_interval_ms=1_000.0, event_capacity=64
+        ).test_client()
 
         # Miss (full fetch), exact hit, then a contained sub-query:
         # every decision path that the explain snapshot should cover
@@ -117,6 +121,22 @@ def main(argv: list[str]) -> int:
         print(f"decision actions: {actions}")
         if not explain["decisions"]:
             print("FAIL: /explain/recent returned no decisions")
+            return 1
+
+        # The live-telemetry surface answers on all three endpoints.
+        series = proxy_app.get("/timeseries").get_json()
+        events = proxy_app.get("/events").get_json()
+        health_response = proxy_app.get("/health")
+        health = health_response.get_json()
+        print(
+            f"telemetry: {len(series['samples'])} sample(s), "
+            f"{events['total']} event(s), health={health['status']}"
+        )
+        if not series["enabled"] or not events["enabled"]:
+            print("FAIL: telemetry recorders did not install")
+            return 1
+        if health_response.status_code != 200 or not health["enabled"]:
+            print("FAIL: /health did not answer an enabled verdict")
             return 1
 
         export = results_dir / "trace_export.jsonl"
