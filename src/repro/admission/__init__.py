@@ -34,6 +34,7 @@ from repro.admission.config import (
     SHED_SHED_CHEAPEST,
     AdmissionConfig,
     TenantQuota,
+    retry_after_seconds,
 )
 from repro.admission.controller import (
     AdmissionController,
@@ -60,4 +61,5 @@ __all__ = [
     "SHED_SHED_CHEAPEST",
     "TenantQuota",
     "TokenBucket",
+    "retry_after_seconds",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -127,3 +128,13 @@ class AdmissionConfig:
     def watermark_depth(self) -> int:
         """Queue depth at which ``degrade-to-tunnel`` kicks in."""
         return int(self.degrade_watermark * self.max_queue_depth)
+
+
+def retry_after_seconds(config: AdmissionConfig) -> int:
+    """The ``Retry-After`` value for a turned-away query, in seconds.
+
+    Derived from the overload breaker's cooldown — the soonest the
+    proxy could plausibly take new work after fast-failing — rounded
+    up to the whole seconds HTTP requires, never below one.
+    """
+    return max(1, math.ceil(config.overload_cooldown_ms / 1000.0))

@@ -165,6 +165,10 @@ CODES: dict[str, CodeInfo] = {
             "FP311", _E,
             "event emission with a code outside EVENT_CODES",
         ),
+        CodeInfo(
+            "FP312", _E,
+            "direct shard-internal import outside repro.cluster",
+        ),
         # --------------------------------------- FP4xx: concurrency safety
         CodeInfo(
             "FP401", _E,

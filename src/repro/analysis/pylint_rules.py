@@ -66,6 +66,15 @@ Invariants the generic tools cannot express:
   worse, silently vanish into the null recorder on a disabled run.
   Codes must be the ``EV_*`` constants (or registry lookups such as
   ``BREAKER_EVENT_CODES[...]``).
+* **FP312 — shard internals stay behind the router.**  The cluster
+  package (:mod:`repro.cluster`) owns shard placement: the hash ring,
+  the failover chain, and the warm-handoff codec are implementation
+  details of the tier, and any module that imports
+  ``repro.cluster.<submodule>`` directly is one refactor away from
+  calling a shard that the ring no longer owns.  Outside
+  ``repro/cluster/`` (and tests) only the package surface
+  ``repro.cluster`` may be imported — shard-to-shard traffic must go
+  through the :class:`~repro.cluster.router.ShardRouter`.
 * **FP306 — spans are context managers.**  Calling
   ``Span.__enter__`` / ``Span.__exit__`` by hand breaks the tracer's
   open-span stack on any exception path (the span never pops, and
@@ -787,6 +796,52 @@ def event_code_rule(module: ModuleUnderLint) -> Iterator[Diagnostic]:
             )
 
 
+# ------------------------------------------------------------------- FP312
+def shard_internal_import_rule(
+    module: ModuleUnderLint,
+) -> Iterator[Diagnostic]:
+    """FP312: ``repro.cluster.<submodule>`` imports outside the cluster.
+
+    The cluster package's submodules (ring placement, failover, the
+    handoff codec) are shard internals; everything else talks to the
+    tier through the ``repro.cluster`` package surface so no module
+    outside it can address a shard the ring no longer owns.
+    """
+    if any(part in ("tests", "conftest.py") for part in module.path.parts):
+        return
+    parts = module.repro_parts
+    if parts and parts[0] == "cluster":
+        return
+    hint = (
+        "import from the repro.cluster package surface; shard-to-shard "
+        "traffic goes through the ShardRouter"
+    )
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and (node.module or "").startswith(
+                "repro.cluster."
+            ):
+                yield module.diagnostic(
+                    "FP312",
+                    f"direct import of shard internals ({node.module}); "
+                    "only repro.cluster itself is a public surface "
+                    "outside the cluster package",
+                    node,
+                    hint=hint,
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.cluster."):
+                    yield module.diagnostic(
+                        "FP312",
+                        f"direct import of shard internals "
+                        f"({alias.name}); only repro.cluster itself is "
+                        "a public surface outside the cluster package",
+                        node,
+                        hint=hint,
+                    )
+
+
 ALL_RULES: tuple[LintRule, ...] = (
     wall_clock_rule,
     float_equality_rule,
@@ -798,6 +853,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     raw_lock_rule,
     unbounded_queue_rule,
     event_code_rule,
+    shard_internal_import_rule,
 )
 
 

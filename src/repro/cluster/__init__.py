@@ -1,0 +1,44 @@
+"""The sharded proxy tier: ring, router, warm handoff, event frontend.
+
+This package is the tier's *only* public surface: the FP312 lint rule
+forbids importing ``repro.cluster.<module>`` internals from outside the
+package, so shard-to-shard movement always goes through the router and
+handoff machinery re-exported here.
+"""
+
+from repro.cluster.frontend import ClusterFrontend
+from repro.cluster.handoff import (
+    HandoffReport,
+    decode_handoff,
+    encode_handoff,
+    export_records,
+    persisted_records,
+    replay_records,
+)
+from repro.cluster.ring import HashRing, ring_hash
+from repro.cluster.router import (
+    REASON_SHARD_DOWN,
+    RouteAttempt,
+    RouteDecision,
+    RouterConfig,
+    Shard,
+    ShardRouter,
+)
+
+__all__ = [
+    "ClusterFrontend",
+    "HandoffReport",
+    "HashRing",
+    "REASON_SHARD_DOWN",
+    "RouteAttempt",
+    "RouteDecision",
+    "RouterConfig",
+    "Shard",
+    "ShardRouter",
+    "decode_handoff",
+    "encode_handoff",
+    "export_records",
+    "persisted_records",
+    "replay_records",
+    "ring_hash",
+]

@@ -1,0 +1,210 @@
+# concurrency: serve-path
+"""Warm handoff: move one shard's cache into its ring successor.
+
+The transfer rides the persistence wire format (PR 5): the departing
+shard's cache becomes a sequence of framed ``admit`` records — the
+same ``[u32 len][u32 CRC32][canonical JSON]`` frames the journal and
+snapshot use — each tagged with the departing shard's id.  The
+successor replays them through its normal ``CacheManager.store`` path,
+so its replacement policy and byte budget apply exactly as they would
+under traffic, and the data-version fence drops entries computed
+against an origin version the successor no longer serves.
+
+Two export sources exist:
+
+* :func:`export_records` — the *live* cache of a draining shard (a
+  planned departure / rebalance);
+* :func:`persisted_records` — the snapshot + journal image of a shard
+  whose process is gone (a crash): memory is lost, disk survives, and
+  the image is what recovery would have rebuilt.
+
+Because every exported record carries the departing shard's tag, a
+handoff file that ends up replayed by *recovery* on the wrong shard is
+skipped (``entries_foreign``), while this module's explicit
+:func:`replay_records` accepts the tag — the successor's own persister
+re-journals each stored entry under the successor's id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.persistence.errors import SnapshotFormatError
+from repro.persistence.records import (
+    AdmitRecord,
+    ClearRecord,
+    EvictRecord,
+    encode_record,
+    iter_frames,
+    region_from_dict,
+    region_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.proxy import FunctionProxy
+    from repro.persistence.persister import CachePersister
+
+
+@dataclass(frozen=True)
+class HandoffReport:
+    """What one warm handoff moved, dropped, and displaced."""
+
+    source: str
+    target: str
+    entries: int  # records exported from the departing shard
+    replayed: int  # stored into the successor's cache
+    stale: int  # dropped by the data-version fence
+    errors: int  # no longer bindable / malformed on replay
+    rejected: int  # the successor's cache declined the store
+    evicted: int  # successor entries the replay displaced
+    bytes_total: int  # framed wire size of the export
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "entries": self.entries,
+            "replayed": self.replayed,
+            "stale": self.stale,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "evicted": self.evicted,
+            "bytes_total": self.bytes_total,
+        }
+
+
+def export_records(
+    proxy: "FunctionProxy", shard_id: str, now_ms: float
+) -> tuple[AdmitRecord, ...]:
+    """The live cache of ``proxy`` as shard-tagged admit records.
+
+    Entries are exported in ``entry_id`` order, so the same cache
+    always serializes to the same byte stream.
+    """
+    version = getattr(proxy.origin, "data_version", None)
+    records = []
+    for entry in sorted(proxy.cache.entries(), key=lambda e: e.entry_id):
+        template_id, param_items = entry.cache_key
+        records.append(
+            AdmitRecord(
+                entry_id=entry.entry_id,
+                template_id=template_id,
+                params=dict(param_items),
+                region=region_to_dict(entry.region),
+                signature=entry.signature,
+                truncated=entry.truncated,
+                result_xml=entry.result.to_xml(),
+                data_version=version,
+                ts_ms=now_ms,
+                shard=shard_id,
+            )
+        )
+    return tuple(records)
+
+
+def persisted_records(
+    persister: "CachePersister",
+) -> tuple[AdmitRecord, ...]:
+    """The cache image a crashed shard left on disk.
+
+    The same snapshot-then-journal walk recovery runs (a malformed
+    snapshot is treated as absent; the journal's intact prefix is
+    applied): what comes back is what the shard durably held at its
+    last append — the only thing a crash did not destroy.
+    """
+    image: dict[int, AdmitRecord] = {}
+    try:
+        snapshot = persister.load_snapshot()
+    except SnapshotFormatError:
+        snapshot = None
+    if snapshot is not None:
+        for record in snapshot.entries:
+            image[record.entry_id] = record
+    for record in persister.journal.read().records:
+        if isinstance(record, AdmitRecord):
+            image[record.entry_id] = record
+        elif isinstance(record, EvictRecord):
+            image.pop(record.entry_id, None)
+        elif isinstance(record, ClearRecord):
+            image.clear()
+    return tuple(
+        image[entry_id] for entry_id in sorted(image)
+    )
+
+
+def encode_handoff(records: tuple[AdmitRecord, ...]) -> bytes:
+    """The handoff wire form: the records as concatenated frames."""
+    return b"".join(encode_record(record) for record in records)
+
+
+def decode_handoff(data: bytes) -> tuple[AdmitRecord, ...]:
+    """Parse a handoff byte stream back into its admit records.
+
+    Like journal replay, the walk stops cleanly at the first torn or
+    corrupt frame — a truncated transfer loses its tail, never raises.
+    Non-admit frames (not part of the handoff format) are ignored.
+    """
+    records = []
+    for outcome in iter_frames(data):
+        if outcome.stop_reason is not None:
+            break
+        if isinstance(outcome.record, AdmitRecord):
+            records.append(outcome.record)
+    return tuple(records)
+
+
+def replay_records(
+    records: tuple[AdmitRecord, ...],
+    proxy: "FunctionProxy",
+    source: str,
+    target: str,
+    bytes_total: int = 0,
+) -> HandoffReport:
+    """Replay exported records into ``proxy`` through ``cache.store``.
+
+    The successor's replacement policy, byte budget, and persister all
+    apply: every accepted entry is re-journaled under the successor's
+    own shard id.  Entries whose recorded ``data_version`` disagrees
+    with the successor origin's *current* version are fenced out, and
+    an entry that no longer binds is dropped as an error — one bad
+    record never aborts the handoff.
+    """
+    from repro.relational.result import ResultTable
+
+    version = getattr(proxy.origin, "data_version", None)
+    replayed = stale = errors = rejected = evicted = 0
+    for record in records:
+        if version is not None and record.data_version != version:
+            stale += 1
+            continue
+        try:
+            region = region_from_dict(record.region)
+            result = ResultTable.from_xml(record.result_xml)
+            bound = proxy.templates.bind(record.template_id, record.params)
+            if bound.region != region:
+                raise ValueError(
+                    "re-bound region disagrees with the exported region"
+                )
+        except Exception:  # defensive: skip, never abort the handoff
+            errors += 1
+            continue
+        entry, maintenance = proxy.cache.store(
+            bound, result, record.signature, record.truncated
+        )
+        evicted += maintenance.evicted_entries
+        if entry is None:
+            rejected += 1
+        else:
+            replayed += 1
+    return HandoffReport(
+        source=source,
+        target=target,
+        entries=len(records),
+        replayed=replayed,
+        stale=stale,
+        errors=errors,
+        rejected=rejected,
+        evicted=evicted,
+        bytes_total=bytes_total,
+    )

@@ -22,7 +22,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.locking import guarded_by, named_lock
+from repro.locking import guarded_by, named_lock, unshared
 
 
 class QueryStatus(enum.Enum):
@@ -65,6 +65,10 @@ ANSWERED_OUTCOMES = (
 )
 
 
+# A record is only ever written by the one thread serving its query
+# (the router's slow-window penalty included); aggregate readers wait
+# for the run to finish, hence unshared rather than a lock.
+@unshared("response_ms", "steps_ms")
 @dataclass
 class QueryRecord:
     """Everything measured about one query."""

@@ -17,7 +17,10 @@ The paper's setting — a slow origin across a WAN — silently assumed a
   structured terminal outcomes;
 * :mod:`repro.faults.crash` — seeded crash plans for the *proxy
   itself*: scheduled process deaths at journal-record offsets with
-  deterministic torn-write damage (see :mod:`repro.persistence`).
+  deterministic torn-write damage (see :mod:`repro.persistence`);
+* :mod:`repro.faults.shard` — seeded shard-level fault schedules for
+  the sharded tier (:mod:`repro.cluster`): crash, hang, or slow one
+  shard worker mid-trace.
 
 Everything is deterministic under a fixed seed: replaying the same
 plan over the same trace yields identical query-record streams.
@@ -51,6 +54,14 @@ from repro.faults.resilience import (
     ResilienceConfig,
     RetryPolicy,
 )
+from repro.faults.shard import (
+    SHARD_FAULT_KINDS,
+    ShardCrashPlan,
+    ShardCrashSession,
+    ShardDecision,
+    ShardFaultKind,
+    ShardFaultWindow,
+)
 
 __all__ = [
     "BREAKER_STATE_VALUES",
@@ -75,6 +86,12 @@ __all__ = [
     "OutageWindow",
     "ResilienceConfig",
     "RetryPolicy",
+    "SHARD_FAULT_KINDS",
+    "ShardCrashPlan",
+    "ShardCrashSession",
+    "ShardDecision",
+    "ShardFaultKind",
+    "ShardFaultWindow",
     "SimulatedCrash",
     "SlowdownWindow",
 ]

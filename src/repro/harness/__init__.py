@@ -17,7 +17,11 @@ One module per experiment, mirroring DESIGN.md's per-experiment index:
   (journal + snapshot recovery) vs cold, per scheme;
 * :mod:`repro.harness.saturation` — throughput / latency / shed
   fraction across a closed-loop client ladder (graceful saturation
-  under admission control).
+  under admission control);
+* :mod:`repro.harness.shard_availability` — answered fraction and
+  post-crash hit ratio across a shard ladder when the busiest shard
+  crashes mid-trace (failover + warm handoff vs the no-failover
+  control).
 
 Every experiment takes an :class:`~repro.harness.config.ExperimentScale`
 so the same code runs at paper scale (11,323 queries) or at the smaller

@@ -7,8 +7,10 @@ Usage::
 Regenerates, in order: the Section 4.1 trace profile, Table 1,
 Figure 5, Figure 6, the two ablations, the fault-availability
 table (origin outage + resilience layer), the crash-recovery
-table (warm vs cold restart), and the saturation ladder (graceful
-degradation under closed-loop overload).  The same code backs the
+table (warm vs cold restart), the saturation ladder (graceful
+degradation under closed-loop overload), and the shard-availability
+table (mid-trace shard crash, failover vs control).  The same code
+backs the
 ``benchmarks/`` suite; this entry point is for eyeballing a full run
 without pytest.
 """
@@ -28,6 +30,7 @@ from repro.harness.fig6 import run_fig6
 from repro.harness.recovery import run_recovery
 from repro.harness.runner import ExperimentRunner
 from repro.harness.saturation import run_saturation
+from repro.harness.shard_availability import run_shard_availability
 from repro.harness.table1 import run_table1
 from repro.harness.trace_stats import run_trace_stats
 from repro.obs.wallclock import Stopwatch
@@ -59,6 +62,7 @@ def main(argv: list[str]) -> int:
         ("fault availability", lambda: run_fault_availability(runner)),
         ("crash recovery", lambda: run_recovery(runner)),
         ("saturation", lambda: run_saturation(runner)),
+        ("shard availability", lambda: run_shard_availability(runner)),
     ]
     for label, run in experiments:
         watch = Stopwatch()

@@ -55,6 +55,12 @@ EV_EVICTION_STORM = "EV09"
 EV_SNAPSHOT_CHECKPOINT = "EV10"
 #: The health monitor's overall verdict changed.
 EV_HEALTH_STATE_CHANGE = "EV11"
+#: A shard worker crashed, hung, or slowed per its ShardCrashPlan.
+EV_SHARD_CRASH = "EV12"
+#: The router re-routed a query away from an unhealthy/down shard.
+EV_FAILOVER_REROUTE = "EV13"
+#: A warm handoff finished replaying a shard's cache into a successor.
+EV_HANDOFF_COMPLETED = "EV14"
 
 #: The pinned event-code registry (see DESIGN.md): code -> stable name.
 EVENT_CODES: Mapping[str, str] = {
@@ -69,6 +75,9 @@ EVENT_CODES: Mapping[str, str] = {
     EV_EVICTION_STORM: "eviction-storm",
     EV_SNAPSHOT_CHECKPOINT: "snapshot-checkpoint",
     EV_HEALTH_STATE_CHANGE: "health-state-change",
+    EV_SHARD_CRASH: "shard-crash",
+    EV_FAILOVER_REROUTE: "failover-reroute",
+    EV_HANDOFF_COMPLETED: "handoff-completed",
 }
 
 #: Breaker-state value -> breaker event code, keyed by the state's

@@ -19,6 +19,9 @@ FP diagnostic and EV event codes; see DESIGN.md):
   configured limit for several consecutive windows.
 * ``HR05`` *breaker-open* — the origin circuit breaker not closed at
   the newest sample (the origin is presumed down; answers degrade).
+* ``HR06`` *shard-down* — one or more shard workers behind the
+  :class:`~repro.cluster.router.ShardRouter` are down or unhealthy;
+  inactive on a single proxy with no shard tier configured.
 
 The overall verdict is the worst rule verdict.  Each evaluation that
 *changes* the overall verdict fires an ``EV11`` event into the flight
@@ -54,6 +57,7 @@ HEALTH_RULES: Mapping[str, str] = {
     "HR03": "latency-slo",
     "HR04": "queue-saturation",
     "HR05": "breaker-open",
+    "HR06": "shard-down",
 }
 
 #: HR01 needs this many windows with traffic before judging.
@@ -206,14 +210,33 @@ def _breaker_open(samples: list[dict[str, Any]]) -> dict[str, Any]:
     return _rule("HR05", HEALTHY, "origin breaker closed")
 
 
+def _shard_down(
+    shards_down: int | None, shards_total: int | None
+) -> dict[str, Any]:
+    if shards_total is None or shards_total <= 0:
+        return _rule("HR06", HEALTHY, "no shard tier configured")
+    down = int(shards_down or 0)
+    detail = f"{down} of {shards_total} shards down or unhealthy"
+    if down >= shards_total:
+        return _rule("HR06", UNHEALTHY, detail)
+    if down > 0:
+        return _rule("HR06", DEGRADED, detail)
+    return _rule("HR06", HEALTHY, detail)
+
+
 def evaluate_samples(
     samples: list[dict[str, Any]],
     latency_slo_ms: float | None = None,
     queue_limit: int | None = None,
+    shards_down: int | None = None,
+    shards_total: int | None = None,
 ) -> dict[str, Any]:
     """Run every pinned rule over ``samples``; worst verdict wins.
 
     Pure — usable offline over an exported ``timeseries-*.json``.
+    ``shards_down``/``shards_total`` describe the shard tier behind a
+    router; a single proxy leaves them ``None`` and HR06 stays
+    inactive.
     """
     rules = [
         _hit_ratio_collapse(samples),
@@ -221,6 +244,7 @@ def evaluate_samples(
         _latency_slo(samples, latency_slo_ms),
         _queue_saturation(samples, queue_limit),
         _breaker_open(samples),
+        _shard_down(shards_down, shards_total),
     ]
     status = max(
         (rule["status"] for rule in rules),

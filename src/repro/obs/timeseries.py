@@ -98,6 +98,20 @@ PROXY_LANES = LaneSet(
     quantiles=(QuantileLane("response_ms", "proxy_response_sim_ms"),),
 )
 
+#: The router-side lane set for the sharded tier (lane names are part
+#: of the wire schema pinned in DESIGN.md, like PROXY_LANES).
+ROUTER_LANES = LaneSet(
+    counters=(
+        CounterLane("routed_qps", "router_queries_total"),
+        CounterLane("failover_per_s", "router_failover_total"),
+        CounterLane("tunnel_per_s", "router_tunnel_total"),
+    ),
+    gauges=(
+        GaugeLane("shards_up", "router_shards_up"),
+        GaugeLane("shards_total", "router_shards_total"),
+    ),
+)
+
 #: The origin-side lane set.
 ORIGIN_LANES = LaneSet(
     counters=(CounterLane("requests_per_s", "origin_requests_total"),),

@@ -90,6 +90,7 @@ class CachePersister:
         snapshot_every: int = 64,
         durable: bool = False,
         crash_plan: "CrashPlan | None" = None,
+        shard_id: str | None = None,
     ) -> None:
         if snapshot_every < 1:
             raise PersistenceError(
@@ -105,6 +106,11 @@ class CachePersister:
             ) from exc
         self.snapshot_every = snapshot_every
         self.durable = durable
+        #: The owning shard worker's id; stamped onto every admit
+        #: record so handoff files can be replayed anywhere (recovery
+        #: skips records tagged with a *different* shard).  ``None`` on
+        #: a single-proxy deployment keeps the wire form unchanged.
+        self.shard_id = shard_id
         self.journal = Journal(self.directory / JOURNAL_NAME)
         self.snapshot_path = self.directory / SNAPSHOT_NAME
         self._lock = named_lock("persistence.journal")
@@ -272,6 +278,7 @@ class CachePersister:
             "directory": str(self.directory),
             "snapshot_every": self.snapshot_every,
             "durable": self.durable,
+            "shard_id": self.shard_id,
             "journal": {
                 "path": str(self.journal.path),
                 "size_bytes": self.journal.size_bytes,
@@ -305,6 +312,7 @@ class CachePersister:
             result_xml=entry.result.to_xml(),
             data_version=self._version_of(),
             ts_ms=self._now_ms(),
+            shard=self.shard_id,
         )
 
     def _now_ms(self) -> float:

@@ -136,11 +136,15 @@ class AdmitRecord:
     result_xml: str
     data_version: int | None
     ts_ms: float
+    #: The shard worker that admitted the entry; ``None`` on a
+    #: single-proxy deployment.  Omitted from the payload when unset so
+    #: pre-shard wire-v1 journals stay byte-identical.
+    shard: str | None = None
 
     type = "admit"
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "type": self.type,
             "v": WIRE_FORMAT_VERSION,
             "entry_id": self.entry_id,
@@ -153,6 +157,9 @@ class AdmitRecord:
             "data_version": self.data_version,
             "ts_ms": self.ts_ms,
         }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        return payload
 
     @staticmethod
     def from_payload(payload: Mapping[str, Any]) -> "AdmitRecord":
@@ -170,6 +177,11 @@ class AdmitRecord:
                 else int(payload["data_version"])
             ),
             ts_ms=float(payload["ts_ms"]),
+            shard=(
+                None
+                if payload.get("shard") is None
+                else str(payload["shard"])
+            ),
         )
 
 

@@ -68,6 +68,7 @@ class RecoveryReport:
     data_version: int | None = None
     entries_restored: int = 0
     entries_stale: int = 0
+    entries_foreign: int = 0
     entries_error: int = 0
     entries_rejected: int = 0
     entries_evicted: int = 0
@@ -93,6 +94,7 @@ class RecoveryReport:
             "data_version": self.data_version,
             "entries_restored": self.entries_restored,
             "entries_stale": self.entries_stale,
+            "entries_foreign": self.entries_foreign,
             "entries_error": self.entries_error,
             "entries_rejected": self.entries_rejected,
             "entries_evicted": self.entries_evicted,
@@ -171,8 +173,19 @@ def recover_cache(
             # not hold the persister lock while calling cache.store
             # (that would invert the cache -> journal lock order).
             persister.set_suspended(True)
+            local_shard = persister.shard_id
             try:
                 for record in image.values():
+                    # Foreign-tagged records (a handoff file replayed
+                    # on the wrong shard, or a copied directory) are
+                    # skipped, not re-admitted: the ring owner serves
+                    # them now.
+                    if (
+                        record.shard is not None
+                        and record.shard != local_shard
+                    ):
+                        report.entries_foreign += 1
+                        continue
                     if (
                         report.data_version is not None
                         and record.data_version != report.data_version
@@ -186,6 +199,7 @@ def recover_cache(
     if obs is not None:
         obs.recovery_disposition("restored", report.entries_restored)
         obs.recovery_disposition("stale", report.entries_stale)
+        obs.recovery_disposition("foreign", report.entries_foreign)
         obs.recovery_disposition("error", report.entries_error)
         obs.recovery_disposition("rejected", report.entries_rejected)
 

@@ -79,6 +79,11 @@ class ProxyFrontend:
         self.completed = 0
         self.rejected = 0
 
+    @property
+    def templates(self) -> Any:
+        """The proxy's template manager (the driver binds through it)."""
+        return self.proxy.templates
+
     def submit(
         self,
         bound: Any,

@@ -11,6 +11,10 @@ proxy servlet that talks HTTP to the origin web site:
 * :func:`~repro.webapp.proxy_app.create_proxy_app` — the proxy
   servlet: the same ``/search/<form>`` surface, answered from the
   cache when possible, plus ``/stats`` for the timing records;
+* :func:`~repro.webapp.router_app.create_router_app` — the sharded
+  tier's front door: ``/search/<form>`` routed over the consistent-
+  hash ring, plus ``/shards``, ``/health``, ``/decisions``, and
+  ``POST /drain/<shard_id>``;
 * :class:`~repro.webapp.http_origin.HttpOriginClient` — an
   origin-server adapter that forwards over HTTP, so a
   :class:`~repro.core.proxy.FunctionProxy` can front a *remote* origin
@@ -22,6 +26,12 @@ installed raises a clear error only when an app is actually created.
 
 from repro.webapp.origin_app import create_origin_app
 from repro.webapp.proxy_app import create_proxy_app
+from repro.webapp.router_app import create_router_app
 from repro.webapp.http_origin import HttpOriginClient
 
-__all__ = ["HttpOriginClient", "create_origin_app", "create_proxy_app"]
+__all__ = [
+    "HttpOriginClient",
+    "create_origin_app",
+    "create_proxy_app",
+    "create_router_app",
+]

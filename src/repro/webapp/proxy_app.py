@@ -15,8 +15,9 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
     rejected the query itself.  Under overload, admission control
     answers ``429`` for a shed query (``X-Proxy-Outcome: shed``) and
     ``503`` for one that timed out in the accept queue
-    (``queued-timeout``); the ``X-Tenant`` request header selects the
-    per-tenant quota bucket.
+    (``queued-timeout``), both carrying a ``Retry-After`` header
+    derived from the overload breaker's cooldown; the ``X-Tenant``
+    request header selects the per-tenant quota bucket.
 
 ``GET /stats``
     Aggregate trace statistics: average response time, average cache
@@ -88,6 +89,7 @@ The HTTP face of :class:`~repro.core.proxy.FunctionProxy`:
 
 from __future__ import annotations
 
+from repro.admission.config import retry_after_seconds
 from repro.analysis.analyzer import analyze_manager
 from repro.core.proxy import FunctionProxy
 from repro.core.stats import QueryOutcome
@@ -195,10 +197,16 @@ def create_proxy_app(
         ):
             # Admission turned the query away: 429 for a live shed
             # (back off and retry), 503 for a queued request whose
-            # deadline passed before a serve slot freed up.
+            # deadline passed before a serve slot freed up.  Either
+            # way the client gets a Retry-After derived from the
+            # overload breaker's cooldown.
             status_code = (
                 429 if record.outcome is QueryOutcome.SHED else 503
             )
+            if proxy.admission is not None:
+                headers["Retry-After"] = str(
+                    retry_after_seconds(proxy.admission.config)
+                )
             return (
                 {
                     "error": "proxy overloaded",

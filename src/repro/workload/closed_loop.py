@@ -8,8 +8,11 @@ throttles itself to the server's pace, which is exactly the regime
 where admission control and shed policies matter.
 
 :class:`ClosedLoopDriver` places ``n_clients`` such clients on one
-:class:`~repro.sched.loop.EventLoop`, all sharing one
-:class:`~repro.sched.frontend.ProxyFrontend`.  Determinism: starts are
+:class:`~repro.sched.loop.EventLoop`, all sharing one frontend — a
+single-proxy :class:`~repro.sched.frontend.ProxyFrontend` or the
+sharded tier's :class:`~repro.cluster.frontend.ClusterFrontend`; any
+object with ``loop``, ``templates``, and ``submit`` (the same
+signature) drives the same way.  Determinism: starts are
 staggered deterministically across the think window, think jitter is
 drawn from a seeded :class:`random.Random`, and every client walks the
 shared trace at its own offset — same seed, same curve.
@@ -19,9 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from random import Random
+from typing import Any
 
 from repro.core.stats import QueryOutcome, TraceStats
-from repro.sched.frontend import ProxyFrontend
 from repro.sched.loop import EventLoop
 from repro.workload.trace import Trace
 
@@ -76,7 +79,7 @@ class ClosedLoopDriver:
 
     def __init__(
         self,
-        frontend: ProxyFrontend,
+        frontend: Any,  # ProxyFrontend or ClusterFrontend (duck-typed)
         trace: Trace,
         config: ClosedLoopConfig | None = None,
     ) -> None:
@@ -123,7 +126,7 @@ class ClosedLoopDriver:
         def submit() -> None:
             query = self.trace[client.cursor % len(self.trace)]
             client.cursor += 1
-            bound = self.frontend.proxy.templates.bind(
+            bound = self.frontend.templates.bind(
                 query.template_id, query.param_dict()
             )
             self.frontend.submit(

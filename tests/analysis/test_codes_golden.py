@@ -48,6 +48,7 @@ GOLDEN = {
     "FP309": (Severity.ERROR, None),
     "FP310": (Severity.ERROR, None),
     "FP311": (Severity.ERROR, None),
+    "FP312": (Severity.ERROR, None),
     "FP401": (Severity.ERROR, None),
     "FP402": (Severity.ERROR, None),
     "FP403": (Severity.ERROR, None),

@@ -1,4 +1,4 @@
-"""The repository lint rules (FP301-FP311) on synthetic modules."""
+"""The repository lint rules (FP301-FP312) on synthetic modules."""
 
 import pathlib
 
@@ -619,6 +619,50 @@ class TestEventCodeRule:
             tmp_path,
             "repro/obs/events.py",
             "self.emit('EV99', at_ms=0.0)\n",
+        )
+        assert len(report) == 0
+
+
+class TestShardInternalImportRule:
+    """FP312: shard internals stay behind the repro.cluster surface."""
+
+    def test_from_import_of_submodule_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "from repro.cluster.handoff import export_cache\n",
+        )
+        assert report.codes() == {"FP312"}
+
+    def test_plain_import_of_submodule_flagged(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/webapp/x.py",
+            "import repro.cluster.router\n",
+        )
+        assert report.codes() == {"FP312"}
+
+    def test_package_surface_clean(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/harness/x.py",
+            "from repro.cluster import ShardRouter\n",
+        )
+        assert len(report) == 0
+
+    def test_cluster_package_itself_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "repro/cluster/router.py",
+            "from repro.cluster.ring import HashRing\n",
+        )
+        assert len(report) == 0
+
+    def test_tests_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            "tests/cluster/test_x.py",
+            "from repro.cluster.ring import HashRing\n",
         )
         assert len(report) == 0
 

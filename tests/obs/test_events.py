@@ -30,6 +30,9 @@ class TestRegistryGolden:
             "EV09": "eviction-storm",
             "EV10": "snapshot-checkpoint",
             "EV11": "health-state-change",
+            "EV12": "shard-crash",
+            "EV13": "failover-reroute",
+            "EV14": "handoff-completed",
         }
 
     def test_breaker_states_map_to_breaker_codes(self):

@@ -50,6 +50,7 @@ class TestRegistryGolden:
             "HR03": "latency-slo",
             "HR04": "queue-saturation",
             "HR05": "breaker-open",
+            "HR06": "shard-down",
         }
 
 
@@ -151,6 +152,25 @@ class TestBreakerOpen:
         report = evaluate_samples([sample(breaker=2.0)])
         assert report["status"] == DEGRADED
         assert report["windows"] == 1
+
+
+class TestShardDown:
+    def test_inactive_without_a_shard_tier(self):
+        report = evaluate_samples([sample()])
+        assert rule(report, "HR06")["status"] == HEALTHY
+
+    def test_all_shards_up_is_healthy(self):
+        report = evaluate_samples([sample()], shards_down=0, shards_total=4)
+        assert rule(report, "HR06")["status"] == HEALTHY
+
+    def test_one_shard_down_degrades(self):
+        report = evaluate_samples([sample()], shards_down=1, shards_total=4)
+        assert rule(report, "HR06")["status"] == DEGRADED
+        assert report["status"] == DEGRADED
+
+    def test_every_shard_down_is_unhealthy(self):
+        report = evaluate_samples([sample()], shards_down=4, shards_total=4)
+        assert rule(report, "HR06")["status"] == UNHEALTHY
 
 
 class TestStrictestLatencyObjective:

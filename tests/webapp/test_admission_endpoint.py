@@ -42,6 +42,18 @@ class TestOverloadStatuses:
         payload = response.get_json()
         assert payload["reason"] == "quota"
 
+    def test_shed_carries_retry_after(self, proxy, client):
+        from repro.admission import retry_after_seconds
+
+        headers = {"X-Tenant": "metered"}
+        radial(client, headers=headers)
+        response = radial(client, ra=165.0, headers=headers)
+        assert response.status_code == 429
+        expected = retry_after_seconds(proxy.admission.config)
+        assert response.headers["Retry-After"] == str(expected)
+        # Derived from the breaker cooldown, whole seconds, >= 1.
+        assert expected >= 1
+
     def test_unmetered_tenant_is_unaffected(self, client):
         for ra in (164.0, 165.0, 166.0):
             assert radial(client, ra=ra).status_code == 200
@@ -66,6 +78,7 @@ class TestOverloadStatuses:
         response = radial(client)
         assert response.status_code == 503
         assert response.headers["X-Proxy-Outcome"] == "queued-timeout"
+        assert "Retry-After" in response.headers
         assert response.get_json()["reason"] == "deadline"
 
 

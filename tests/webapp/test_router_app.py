@@ -1,0 +1,145 @@
+"""The shard-router HTTP surface: routed search, topology, drain."""
+
+import pytest
+
+flask = pytest.importorskip("flask")
+
+from repro.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TenantQuota,
+    retry_after_seconds,
+)
+from repro.cluster import RouterConfig, Shard, ShardRouter
+from repro.core.proxy import FunctionProxy
+from repro.core.schemes import CachingScheme
+from repro.faults.shard import ShardCrashPlan, ShardFaultWindow
+from repro.webapp.router_app import create_router_app
+
+QUOTA_CONFIG = AdmissionConfig(
+    quotas={"metered": TenantQuota(rate_per_s=0.001, burst=1.0)}
+)
+
+
+def make_router(origin, n_shards=3, fallback=True, **kwargs):
+    shards = tuple(
+        Shard(
+            f"shard-{i}",
+            FunctionProxy(
+                origin,
+                origin.templates,
+                admission=AdmissionController(QUOTA_CONFIG),
+            ),
+        )
+        for i in range(n_shards)
+    )
+    tunnel = (
+        FunctionProxy(
+            origin, origin.templates, scheme=CachingScheme.NO_CACHE
+        )
+        if fallback
+        else None
+    )
+    return ShardRouter(shards, fallback=tunnel, **kwargs)
+
+
+@pytest.fixture()
+def router(origin):
+    return make_router(origin)
+
+
+@pytest.fixture()
+def client(router):
+    return create_router_app(router).test_client()
+
+
+def radial(client, ra=164.0, **kwargs):
+    return client.get(f"/search/Radial?ra={ra}&dec=8&radius=10", **kwargs)
+
+
+class TestRoutedSearch:
+    def test_search_carries_shard_headers(self, client, router):
+        response = radial(client)
+        assert response.status_code == 200
+        assert response.headers["X-Shard"] in router.shard_ids
+        assert response.headers["X-Shard-Rerouted"] == "0"
+        assert response.headers["X-Proxy-Outcome"] == "served"
+
+    def test_bad_form_is_400(self, client):
+        assert client.get("/search/NoSuchForm?x=1").status_code == 400
+
+    def test_reroute_header_on_crashed_primary(self, origin):
+        probe = make_router(origin)
+        bound = origin.templates.bind_form(
+            "Radial", {"ra": "164.0", "dec": "8", "radius": "10"}
+        )
+        primary = probe.ring.primary(probe.route_key(bound))
+        router = make_router(
+            origin,
+            crash_plan=ShardCrashPlan(
+                faults=(ShardFaultWindow(primary, "crash", 0.0),)
+            ),
+        )
+        client = create_router_app(router).test_client()
+        response = radial(client)
+        assert response.status_code == 200
+        assert response.headers["X-Shard-Rerouted"] == "1"
+        assert response.headers["X-Shard"] != primary
+
+    def test_quota_shed_is_429_with_retry_after(self, client):
+        headers = {"X-Tenant": "metered"}
+        assert radial(client, headers=headers).status_code == 200
+        response = radial(client, ra=165.0, headers=headers)
+        assert response.status_code == 429
+        assert response.headers["X-Proxy-Outcome"] == "shed"
+        assert response.headers["Retry-After"] == str(
+            retry_after_seconds(QUOTA_CONFIG)
+        )
+        payload = response.get_json()
+        assert payload["reason"] == "quota"
+        assert payload["shard"]
+
+
+class TestShardsEndpoint:
+    def test_topology_payload(self, client, router):
+        radial(client)
+        payload = client.get("/shards").get_json()
+        assert {s["shard_id"] for s in payload["shards"]} == set(
+            router.shard_ids
+        )
+        assert payload["failover"] is True
+        assert payload["decisions_total"] == 1
+        assert payload["drained"] == []
+
+    def test_health_endpoint(self, client):
+        response = client.get("/health")
+        assert response.status_code == 200
+        payload = response.get_json()
+        assert payload["shards_total"] == 3
+        assert payload["shards_up"] == 3
+
+    def test_decisions_endpoint(self, client):
+        radial(client)
+        radial(client, ra=165.0)
+        payload = client.get("/decisions?n=1").get_json()
+        assert len(payload["decisions"]) == 1
+        decision = payload["decisions"][0]
+        assert decision["seq"] == 2
+        assert decision["dispatched"] is not None
+
+
+class TestDrainEndpoint:
+    def test_drain_hands_off_and_conflicts_on_repeat(self, client):
+        radial(client)
+        first = client.post("/drain/shard-0")
+        assert first.status_code == 200
+        assert first.get_json()["handoff"]["source"] == "shard-0"
+        assert client.post("/drain/shard-0").status_code == 409
+
+    def test_unknown_shard_is_404(self, client):
+        assert client.post("/drain/ghost").status_code == 404
+
+    def test_drained_shard_visible_in_topology(self, client):
+        client.post("/drain/shard-1")
+        payload = client.get("/shards").get_json()
+        assert payload["drained"] == ["shard-1"]

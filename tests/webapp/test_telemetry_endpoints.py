@@ -110,7 +110,7 @@ class TestHealthEndpoint:
         assert payload["enabled"] is True
         assert payload["status"] == "healthy"
         assert [r["id"] for r in payload["rules"]] == [
-            "HR01", "HR02", "HR03", "HR04", "HR05",
+            "HR01", "HR02", "HR03", "HR04", "HR05", "HR06",
         ]
 
     def test_unhealthy_answers_503(self, proxy, client):
